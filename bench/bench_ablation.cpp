@@ -1,0 +1,117 @@
+//===- bench/bench_ablation.cpp - Sect. 7 ablation: refold vs summaries ---==//
+//
+// The design choice motivating Sect. 7: when segment prefixes are long
+// (boundary markers are rare), the split-based scheme re-folds every
+// prefix serially inside merge, while split+sum+update applies the
+// synthesized one-step upd. This harness sweeps the boundary-marker
+// density and reports merge cost and total speedup for both schemes on
+// the B4 pattern counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "runtime/Runner.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+#include "synth/Grassp.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace grassp;
+using namespace grassp::runtime;
+
+namespace {
+
+/// Workload where the boundary marker appears once per `Period` elements
+/// on average (0 = never: prefixes span whole segments, the paper's
+/// "prefix_2 is the entire segment" pathology).
+std::vector<int64_t> markerWorkload(const lang::SerialProgram &Prog,
+                                    int64_t Marker, size_t N,
+                                    uint64_t Period, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<int64_t> NonMarker;
+  for (int64_t A : Prog.InputAlphabet)
+    if (A != Marker)
+      NonMarker.push_back(A);
+  std::vector<int64_t> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    if (Period != 0 && R.next() % Period == 0)
+      Out.push_back(Marker);
+    else
+      Out.push_back(NonMarker[R.next() % NonMarker.size()]);
+  }
+  return Out;
+}
+
+int64_t boundaryMarker(const synth::ParallelPlan &Plan) {
+  // prefix_cond is "in == C" or "in != C"; for eq the marker is C.
+  const ir::ExprRef &Pc = Plan.Cond.PrefixCond;
+  return Pc->operand(1)->intValue();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 4000000;
+  const unsigned M = 8, P = 8;
+  const char *Names[] = {"count_102",  "count_123",    "count_10203",
+                         "count_run1", "max_dist_ones", "max_sum_zeros"};
+  const uint64_t Periods[] = {4, 64, 4096, 0};
+
+  std::printf("Ablation (Sect. 7): split-based re-fold vs "
+              "split+sum+update, N=%zu, %u segments, P=%u\n",
+              N, M, P);
+  std::printf("%-15s %-12s | %-22s | %-22s\n", "benchmark",
+              "marker every", "refold merge / speedup",
+              "summary merge / speedup");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  for (const char *Name : Names) {
+    const lang::SerialProgram *Prog = lang::findBenchmark(Name);
+    synth::SynthesisResult R = synth::synthesize(*Prog);
+    if (!R.Success || R.Plan.Kind != synth::Scenario::CondPrefixSummary) {
+      std::printf("%-15s (not a summary plan; skipped)\n", Name);
+      continue;
+    }
+    synth::ParallelPlan Summary = R.Plan;
+    synth::ParallelPlan Refold = R.Plan;
+    Refold.Kind = synth::Scenario::CondPrefixRefold;
+    int64_t Marker = boundaryMarker(Summary);
+
+    for (uint64_t Period : Periods) {
+      std::vector<int64_t> Data =
+          markerWorkload(*Prog, Marker, N, Period, 0x7777);
+      std::vector<SegmentView> Segs = partition(Data, M);
+      CompiledProgram CP(*Prog);
+      double SerialSec = 0;
+      int64_t SerialOut = runSerialTimed(CP, Segs, &SerialSec);
+
+      CompiledPlan RefoldPlan(*Prog, Refold);
+      CompiledPlan SummaryPlan(*Prog, Summary);
+      ParallelRunResult RR = runParallel(RefoldPlan, Segs, nullptr);
+      ParallelRunResult RS = runParallel(SummaryPlan, Segs, nullptr);
+
+      char PeriodStr[32];
+      if (Period == 0)
+        std::snprintf(PeriodStr, sizeof(PeriodStr), "never");
+      else
+        std::snprintf(PeriodStr, sizeof(PeriodStr), "%llu",
+                      (unsigned long long)Period);
+      std::printf("%-15s %-12s | %9s  %5.2fX       | %9s  %5.2fX%s%s\n",
+                  Name, PeriodStr,
+                  formatSeconds(RR.MergeSeconds).c_str(),
+                  modeledSpeedup(SerialSec, RR, P),
+                  formatSeconds(RS.MergeSeconds).c_str(),
+                  modeledSpeedup(SerialSec, RS, P),
+                  RR.Output == SerialOut ? "" : " REFOLD-MISMATCH",
+                  RS.Output == SerialOut ? "" : " SUMMARY-MISMATCH");
+    }
+  }
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf("(shape: with rare/absent markers the refold merge degrades "
+              "toward serial cost,\n while summary merges stay O(m); with "
+              "frequent markers both are fast)\n");
+  return 0;
+}

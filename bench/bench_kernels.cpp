@@ -1,0 +1,75 @@
+//===- bench/bench_kernels.cpp - Kernel micro-throughput (google-bench) ---==//
+//
+// Microbenchmarks of the execution substrate: bytecode fold throughput
+// for representative step functions, the conditional-prefix worker scan,
+// and the merge paths. These calibrate the absolute numbers behind the
+// Table-1/Table-2 harnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "runtime/Runner.h"
+#include "synth/Grassp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace grassp;
+using namespace grassp::runtime;
+
+namespace {
+
+struct Prepared {
+  const lang::SerialProgram *Prog;
+  synth::ParallelPlan Plan;
+  std::vector<int64_t> Data;
+};
+
+Prepared prepare(const char *Name, size_t N) {
+  const lang::SerialProgram *P = lang::findBenchmark(Name);
+  synth::SynthesisResult R = synth::synthesize(*P);
+  return {P, R.Plan, generateWorkload(*P, N, 99)};
+}
+
+void serialFold(benchmark::State &State, const char *Name) {
+  Prepared Pr = prepare(Name, 1 << 20);
+  CompiledProgram CP(*Pr.Prog);
+  std::vector<SegmentView> Segs = {{Pr.Data.data(), Pr.Data.size()}};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CP.runSerial(Segs));
+  State.SetItemsProcessed(State.iterations() * Pr.Data.size());
+}
+
+void parallelWorkers(benchmark::State &State, const char *Name) {
+  Prepared Pr = prepare(Name, 1 << 20);
+  CompiledPlan Plan(*Pr.Prog, Pr.Plan);
+  std::vector<SegmentView> Segs = partition(Pr.Data, 8);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runParallel(Plan, Segs, nullptr).Output);
+  State.SetItemsProcessed(State.iterations() * Pr.Data.size());
+}
+
+void mergeOnly(benchmark::State &State, const char *Name) {
+  Prepared Pr = prepare(Name, 1 << 20);
+  CompiledPlan Plan(*Pr.Prog, Pr.Plan);
+  std::vector<SegmentView> Segs = partition(Pr.Data, 8);
+  std::vector<WorkerOutput> Outs;
+  for (const SegmentView &S : Segs)
+    Outs.push_back(Plan.runWorker(S));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Plan.merge(Outs, Segs));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(serialFold, sum, "sum");
+BENCHMARK_CAPTURE(serialFold, count_102, "count_102");
+BENCHMARK_CAPTURE(serialFold, second_max, "second_max");
+BENCHMARK_CAPTURE(serialFold, max_dist_ones, "max_dist_ones");
+BENCHMARK_CAPTURE(parallelWorkers, sum, "sum");
+BENCHMARK_CAPTURE(parallelWorkers, count_102, "count_102");
+BENCHMARK_CAPTURE(parallelWorkers, second_max, "second_max");
+BENCHMARK_CAPTURE(parallelWorkers, is_sorted, "is_sorted");
+BENCHMARK_CAPTURE(mergeOnly, count_102, "count_102");
+BENCHMARK_CAPTURE(mergeOnly, second_max, "second_max");
+
+BENCHMARK_MAIN();

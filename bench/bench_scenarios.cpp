@@ -1,0 +1,87 @@
+//===- bench/bench_scenarios.cpp - Figures 5-9: execution schemes ---------==//
+//
+// Regenerates the execution-scheme comparison of the paper's Figs. 5-9 as
+// measured critical paths for one representative benchmark per scenario:
+//
+//   Fig. 5  serial fold                       (every benchmark)
+//   Fig. 6  no-prefix merge        -> "sum"
+//   Fig. 7  constant-prefix merge  -> "is_sorted"
+//   Fig. 8  conditional prefixes, split-based (refold)  -> "count_102"
+//   Fig. 9  conditional prefixes, split+sum+update      -> "count_102"
+//
+// For each scheme the harness reports the per-worker fold times, the
+// merge/repair cost, the modeled 4-worker makespan (the figures use four
+// segments), and the resulting speedup over serial.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "runtime/Runner.h"
+#include "support/Timing.h"
+#include "synth/Grassp.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace grassp;
+using namespace grassp::runtime;
+
+namespace {
+
+void report(const char *Figure, const char *Scheme,
+            const lang::SerialProgram &Prog,
+            const synth::ParallelPlan &Plan, size_t N) {
+  std::vector<int64_t> Data = generateWorkload(Prog, N, 0xfade);
+  const unsigned M = 4; // four segments, as drawn in the figures.
+  std::vector<SegmentView> Segs = partition(Data, M);
+
+  CompiledProgram CP(Prog);
+  CompiledPlan Compiled(Prog, Plan);
+  double SerialSec = 0;
+  int64_t SerialOut = runSerialTimed(CP, Segs, &SerialSec);
+  ParallelRunResult PR = runParallel(Compiled, Segs, nullptr);
+
+  double Mk = makespan(PR.WorkerSeconds, M);
+  std::printf("%-7s %-22s %-12s serial=%-9s workers(max)=%-9s "
+              "merge=%-9s speedup=%.2fX %s\n",
+              Figure, Scheme, Prog.Name.c_str(),
+              formatSeconds(SerialSec).c_str(), formatSeconds(Mk).c_str(),
+              formatSeconds(PR.MergeSeconds).c_str(),
+              modeledSpeedup(SerialSec, PR, M),
+              PR.Output == SerialOut ? "" : "MISMATCH");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 8000000;
+  std::printf("Figures 5-9: execution schemes over 4 segments "
+              "(N=%zu elements)\n\n",
+              N);
+
+  // Fig. 6: best case.
+  {
+    const lang::SerialProgram *P = lang::findBenchmark("sum");
+    synth::SynthesisResult R = synth::synthesize(*P);
+    report("Fig.6", "no-prefix", *P, R.Plan, N);
+  }
+  // Fig. 7: worse case (constant prefixes).
+  {
+    const lang::SerialProgram *P = lang::findBenchmark("is_sorted");
+    synth::SynthesisResult R = synth::synthesize(*P);
+    report("Fig.7", "const-prefix", *P, R.Plan, N);
+  }
+  // Figs. 8/9: worst case, with and without summaries.
+  {
+    const lang::SerialProgram *P = lang::findBenchmark("count_102");
+    synth::SynthesisResult R = synth::synthesize(*P);
+    synth::ParallelPlan Refold = R.Plan;
+    Refold.Kind = synth::Scenario::CondPrefixRefold;
+    report("Fig.8", "cond-prefix-refold", *P, Refold, N);
+    report("Fig.9", "cond-prefix-summary", *P, R.Plan, N);
+  }
+  std::printf("\n(the paper's diagrams: Fig.6 O(n/4+3); Fig.7 O(n/4+k); "
+              "Fig.8 merge re-folds prefixes; Fig.9 replaces the re-fold "
+              "by one-step upd applications)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+//===- bench/bench_synthesis.cpp - Table 1 (left): synthesis performance --==//
+//
+// Regenerates the "GRASSP performance (synt time)" column of Table 1 and
+// the gradual-stage escalation of Fig. 10: for every benchmark, the
+// wall-clock synthesis time, the stage that solved it (group), candidate
+// counts, and SMT query counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "support/Timing.h"
+#include "synth/Grassp.h"
+
+#include <cstdio>
+
+using namespace grassp;
+
+int main() {
+  std::printf("Table 1 (synthesis): GRASSP performance\n");
+  std::printf("%-22s %-6s %-10s %-6s %-5s  %s\n", "benchmark", "group",
+              "synt time", "cands", "smt", "winning stage");
+  std::printf("%s\n", std::string(88, '-').c_str());
+
+  double Total = 0;
+  unsigned Solved = 0;
+  for (const lang::SerialProgram &P : lang::allBenchmarks()) {
+    synth::SynthesisResult R = synth::synthesize(P);
+    const char *Stage = "-";
+    for (const std::string &S : R.StageLog)
+      if (S.find("solved") != std::string::npos)
+        Stage = S.c_str();
+    std::printf("%-22s %-6s %-10s %-6u %-5u  %s\n", P.Name.c_str(),
+                R.Success ? R.Group.c_str() : "FAIL",
+                formatSeconds(R.SynthSeconds).c_str(), R.CandidatesTried,
+                R.SmtChecks, Stage);
+    Total += R.SynthSeconds;
+    Solved += R.Success ? 1 : 0;
+  }
+  std::printf("%s\n", std::string(88, '-').c_str());
+  std::printf("solved %u/27, total synthesis time %s\n", Solved,
+              formatSeconds(Total).c_str());
+  std::printf("\n(paper: all 27 synthesized, typical times 1-12s; absolute "
+              "times differ by host,\n the per-stage escalation and "
+              "success pattern are the reproduced shape)\n");
+  return Solved == 27 ? 0 : 1;
+}

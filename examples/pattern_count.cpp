@@ -1,0 +1,66 @@
+//===- examples/pattern_count.cpp - The paper's motivating example --------==//
+//
+// Reproduces Sect. 2 end to end: counting matches of 1(0)*2 across
+// ordered input files. Uses the exact four segments of the paper,
+// synthesizes the Delta-FSM machinery (Figs. 1b/3), prints the
+// synthesized prefix_cond / sum / upd, shows each worker's summary, and
+// merges to the expected answer 3 (Fig. 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Certify.h"
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "synth/Grassp.h"
+#include "synth/PlanEval.h"
+
+#include <cstdio>
+
+using namespace grassp;
+
+int main() {
+  const lang::SerialProgram *Prog = lang::findBenchmark("count_102");
+  synth::SynthesisResult R = synth::synthesize(*Prog);
+  if (!R.Success) {
+    std::printf("synthesis failed\n");
+    return 1;
+  }
+  std::printf("GRASSP on '%s' (the paper's Sect. 2 FST):\n%s\n",
+              Prog->Description.c_str(), R.Plan.describe(*Prog).c_str());
+
+  // The four segments of the paper; expected output 3.
+  synth::Segments Files = {
+      {1, 0, 0, 0}, {0, 0, 0, 0}, {0, 2, 1, 2}, {1, 0, 2, 0}};
+  std::printf("input files: {1,0,0,0} {0,0,0,0} {0,2,1,2} {1,0,2,0}\n");
+
+  int64_t Serial = lang::runSerialSegmented(*Prog, Files);
+  std::printf("serial FST result: %lld (paper expects 3)\n",
+              (long long)Serial);
+
+  // Per-file workers (the parallel processes of Fig. 3).
+  ir::ConcretePolicy P;
+  synth::PlanExecutor<ir::ConcretePolicy> Exec(*Prog, R.Plan, P);
+  std::vector<synth::WorkerResult<ir::ConcretePolicy>> Workers;
+  for (size_t I = 0; I != Files.size(); ++I) {
+    std::vector<int64_t> Seg = Files[I];
+    Workers.push_back(Exec.runWorker(Seg));
+    const auto &W = Workers.back();
+    std::printf("  file %zu: found-boundary=%s", I + 1,
+                W.Found ? "yes" : "no ");
+    if (W.Found)
+      std::printf(" boundary=%lld suffix-fold: q=%lld res=%lld",
+                  (long long)W.Boundary, (long long)W.D[0].Sc,
+                  (long long)W.D[1].Sc);
+    std::printf("\n");
+  }
+
+  int64_t Parallel = Exec.mergeWorkers(Workers);
+  std::printf("merged parallel result (Fig. 4): %lld  -> %s\n",
+              (long long)Parallel, Parallel == Serial ? "OK" : "MISMATCH");
+
+  // And the unbounded certificate (Fig. 11 instantiation).
+  chc::CertifyOutcome C = chc::certify(*Prog, R.Plan);
+  std::printf("CHC certification (Spacer): %s in %.2fs over %u variables\n",
+              chc::certStatusName(C.Status), C.Seconds, C.NumVars);
+  return Parallel == Serial ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+//===- examples/quickstart.cpp - GRASSP in five minutes -------------------==//
+//
+// Shows the whole public API on a user-defined serial program:
+//
+//   1. write a single-pass array program (state + step + output),
+//   2. ask GRASSP to synthesize a parallel plan (gradual stages),
+//   3. run serial and parallel versions over a big stream and compare,
+//   4. emit the standalone multithreaded C++ translation.
+//
+// The program here is "sum of squares of elements greater than a
+// threshold" — a fold a MapReduce novice would write by hand; GRASSP
+// discovers that a plain `+` merge suffices (group B1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppCodegen.h"
+#include "runtime/Runner.h"
+#include "support/Timing.h"
+#include "synth/Grassp.h"
+
+#include <cstdio>
+
+using namespace grassp;
+using namespace grassp::ir;
+
+int main() {
+  // 1. The serial specification: state {s}, f(s, in), h(s) = s.
+  lang::SerialProgram Prog;
+  Prog.Name = "sum_sq_gt";
+  Prog.Description = "sum of squares of elements greater than 3";
+  Prog.State = lang::StateLayout({{"s", TypeKind::Int, 0}});
+  ExprRef In = var(lang::inputVarName(), TypeKind::Int);
+  ExprRef S = var("s", TypeKind::Int);
+  Prog.Step = {ite(gt(In, constInt(3)), add(S, mul(In, In)), S)};
+  Prog.Output = S;
+  Prog.GenLo = -50;
+  Prog.GenHi = 50;
+
+  // 2. Synthesize, gradually.
+  synth::SynthesisResult R = synth::synthesize(Prog);
+  if (!R.Success) {
+    std::printf("synthesis failed: %s\n", R.FailureReason.c_str());
+    return 1;
+  }
+  std::printf("synthesized in %s (group %s):\n%s\n",
+              formatSeconds(R.SynthSeconds).c_str(), R.Group.c_str(),
+              R.Plan.describe(Prog).c_str());
+
+  // 3. Run both versions over 20M elements, 8 segments.
+  std::vector<int64_t> Data = runtime::generateWorkload(Prog, 20000000, 1);
+  std::vector<runtime::SegmentView> Segs = runtime::partition(Data, 8);
+  runtime::CompiledProgram CP(Prog);
+  runtime::CompiledPlan Plan(Prog, R.Plan);
+
+  double SerialSec = 0;
+  int64_t SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
+  // Workers timed one-by-one: the critical-path model needs uncontended
+  // per-worker times (this host may have a single core).
+  runtime::ParallelRunResult PR = runtime::runParallel(Plan, Segs);
+  // And once more on real threads, for the output cross-check.
+  ThreadPool Pool(4);
+  runtime::ParallelRunResult PT = runtime::runParallel(Plan, Segs, &Pool);
+  std::printf("serial   = %lld  (%s)\n", (long long)SerialOut,
+              formatSeconds(SerialSec).c_str());
+  std::printf("parallel = %lld  (modeled %0.1fX on 8 workers)\n",
+              (long long)PR.Output,
+              runtime::modeledSpeedup(SerialSec, PR, 8));
+  if (PT.Output != PR.Output) {
+    std::printf("thread-pool run disagrees!\n");
+    return 1;
+  }
+  if (PR.Output != SerialOut) {
+    std::printf("MISMATCH!\n");
+    return 1;
+  }
+
+  // 4. The C++ translation (paper Sect. 9.4).
+  std::string Code = codegen::emitStandaloneCpp(Prog, R.Plan);
+  std::printf("\n--- generated translation (%zu bytes), first lines ---\n",
+              Code.size());
+  std::printf("%.400s...\n", Code.c_str());
+  return 0;
+}

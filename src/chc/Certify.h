@@ -1,0 +1,56 @@
+//===- chc/Certify.h - Certifying plans with constrained Horn solving ----===//
+//
+// Solves the product-automaton CHC system with Z3's Spacer (PDR) engine.
+// An UNSAT query means the error state is unreachable — equivalently, an
+// inductive invariant exists that certifies the synthesized parallel
+// plan for arrays of unbounded length (paper Sect. 8.2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_CHC_CERTIFY_H
+#define GRASSP_CHC_CERTIFY_H
+
+#include "chc/Encode.h"
+
+#include <string>
+
+namespace grassp {
+namespace chc {
+
+enum class CertStatus {
+  Certified,    // inductive invariant found (query unreachable)
+  NotCertified, // query reachable — equivalence violated (or encoding gap)
+  Unknown,      // solver gave up / timed out
+  Unsupported,  // plan not encodable (bag state, refold workers)
+};
+
+const char *certStatusName(CertStatus S);
+
+struct CertifyOptions {
+  unsigned NumSegments = 2;
+  unsigned TimeoutMs = 20000;
+  bool WantInvariant = false; // fill Outcome.Invariant on success.
+};
+
+struct CertifyOutcome {
+  CertStatus Status = CertStatus::Unknown;
+  double Seconds = 0;
+  unsigned NumVars = 0;
+  std::string Invariant; // Spacer's certificate, when requested.
+};
+
+/// Certifies \p Plan against \p Prog.
+CertifyOutcome certify(const lang::SerialProgram &Prog,
+                       const synth::ParallelPlan &Plan,
+                       const CertifyOptions &Opts = CertifyOptions());
+
+/// Renders the CHC system in SMT-LIB2 (the artifact form of the paper's
+/// Fig. 11/12). Empty string when the plan is not encodable.
+std::string chcToSmtlib(const lang::SerialProgram &Prog,
+                        const synth::ParallelPlan &Plan,
+                        unsigned NumSegments = 2);
+
+} // namespace chc
+} // namespace grassp
+
+#endif // GRASSP_CHC_CERTIFY_H

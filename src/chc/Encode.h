@@ -1,0 +1,68 @@
+//===- chc/Encode.h - Product-automaton CHC encoding (paper Fig. 11) -----===//
+//
+// Encodes the equivalence of the serial program and a synthesized plan,
+// for a fixed segment count m but *unbounded* array length, as a system
+// of linear constrained Horn clauses over one uninterpreted invariant:
+//
+//   fact : s_id = 1 /\ all states initial                  -> inv(V)
+//   rule : inv(V) /\ s_id' in {s_id, s_id+1} /\ s_id' <= m
+//          /\ V' = step(V, nondet element)                  -> inv(V')
+//   query: inv(V) /\ guard /\ h(r) != merge(partials)       -> false
+//
+// The product automaton reads one nondeterministic element per step,
+// advances the serial state r, and advances exactly the partial state of
+// the current segment (plus, for constant-prefix plans, the l-element
+// repair of the preceding segment; for summary plans, the full worker
+// state: found flag, boundary element, suffix fold, and Delta tables).
+//
+// Satisfiability of the system — an inductive invariant, found by
+// Spacer/PDR — certifies the plan for arrays of any length (Sect. 8.2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_CHC_ENCODE_H
+#define GRASSP_CHC_ENCODE_H
+
+#include "lang/Program.h"
+#include "synth/ParallelPlan.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace chc {
+
+/// One invariant argument: name, sort, initial-value expression.
+struct ChcVar {
+  std::string Name;
+  ir::TypeKind Ty;
+  ir::ExprRef Init;
+};
+
+/// The encoded system. "el" is the nondeterministic element read by a
+/// transition; "s_id_next" is the (possibly incremented) segment index.
+struct ChcSystem {
+  unsigned NumSegments = 0;
+  std::vector<ChcVar> Vars;
+  /// Next-state expression per variable, over Vars + {el, s_id_next}.
+  std::vector<ir::ExprRef> Next;
+  /// Transition constraint over Vars + {s_id_next}.
+  ir::ExprRef TransGuard;
+  /// Query applicability guard over Vars (e.g. "repair complete").
+  ir::ExprRef QueryGuard;
+  /// Observations compared by the query, over Vars.
+  ir::ExprRef SerialOut;
+  ir::ExprRef ParallelOut;
+};
+
+/// Builds the encoding; nullopt for unsupported plans (bag-typed state).
+std::optional<ChcSystem>
+encodeProductAutomaton(const lang::SerialProgram &Prog,
+                       const synth::ParallelPlan &Plan,
+                       unsigned NumSegments);
+
+} // namespace chc
+} // namespace grassp
+
+#endif // GRASSP_CHC_ENCODE_H

@@ -1,0 +1,240 @@
+//===- ir/Bytecode.cpp -----------------------------------------------------=//
+
+#include "ir/Bytecode.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace grassp {
+namespace ir {
+
+namespace {
+
+/// Compilation context: value-numbers already-compiled subexpressions so
+/// shared DAG nodes are evaluated once.
+class Compiler {
+public:
+  Compiler(std::vector<BcInstr> &Instrs, unsigned FirstTemp)
+      : Instrs(Instrs), NextReg(FirstTemp) {}
+
+  uint16_t compile(const ExprRef &E,
+                   const std::unordered_map<std::string, uint16_t> &Slots) {
+    auto It = Cache.find(E.get());
+    if (It != Cache.end())
+      return It->second;
+    uint16_t R = compileUncached(E, Slots);
+    Cache.emplace(E.get(), R);
+    return R;
+  }
+
+  unsigned nextReg() const { return NextReg; }
+
+private:
+  uint16_t fresh() {
+    assert(NextReg < 0xffff && "register file overflow");
+    return static_cast<uint16_t>(NextReg++);
+  }
+
+  uint16_t emitBin(BcOp O, uint16_t A, uint16_t B) {
+    uint16_t D = fresh();
+    Instrs.push_back({O, D, A, B, 0, 0});
+    return D;
+  }
+
+  uint16_t
+  compileUncached(const ExprRef &E,
+                  const std::unordered_map<std::string, uint16_t> &Slots) {
+    switch (E->getOp()) {
+    case Op::ConstInt: {
+      uint16_t D = fresh();
+      Instrs.push_back({BcOp::Const, D, 0, 0, 0, E->intValue()});
+      return D;
+    }
+    case Op::ConstBool: {
+      uint16_t D = fresh();
+      Instrs.push_back({BcOp::Const, D, 0, 0, 0, E->boolValue() ? 1 : 0});
+      return D;
+    }
+    case Op::Var: {
+      auto It = Slots.find(E->varName());
+      assert(It != Slots.end() && "unbound variable in bytecode compile");
+      return It->second;
+    }
+    case Op::Neg: {
+      uint16_t A = compile(E->operand(0), Slots);
+      uint16_t D = fresh();
+      Instrs.push_back({BcOp::Neg, D, A, 0, 0, 0});
+      return D;
+    }
+    case Op::Not: {
+      uint16_t A = compile(E->operand(0), Slots);
+      uint16_t D = fresh();
+      Instrs.push_back({BcOp::Not, D, A, 0, 0, 0});
+      return D;
+    }
+    case Op::Ite: {
+      uint16_t C = compile(E->operand(0), Slots);
+      uint16_t T = compile(E->operand(1), Slots);
+      uint16_t F = compile(E->operand(2), Slots);
+      uint16_t D = fresh();
+      Instrs.push_back({BcOp::Select, D, C, T, F, 0});
+      return D;
+    }
+    case Op::BagInsertDistinct:
+    case Op::BagUnion:
+    case Op::BagSize:
+      assert(false && "bag operations are not bytecode-compilable");
+      return 0;
+    default:
+      break;
+    }
+    uint16_t A = compile(E->operand(0), Slots);
+    uint16_t B = compile(E->operand(1), Slots);
+    switch (E->getOp()) {
+    case Op::Add:
+      return emitBin(BcOp::Add, A, B);
+    case Op::Sub:
+      return emitBin(BcOp::Sub, A, B);
+    case Op::Mul:
+      return emitBin(BcOp::Mul, A, B);
+    case Op::Div:
+      return emitBin(BcOp::Div, A, B);
+    case Op::Mod:
+      return emitBin(BcOp::Mod, A, B);
+    case Op::Min:
+      return emitBin(BcOp::Min, A, B);
+    case Op::Max:
+      return emitBin(BcOp::Max, A, B);
+    case Op::Eq:
+      return emitBin(BcOp::Eq, A, B);
+    case Op::Ne:
+      return emitBin(BcOp::Ne, A, B);
+    case Op::Lt:
+      return emitBin(BcOp::Lt, A, B);
+    case Op::Le:
+      return emitBin(BcOp::Le, A, B);
+    case Op::Gt:
+      return emitBin(BcOp::Gt, A, B);
+    case Op::Ge:
+      return emitBin(BcOp::Ge, A, B);
+    case Op::And:
+      return emitBin(BcOp::And, A, B);
+    case Op::Or:
+      return emitBin(BcOp::Or, A, B);
+    default:
+      assert(false && "unhandled opcode");
+      return 0;
+    }
+  }
+
+  std::vector<BcInstr> &Instrs;
+  unsigned NextReg;
+  std::unordered_map<const Expr *, uint16_t> Cache;
+};
+
+} // namespace
+
+BytecodeFunction
+BytecodeFunction::compile(const std::vector<ExprRef> &Roots,
+                          const std::vector<std::string> &InputNames) {
+  BytecodeFunction F;
+  F.NumInputs = static_cast<unsigned>(InputNames.size());
+  std::unordered_map<std::string, uint16_t> Slots;
+  for (unsigned I = 0; I != F.NumInputs; ++I)
+    Slots.emplace(InputNames[I], static_cast<uint16_t>(I));
+  Compiler C(F.Instrs, F.NumInputs);
+  for (const ExprRef &Root : Roots)
+    F.OutputRegs.push_back(C.compile(Root, Slots));
+  F.NumRegs = C.nextReg();
+  return F;
+}
+
+void BytecodeFunction::run(int64_t *R, int64_t *Out) const {
+  for (const BcInstr &I : Instrs) {
+    switch (I.Opcode) {
+    case BcOp::Const:
+      R[I.Dst] = I.Imm;
+      break;
+    case BcOp::Copy:
+      R[I.Dst] = R[I.A];
+      break;
+    case BcOp::Add:
+      R[I.Dst] = R[I.A] + R[I.B];
+      break;
+    case BcOp::Sub:
+      R[I.Dst] = R[I.A] - R[I.B];
+      break;
+    case BcOp::Mul:
+      R[I.Dst] = R[I.A] * R[I.B];
+      break;
+    case BcOp::Div: {
+      int64_t A = R[I.A], B = R[I.B];
+      if (B == 0) {
+        R[I.Dst] = 0;
+      } else {
+        int64_t Q = A / B;
+        if (A % B != 0 && ((A < 0) != (B < 0)))
+          --Q;
+        R[I.Dst] = Q;
+      }
+      break;
+    }
+    case BcOp::Mod: {
+      int64_t A = R[I.A], B = R[I.B];
+      if (B == 0) {
+        R[I.Dst] = 0;
+      } else {
+        int64_t M = A % B;
+        if (M < 0)
+          M += (B < 0 ? -B : B);
+        R[I.Dst] = M;
+      }
+      break;
+    }
+    case BcOp::Neg:
+      R[I.Dst] = -R[I.A];
+      break;
+    case BcOp::Min:
+      R[I.Dst] = R[I.A] < R[I.B] ? R[I.A] : R[I.B];
+      break;
+    case BcOp::Max:
+      R[I.Dst] = R[I.A] > R[I.B] ? R[I.A] : R[I.B];
+      break;
+    case BcOp::Eq:
+      R[I.Dst] = R[I.A] == R[I.B];
+      break;
+    case BcOp::Ne:
+      R[I.Dst] = R[I.A] != R[I.B];
+      break;
+    case BcOp::Lt:
+      R[I.Dst] = R[I.A] < R[I.B];
+      break;
+    case BcOp::Le:
+      R[I.Dst] = R[I.A] <= R[I.B];
+      break;
+    case BcOp::Gt:
+      R[I.Dst] = R[I.A] > R[I.B];
+      break;
+    case BcOp::Ge:
+      R[I.Dst] = R[I.A] >= R[I.B];
+      break;
+    case BcOp::And:
+      R[I.Dst] = (R[I.A] != 0) & (R[I.B] != 0);
+      break;
+    case BcOp::Or:
+      R[I.Dst] = (R[I.A] != 0) | (R[I.B] != 0);
+      break;
+    case BcOp::Not:
+      R[I.Dst] = R[I.A] == 0;
+      break;
+    case BcOp::Select:
+      R[I.Dst] = R[I.A] != 0 ? R[I.B] : R[I.C];
+      break;
+    }
+  }
+  for (size_t I = 0, N = OutputRegs.size(); I != N; ++I)
+    Out[I] = R[OutputRegs[I]];
+}
+
+} // namespace ir
+} // namespace grassp

@@ -1,0 +1,92 @@
+//===- ir/Bytecode.h - Register bytecode for hot fold loops --------------===//
+//
+// The parallel runtime folds step functions over hundreds of millions of
+// elements; a tree-walking interpreter would dominate the measurement. We
+// therefore compile scalar expressions into a linear register bytecode
+// executed by a small switch-dispatch VM. Bags are not supported here —
+// the one bag-typed benchmark uses a native kernel in the runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_IR_BYTECODE_H
+#define GRASSP_IR_BYTECODE_H
+
+#include "ir/Expr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace ir {
+
+/// Bytecode opcodes. Booleans are 0/1 int64 registers.
+enum class BcOp : uint8_t {
+  Const, // R[Dst] = Imm
+  Copy,  // R[Dst] = R[A]
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Neg,
+  Min,
+  Max,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  Not,
+  Select, // R[Dst] = R[A] ? R[B] : R[C]
+};
+
+/// One bytecode instruction (three-address with an immediate).
+struct BcInstr {
+  BcOp Opcode;
+  uint16_t Dst = 0;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  int64_t Imm = 0;
+};
+
+/// A compiled multi-output function over named scalar inputs.
+///
+/// Inputs occupy registers [0, NumInputs); the compiler appends temporary
+/// registers after them. \c run() expects the caller to have stored input
+/// values in the first NumInputs slots of the register file and writes the
+/// results into \p Out.
+class BytecodeFunction {
+public:
+  /// Compiles \p Roots over inputs \p InputNames (slot i = name i).
+  /// Expressions must be bag-free; asserts otherwise.
+  static BytecodeFunction
+  compile(const std::vector<ExprRef> &Roots,
+          const std::vector<std::string> &InputNames);
+
+  unsigned numInputs() const { return NumInputs; }
+  unsigned numRegs() const { return NumRegs; }
+  unsigned numOutputs() const {
+    return static_cast<unsigned>(OutputRegs.size());
+  }
+  size_t numInstrs() const { return Instrs.size(); }
+
+  /// Executes the function. \p Regs must have numRegs() slots with inputs
+  /// filled in; results are written to \p Out (numOutputs() slots).
+  void run(int64_t *Regs, int64_t *Out) const;
+
+private:
+  std::vector<BcInstr> Instrs;
+  std::vector<uint16_t> OutputRegs;
+  unsigned NumInputs = 0;
+  unsigned NumRegs = 0;
+};
+
+} // namespace ir
+} // namespace grassp
+
+#endif // GRASSP_IR_BYTECODE_H

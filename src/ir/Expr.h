@@ -1,0 +1,184 @@
+//===- ir/Expr.h - Typed expression IR ------------------------------------==//
+//
+// The expression IR used throughout GRASSP. Serial programs (the
+// specification), synthesized merge/sum/upd functions, and template
+// candidates are all expressions over named variables.
+//
+// Expressions are immutable, reference-counted DAG nodes. Smart
+// constructors perform local constant folding and algebraic
+// simplification so that the synthesis engine and the symbolic verifier
+// work with small terms.
+//
+// Three types exist: Int (mathematical integers, lowered to SMT Int),
+// Bool, and Bag (a duplicate-free collection of Ints; used by the
+// "counting distinct elements" benchmark).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_IR_EXPR_H
+#define GRASSP_IR_EXPR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace ir {
+
+/// The three value types of the IR.
+enum class TypeKind { Int, Bool, Bag };
+
+/// Returns a human-readable type name ("Int", "Bool", "Bag").
+const char *typeName(TypeKind K);
+
+/// Expression opcodes.
+enum class Op {
+  ConstInt,
+  ConstBool,
+  Var,
+  // Integer arithmetic.
+  Add,
+  Sub,
+  Mul,
+  Div, // Euclidean-style integer division (SMT `div`), used by "average".
+  Mod, // Euclidean remainder (SMT `mod`), used by "sum of even elements".
+  Neg,
+  Min,
+  Max,
+  // Comparisons (Int x Int -> Bool).
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // Boolean connectives.
+  And,
+  Or,
+  Not,
+  // Ternary choice; operands are (Bool, T, T).
+  Ite,
+  // Bag operations.
+  BagInsertDistinct, // (Bag, Int) -> Bag: insert unless already present.
+  BagUnion,          // (Bag, Bag) -> Bag: duplicate-free union.
+  BagSize,           // Bag -> Int.
+};
+
+/// Returns the mnemonic for \p O (e.g. "add", "ite").
+const char *opName(Op O);
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// An immutable expression node. Construct through the builder functions
+/// below, never directly; the builders fold constants and canonicalize.
+class Expr {
+public:
+  Expr(Op O, TypeKind Ty, int64_t IntVal, bool BoolVal, std::string VarName,
+       std::vector<ExprRef> Operands);
+
+  Op getOp() const { return Opcode; }
+  TypeKind getType() const { return Ty; }
+
+  bool isConstInt() const { return Opcode == Op::ConstInt; }
+  bool isConstBool() const { return Opcode == Op::ConstBool; }
+  bool isConst() const { return isConstInt() || isConstBool(); }
+  bool isVar() const { return Opcode == Op::Var; }
+
+  /// Value of a ConstInt node.
+  int64_t intValue() const;
+  /// Value of a ConstBool node.
+  bool boolValue() const;
+  /// Name of a Var node.
+  const std::string &varName() const;
+
+  const std::vector<ExprRef> &operands() const { return Operands; }
+  const ExprRef &operand(unsigned I) const { return Operands[I]; }
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+
+  /// Structural hash (cached).
+  size_t hash() const { return HashCache; }
+
+private:
+  Op Opcode;
+  TypeKind Ty;
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::string VarName;
+  std::vector<ExprRef> Operands;
+  size_t HashCache = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+ExprRef constInt(int64_t V);
+ExprRef constBool(bool V);
+/// Creates (or returns) a variable of type \p Ty named \p Name. Variables
+/// are identified by name; two same-named vars denote the same value.
+ExprRef var(const std::string &Name, TypeKind Ty);
+
+ExprRef add(ExprRef A, ExprRef B);
+ExprRef sub(ExprRef A, ExprRef B);
+ExprRef mul(ExprRef A, ExprRef B);
+ExprRef intDiv(ExprRef A, ExprRef B);
+ExprRef intMod(ExprRef A, ExprRef B);
+ExprRef neg(ExprRef A);
+ExprRef smin(ExprRef A, ExprRef B);
+ExprRef smax(ExprRef A, ExprRef B);
+
+ExprRef eq(ExprRef A, ExprRef B);
+ExprRef ne(ExprRef A, ExprRef B);
+ExprRef lt(ExprRef A, ExprRef B);
+ExprRef le(ExprRef A, ExprRef B);
+ExprRef gt(ExprRef A, ExprRef B);
+ExprRef ge(ExprRef A, ExprRef B);
+
+ExprRef land(ExprRef A, ExprRef B);
+ExprRef lor(ExprRef A, ExprRef B);
+ExprRef lnot(ExprRef A);
+
+ExprRef ite(ExprRef C, ExprRef T, ExprRef E);
+
+ExprRef bagInsertDistinct(ExprRef Bag, ExprRef V);
+ExprRef bagUnion(ExprRef A, ExprRef B);
+ExprRef bagSize(ExprRef Bag);
+
+/// Builds a generic binary node for \p O (dispatch helper for grammars).
+ExprRef binary(Op O, ExprRef A, ExprRef B);
+
+//===----------------------------------------------------------------------===//
+// Queries and transforms
+//===----------------------------------------------------------------------===//
+
+/// Structural equality.
+bool structurallyEqual(const ExprRef &A, const ExprRef &B);
+
+/// Number of nodes in the expression tree (shared nodes counted once per
+/// occurrence; used as a candidate-size metric).
+unsigned exprSize(const ExprRef &E);
+
+/// Collects the names (with types) of all variables occurring in \p E.
+void collectVars(const ExprRef &E, std::map<std::string, TypeKind> &Out);
+
+/// Collects all integer constants occurring in \p E.
+void collectIntConstants(const ExprRef &E, std::set<int64_t> &Out);
+
+/// Capture-free substitution of variables by expressions.
+ExprRef substitute(const ExprRef &E,
+                   const std::map<std::string, ExprRef> &Subst);
+
+/// Renders \p E as a readable infix string, e.g.
+/// "ite(in == 2, res + 1, res)".
+std::string toString(const ExprRef &E);
+
+} // namespace ir
+} // namespace grassp
+
+#endif // GRASSP_IR_EXPR_H

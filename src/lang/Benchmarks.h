@@ -1,0 +1,44 @@
+//===- lang/Benchmarks.h - The Table-1 benchmark suite -------------------===//
+//
+// All 27 single-pass array-processing programs evaluated in the paper
+// (Table 1), written as SerialPrograms. Group annotations record where
+// the paper's gradual synthesis lands each benchmark:
+//
+//   B1 - no prefix, trivial merge       (9 programs)
+//   B2 - no prefix, nontrivial merge    (7 programs)
+//   B3 - constant prefix                (3 programs)
+//   B4 - conditional prefix + summaries (8 programs)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_LANG_BENCHMARKS_H
+#define GRASSP_LANG_BENCHMARKS_H
+
+#include "lang/Program.h"
+
+#include <vector>
+
+namespace grassp {
+namespace lang {
+
+/// Sentinel used as +/- infinity by min/max style folds. Workload
+/// generators stay well inside it; equivalence of serial and parallel
+/// versions is exact regardless.
+inline constexpr int64_t kInf = 1000000000;
+
+/// The B1 and B2 programs (scan-style, no prefixes needed).
+std::vector<SerialProgram> scanBenchmarks();
+
+/// The B3 and B4 programs (boundary-sensitive).
+std::vector<SerialProgram> prefixBenchmarks();
+
+/// All 27 Table-1 programs in paper order.
+const std::vector<SerialProgram> &allBenchmarks();
+
+/// Finds a benchmark by \c Name; nullptr if unknown.
+const SerialProgram *findBenchmark(const std::string &Name);
+
+} // namespace lang
+} // namespace grassp
+
+#endif // GRASSP_LANG_BENCHMARKS_H

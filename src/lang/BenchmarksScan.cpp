@@ -1,0 +1,212 @@
+//===- lang/BenchmarksScan.cpp - B1/B2 benchmark definitions --------------==//
+
+#include "lang/Benchmarks.h"
+
+using namespace grassp::ir;
+
+namespace grassp {
+namespace lang {
+
+namespace {
+
+ExprRef in() { return var(inputVarName(), TypeKind::Int); }
+ExprRef iv(const char *N) { return var(N, TypeKind::Int); }
+ExprRef bv(const char *N) { return var(N, TypeKind::Bool); }
+ExprRef c(int64_t K) { return constInt(K); }
+
+} // namespace
+
+std::vector<SerialProgram> scanBenchmarks() {
+  std::vector<SerialProgram> Out;
+
+  //===--------------------------------------------------------------------===
+  // Group B1: no prefix, trivial merge.
+  //===--------------------------------------------------------------------===
+
+  {
+    SerialProgram P;
+    P.Name = "count";
+    P.Description = "counting elements";
+    P.State = StateLayout({{"cnt", TypeKind::Int, 0}});
+    P.Step = {add(iv("cnt"), c(1))};
+    P.Output = iv("cnt");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "count_gt";
+    P.Description = "counting elements greater than a constant";
+    P.State = StateLayout({{"cnt", TypeKind::Int, 0}});
+    P.Step = {ite(gt(in(), c(5)), add(iv("cnt"), c(1)), iv("cnt"))};
+    P.Output = iv("cnt");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "search";
+    P.Description = "search for an element";
+    P.State = StateLayout({{"found", TypeKind::Bool, 0}});
+    P.Step = {lor(bv("found"), eq(in(), c(7)))};
+    P.Output = bv("found");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "sum";
+    P.Description = "sum of elements";
+    P.State = StateLayout({{"s", TypeKind::Int, 0}});
+    P.Step = {add(iv("s"), in())};
+    P.Output = iv("s");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "sum_even";
+    P.Description = "sum of even elements";
+    P.State = StateLayout({{"s", TypeKind::Int, 0}});
+    P.Step = {ite(eq(intMod(in(), c(2)), c(0)), add(iv("s"), in()), iv("s"))};
+    P.Output = iv("s");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "sum_gt";
+    P.Description = "sum of elements greater than a constant";
+    P.State = StateLayout({{"s", TypeKind::Int, 0}});
+    P.Step = {ite(gt(in(), c(5)), add(iv("s"), in()), iv("s"))};
+    P.Output = iv("s");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "min_elem";
+    P.Description = "minimal element";
+    P.State = StateLayout({{"mn", TypeKind::Int, kInf}});
+    P.Step = {smin(iv("mn"), in())};
+    P.Output = iv("mn");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "max_elem";
+    P.Description = "maximal element";
+    P.State = StateLayout({{"mx", TypeKind::Int, -kInf}});
+    P.Step = {smax(iv("mx"), in())};
+    P.Output = iv("mx");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "max_abs";
+    P.Description = "maximal absolute value";
+    P.State = StateLayout({{"mx", TypeKind::Int, 0}});
+    P.Step = {smax(iv("mx"), smax(in(), neg(in())))};
+    P.Output = iv("mx");
+    P.ExpectedGroup = "B1";
+    Out.push_back(P);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Group B2: no prefix, nontrivial merge.
+  //===--------------------------------------------------------------------===
+
+  {
+    SerialProgram P;
+    P.Name = "second_max";
+    P.Description = "second maximal element";
+    P.State = StateLayout(
+        {{"m1", TypeKind::Int, -kInf}, {"m2", TypeKind::Int, -kInf}});
+    // If in >= m1 the old maximum becomes the runner-up.
+    P.Step = {smax(iv("m1"), in()),
+              ite(ge(in(), iv("m1")), iv("m1"), smax(iv("m2"), in()))};
+    P.Output = iv("m2");
+    P.ExpectedGroup = "B2";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "delta_max_min";
+    P.Description = "delta between maximal and minimal elements";
+    P.State = StateLayout(
+        {{"mn", TypeKind::Int, kInf}, {"mx", TypeKind::Int, -kInf}});
+    P.Step = {smin(iv("mn"), in()), smax(iv("mx"), in())};
+    P.Output = sub(iv("mx"), iv("mn"));
+    P.ExpectedGroup = "B2";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "average";
+    P.Description = "average integer value";
+    P.State =
+        StateLayout({{"s", TypeKind::Int, 0}, {"cnt", TypeKind::Int, 0}});
+    P.Step = {add(iv("s"), in()), add(iv("cnt"), c(1))};
+    P.Output = ite(eq(iv("cnt"), c(0)), c(0), intDiv(iv("s"), iv("cnt")));
+    P.ExpectedGroup = "B2";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "count_max";
+    P.Description = "counting maximal elements";
+    P.State = StateLayout(
+        {{"mx", TypeKind::Int, -kInf}, {"cnt", TypeKind::Int, 0}});
+    P.Step = {smax(iv("mx"), in()),
+              ite(gt(in(), iv("mx")), c(1),
+                  ite(eq(in(), iv("mx")), add(iv("cnt"), c(1)), iv("cnt")))};
+    P.Output = iv("cnt");
+    P.ExpectedGroup = "B2";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "count_min";
+    P.Description = "counting minimal elements";
+    P.State = StateLayout(
+        {{"mn", TypeKind::Int, kInf}, {"cnt", TypeKind::Int, 0}});
+    P.Step = {smin(iv("mn"), in()),
+              ite(lt(in(), iv("mn")), c(1),
+                  ite(eq(in(), iv("mn")), add(iv("cnt"), c(1)), iv("cnt")))};
+    P.Output = iv("cnt");
+    P.ExpectedGroup = "B2";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "eq_zeros_ones";
+    P.Description = "equal number of zeroes and ones";
+    P.State =
+        StateLayout({{"z", TypeKind::Int, 0}, {"o", TypeKind::Int, 0}});
+    P.Step = {ite(eq(in(), c(0)), add(iv("z"), c(1)), iv("z")),
+              ite(eq(in(), c(1)), add(iv("o"), c(1)), iv("o"))};
+    P.Output = eq(iv("z"), iv("o"));
+    P.InputAlphabet = {0, 1, 2};
+    P.ExpectedGroup = "B2";
+    Out.push_back(P);
+  }
+  {
+    SerialProgram P;
+    P.Name = "count_distinct";
+    P.Description = "counting distinct elements";
+    P.State = StateLayout({{"seen", TypeKind::Bag, 0}});
+    P.Step = {bagInsertDistinct(var("seen", TypeKind::Bag), in())};
+    P.Output = bagSize(var("seen", TypeKind::Bag));
+    P.GenLo = 0;
+    P.GenHi = 120;
+    P.ExpectedGroup = "B2";
+    Out.push_back(P);
+  }
+
+  return Out;
+}
+
+} // namespace lang
+} // namespace grassp

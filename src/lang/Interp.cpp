@@ -1,0 +1,26 @@
+//===- lang/Interp.cpp -----------------------------------------------------=//
+
+#include "lang/Interp.h"
+
+namespace grassp {
+namespace lang {
+
+int64_t runSerial(const SerialProgram &Prog,
+                  const std::vector<int64_t> &Elements) {
+  ir::ConcretePolicy P;
+  StateVec<ir::ConcretePolicy> St = initialState(Prog, P);
+  St = foldSegment(Prog, std::move(St), Elements, P);
+  return outputOf(Prog, St, P);
+}
+
+int64_t runSerialSegmented(const SerialProgram &Prog,
+                           const std::vector<std::vector<int64_t>> &Segments) {
+  ir::ConcretePolicy P;
+  StateVec<ir::ConcretePolicy> St = initialState(Prog, P);
+  for (const std::vector<int64_t> &Seg : Segments)
+    St = foldSegment(Prog, std::move(St), Seg, P);
+  return outputOf(Prog, St, P);
+}
+
+} // namespace lang
+} // namespace grassp

@@ -1,0 +1,57 @@
+//===- lang/Program.cpp ----------------------------------------------------=//
+
+#include "lang/Program.h"
+
+#include <algorithm>
+#include <set>
+
+namespace grassp {
+namespace lang {
+
+int StateLayout::indexOf(const std::string &Name) const {
+  for (size_t I = 0, E = Fields.size(); I != E; ++I)
+    if (Fields[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+ir::ExprRef StateLayout::fieldVar(size_t I) const {
+  const Field &F = Fields[I];
+  return ir::var(F.Name, F.Ty);
+}
+
+bool StateLayout::hasBag() const {
+  for (const Field &F : Fields)
+    if (F.Ty == ir::TypeKind::Bag)
+      return true;
+  return false;
+}
+
+std::vector<int64_t> SerialProgram::constantPool() const {
+  std::set<int64_t> Pool = {-1, 0, 1};
+  for (const ir::ExprRef &E : Step)
+    ir::collectIntConstants(E, Pool);
+  ir::collectIntConstants(Output, Pool);
+  for (const Field &F : State.fields())
+    if (F.Ty != ir::TypeKind::Bag)
+      Pool.insert(F.InitInt);
+  return std::vector<int64_t>(Pool.begin(), Pool.end());
+}
+
+std::vector<int64_t> SerialProgram::representativeInputs() const {
+  if (!InputAlphabet.empty())
+    return InputAlphabet;
+  std::set<int64_t> Reps;
+  for (int64_t C : constantPool()) {
+    Reps.insert(C);
+    Reps.insert(C - 1);
+    Reps.insert(C + 1);
+  }
+  // A "fresh" value distinct from everything compared against.
+  int64_t Fresh = Reps.empty() ? 17 : *Reps.rbegin() + 13;
+  Reps.insert(Fresh);
+  return std::vector<int64_t>(Reps.begin(), Reps.end());
+}
+
+} // namespace lang
+} // namespace grassp

@@ -1,0 +1,100 @@
+//===- lang/Program.h - Single-pass array-processing programs ------------===//
+//
+// The specification language of GRASSP (paper Sect. 5): a program is a
+// state type D (a record of named fields), an initial state d0, a step
+// function f : D x In -> D given as one update expression per field, and
+// an output function h : D -> Out.
+//
+// The serial semantics is fold(f, d0, A) followed by h; GRASSP treats it
+// as the specification that a synthesized parallel plan must match on all
+// inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_LANG_PROGRAM_H
+#define GRASSP_LANG_PROGRAM_H
+
+#include "ir/Expr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace lang {
+
+/// Name of the input-element variable inside step expressions.
+inline const char *inputVarName() { return "in"; }
+
+/// One state field of D. Bag fields start empty and ignore \c InitInt.
+struct Field {
+  std::string Name;
+  ir::TypeKind Ty = ir::TypeKind::Int;
+  int64_t InitInt = 0; // Bool fields: 0/1.
+};
+
+/// An ordered record of state fields with name lookup.
+class StateLayout {
+public:
+  StateLayout() = default;
+  explicit StateLayout(std::vector<Field> Fs) : Fields(std::move(Fs)) {}
+
+  const std::vector<Field> &fields() const { return Fields; }
+  size_t size() const { return Fields.size(); }
+  const Field &field(size_t I) const { return Fields[I]; }
+
+  /// Index of the field named \p Name; -1 if absent.
+  int indexOf(const std::string &Name) const;
+
+  /// Returns a Var expression denoting field \p I.
+  ir::ExprRef fieldVar(size_t I) const;
+
+  /// True when some field has Bag type.
+  bool hasBag() const;
+
+private:
+  std::vector<Field> Fields;
+};
+
+/// A serial single-pass array-processing program (the synthesis spec).
+struct SerialProgram {
+  /// Short identifier, e.g. "count_102".
+  std::string Name;
+  /// The Table-1 row description, e.g. "counting instances of 1(0)*2".
+  std::string Description;
+
+  StateLayout State;
+  /// Field update expressions over {field names} + "in"; all read the
+  /// pre-state (simultaneous assignment).
+  std::vector<ir::ExprRef> Step;
+  /// Output expression over field names.
+  ir::ExprRef Output;
+
+  /// Representative input alphabet for workload generation and for the
+  /// control-state exploration of stage 3. Empty means "generic integers"
+  /// drawn from [GenLo, GenHi].
+  std::vector<int64_t> InputAlphabet;
+  int64_t GenLo = -100;
+  int64_t GenHi = 100;
+
+  /// The paper's Table-1 group this benchmark is expected to land in
+  /// ("B1", "B2", "B3", "B4"); used by integration tests.
+  std::string ExpectedGroup;
+
+  /// Output type (type of \c Output).
+  ir::TypeKind outputType() const { return Output->getType(); }
+
+  /// Integer constants mentioned by the program plus {-1, 0, 1}; the
+  /// template grammars draw hole candidates from this pool.
+  std::vector<int64_t> constantPool() const;
+
+  /// Representative input values: the alphabet if given, otherwise the
+  /// constant pool widened by +/-1 and a fresh value. Used by control
+  /// exploration and counterexample seeding.
+  std::vector<int64_t> representativeInputs() const;
+};
+
+} // namespace lang
+} // namespace grassp
+
+#endif // GRASSP_LANG_PROGRAM_H

@@ -1,0 +1,57 @@
+//===- mapreduce/Cluster.h - MapReduce jobs on a simulated cluster -------===//
+//
+// Reproduces the paper's Table-2 experiment (10-node Amazon EMR) on a
+// single host: map tasks execute the *real* compiled worker kernels and
+// are timed; the cluster simulator then schedules those measured task
+// times onto N model nodes (locality-aware LPT), adding Hadoop-style job
+// startup, per-task dispatch, and reduce costs. The serial baseline is
+// the same job on one node. Outputs are exact (the kernels really run);
+// only the time accounting is modeled — see DESIGN.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_MAPREDUCE_CLUSTER_H
+#define GRASSP_MAPREDUCE_CLUSTER_H
+
+#include "mapreduce/Dfs.h"
+#include "runtime/Kernels.h"
+
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace mapreduce {
+
+/// Cost model of the cluster; defaults loosely follow a small EMR
+/// deployment (job startup dominated by YARN container spin-up).
+struct ClusterConfig {
+  unsigned Nodes = 10;
+  unsigned MapSlotsPerNode = 2;       // m3.xlarge-ish
+  double JobStartupSec = 12.0;        // AM + container launch
+  double TaskDispatchSec = 1.5;       // per map task
+  double RemoteReadPenalty = 1.15;    // non-local shard read factor
+  double ReduceBaseSec = 4.0;         // reducer spin-up + commit
+  double ReducePerShardSec = 0.05;    // shuffle+merge per map output
+  /// Multiplier applied to measured compute time to model the target
+  /// node's speed relative to this host (1.0 = same speed).
+  double ComputeScale = 1.0;
+};
+
+struct JobReport {
+  int64_t Output = 0;
+  unsigned NumShards = 0;
+  double SerialJobSec = 0;   // modeled one-node serial job.
+  double ParallelJobSec = 0; // modeled N-node MapReduce job.
+  double Speedup = 0;
+  double MeasuredComputeSec = 0; // actual host compute across all tasks.
+};
+
+/// Runs plan \p Plan as a MapReduce job over DFS file \p File.
+JobReport runJob(const lang::SerialProgram &Prog,
+                 const synth::ParallelPlan &Plan, const MiniDfs &Dfs,
+                 const std::string &File, const ClusterConfig &Cfg);
+
+} // namespace mapreduce
+} // namespace grassp
+
+#endif // GRASSP_MAPREDUCE_CLUSTER_H

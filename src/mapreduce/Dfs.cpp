@@ -1,0 +1,39 @@
+//===- mapreduce/Dfs.cpp ---------------------------------------------------=//
+
+#include "mapreduce/Dfs.h"
+
+#include <cassert>
+
+namespace grassp {
+namespace mapreduce {
+
+void MiniDfs::put(const std::string &Name, std::vector<int64_t> Data) {
+  Files[Name] = std::move(Data);
+}
+
+size_t MiniDfs::size(const std::string &Name) const {
+  auto It = Files.find(Name);
+  return It == Files.end() ? 0 : It->second.size();
+}
+
+std::vector<Shard> MiniDfs::shards(const std::string &Name,
+                                   unsigned NumShards) const {
+  auto It = Files.find(Name);
+  assert(It != Files.end() && "unknown file");
+  const std::vector<int64_t> &Data = It->second;
+  assert(Data.size() >= NumShards && "file smaller than shard count");
+
+  std::vector<Shard> Out;
+  std::vector<runtime::SegmentView> Views =
+      runtime::partition(Data, NumShards);
+  for (unsigned I = 0; I != NumShards; ++I) {
+    size_t FirstElem = Views[I].Data - Data.data();
+    unsigned HomeNode =
+        static_cast<unsigned>((FirstElem / BlockElems) % NumNodes);
+    Out.push_back({Views[I], HomeNode});
+  }
+  return Out;
+}
+
+} // namespace mapreduce
+} // namespace grassp

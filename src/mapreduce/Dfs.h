@@ -1,0 +1,58 @@
+//===- mapreduce/Dfs.h - In-memory sharded distributed file system -------===//
+//
+// A miniature stand-in for HDFS (see DESIGN.md, substitutions): files are
+// integer streams stored in fixed-size blocks; a map task consumes one
+// shard (a contiguous run of blocks). Block placement is round-robin
+// across nodes, which the cluster simulator uses for locality accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_MAPREDUCE_DFS_H
+#define GRASSP_MAPREDUCE_DFS_H
+
+#include "runtime/Workload.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace mapreduce {
+
+/// One shard of a file: a contiguous element range plus the node that
+/// stores its first block (preferred locality).
+struct Shard {
+  runtime::SegmentView View;
+  unsigned HomeNode = 0;
+};
+
+/// The mini DFS.
+class MiniDfs {
+public:
+  explicit MiniDfs(unsigned NumNodes, size_t BlockElems = 1 << 16)
+      : NumNodes(NumNodes), BlockElems(BlockElems) {}
+
+  /// Stores \p Data under \p Name (replaces any existing file).
+  void put(const std::string &Name, std::vector<int64_t> Data);
+
+  /// Total elements in \p Name; 0 if absent.
+  size_t size(const std::string &Name) const;
+
+  /// Splits \p Name into \p NumShards contiguous shards with round-robin
+  /// block placement.
+  std::vector<Shard> shards(const std::string &Name,
+                            unsigned NumShards) const;
+
+  unsigned numNodes() const { return NumNodes; }
+
+private:
+  unsigned NumNodes;
+  size_t BlockElems;
+  std::map<std::string, std::vector<int64_t>> Files;
+};
+
+} // namespace mapreduce
+} // namespace grassp
+
+#endif // GRASSP_MAPREDUCE_DFS_H

@@ -1,0 +1,376 @@
+//===- runtime/Kernels.cpp -------------------------------------------------=//
+
+#include "runtime/Kernels.h"
+
+#include "ir/DomainEval.h"
+#include "lang/Interp.h"
+
+#include <cassert>
+
+namespace grassp {
+namespace runtime {
+
+namespace {
+
+std::vector<std::string> fieldNames(const lang::SerialProgram &Prog,
+                                    bool WithInput) {
+  std::vector<std::string> Names;
+  for (const lang::Field &F : Prog.State.fields())
+    Names.push_back(F.Name);
+  if (WithInput)
+    Names.push_back(lang::inputVarName());
+  return Names;
+}
+
+/// Linear-search membership insert, mirroring the paper's serial
+/// "counting distinct elements" implementation.
+void insertDistinctLinear(std::vector<int64_t> &Seen, int64_t V) {
+  for (int64_t X : Seen)
+    if (X == V)
+      return;
+  Seen.push_back(V);
+}
+
+/// Runs a single-input bytecode function on one element.
+int64_t run1(const ir::BytecodeFunction &Fn, int64_t El,
+             std::vector<int64_t> &Regs) {
+  Regs.resize(Fn.numRegs());
+  Regs[0] = El;
+  int64_t Out = 0;
+  Fn.run(Regs.data(), &Out);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CompiledProgram
+//===----------------------------------------------------------------------===//
+
+CompiledProgram::CompiledProgram(const lang::SerialProgram &Prog)
+    : Prog(Prog), Bag(Prog.State.hasBag()) {
+  if (Bag) {
+    assert(Prog.State.size() == 1 && "bag kernels support bag-only state");
+    return;
+  }
+  StepFn = ir::BytecodeFunction::compile(Prog.Step, fieldNames(Prog, true));
+  OutputFn =
+      ir::BytecodeFunction::compile({Prog.Output}, fieldNames(Prog, false));
+}
+
+std::vector<int64_t> CompiledProgram::initialState() const {
+  std::vector<int64_t> St;
+  if (Bag)
+    return St;
+  for (const lang::Field &F : Prog.State.fields())
+    St.push_back(F.InitInt);
+  return St;
+}
+
+void CompiledProgram::foldSegment(std::vector<int64_t> &State,
+                                  SegmentView Seg) const {
+  assert(!Bag && "bag programs use runSerial / the distinct worker");
+  size_t NF = State.size();
+  std::vector<int64_t> Regs(StepFn.numRegs());
+  for (size_t I = 0; I != Seg.Size; ++I) {
+    for (size_t K = 0; K != NF; ++K)
+      Regs[K] = State[K];
+    Regs[NF] = Seg.Data[I];
+    StepFn.run(Regs.data(), State.data());
+  }
+}
+
+void CompiledProgram::step(std::vector<int64_t> &State, int64_t El) const {
+  SegmentView One{&El, 1};
+  foldSegment(State, One);
+}
+
+int64_t CompiledProgram::output(const std::vector<int64_t> &State) const {
+  assert(!Bag);
+  Scratch.resize(OutputFn.numRegs());
+  for (size_t K = 0; K != State.size(); ++K)
+    Scratch[K] = State[K];
+  int64_t Out = 0;
+  OutputFn.run(Scratch.data(), &Out);
+  return Out;
+}
+
+int64_t CompiledProgram::runSerial(const std::vector<SegmentView> &Segs) const {
+  if (Bag) {
+    std::vector<int64_t> Seen;
+    for (const SegmentView &S : Segs)
+      for (size_t I = 0; I != S.Size; ++I)
+        insertDistinctLinear(Seen, S.Data[I]);
+    return static_cast<int64_t>(Seen.size());
+  }
+  std::vector<int64_t> St = initialState();
+  for (const SegmentView &S : Segs)
+    foldSegment(St, S);
+  return output(St);
+}
+
+//===----------------------------------------------------------------------===//
+// CompiledPlan
+//===----------------------------------------------------------------------===//
+
+CompiledPlan::CompiledPlan(const lang::SerialProgram &Prog,
+                           const synth::ParallelPlan &Plan)
+    : Prog(Prog), Plan(Plan), Compiled(Prog) {
+  if (Plan.Kind != synth::Scenario::CondPrefixRefold &&
+      Plan.Kind != synth::Scenario::CondPrefixSummary)
+    return;
+  const synth::CondPrefixInfo &CP = Plan.Cond;
+  std::vector<std::string> InOnly = {lang::inputVarName()};
+  PcFn = ir::BytecodeFunction::compile({CP.PrefixCond}, InOnly);
+  if (Plan.Kind != synth::Scenario::CondPrefixSummary)
+    return;
+  CtrlStepFns.resize(CP.numValuations());
+  ModeFns.resize(CP.numValuations());
+  ArgFns.resize(CP.numValuations());
+  for (size_t V = 0; V != CP.numValuations(); ++V) {
+    for (const ir::ExprRef &E : CP.CtrlStep[V])
+      CtrlStepFns[V].push_back(ir::BytecodeFunction::compile({E}, InOnly));
+    for (const ir::ExprRef &E : CP.AccMode[V])
+      ModeFns[V].push_back(ir::BytecodeFunction::compile({E}, InOnly));
+    for (const ir::ExprRef &E : CP.AccArg[V])
+      ArgFns[V].push_back(ir::BytecodeFunction::compile({E}, InOnly));
+  }
+}
+
+int64_t CompiledPlan::applyFlavor(synth::AccFlavor F, int64_t A,
+                                  int64_t B) const {
+  switch (F) {
+  case synth::AccFlavor::Plus:
+    return A + B;
+  case synth::AccFlavor::Max:
+    return A > B ? A : B;
+  case synth::AccFlavor::Min:
+    return A < B ? A : B;
+  case synth::AccFlavor::And:
+    return (A != 0 && B != 0) ? 1 : 0;
+  case synth::AccFlavor::Or:
+    return (A != 0 || B != 0) ? 1 : 0;
+  case synth::AccFlavor::SetLike:
+    return B;
+  }
+  return A;
+}
+
+WorkerOutput CompiledPlan::runWorker(SegmentView Seg) const {
+  switch (Plan.Kind) {
+  case synth::Scenario::NoPrefix:
+  case synth::Scenario::ConstPrefix:
+    return runScanWorker(Seg);
+  case synth::Scenario::CondPrefixRefold:
+  case synth::Scenario::CondPrefixSummary:
+    return runCondWorker(Seg);
+  }
+  return {};
+}
+
+WorkerOutput CompiledPlan::runScanWorker(SegmentView Seg) const {
+  WorkerOutput W;
+  if (Compiled.usesBag()) {
+    for (size_t I = 0; I != Seg.Size; ++I)
+      insertDistinctLinear(W.Distinct, Seg.Data[I]);
+    return W;
+  }
+  W.D = Compiled.initialState();
+  Compiled.foldSegment(W.D, Seg);
+  return W;
+}
+
+WorkerOutput CompiledPlan::runCondWorker(SegmentView Seg) const {
+  const synth::CondPrefixInfo &CP = Plan.Cond;
+  bool Summary = Plan.Kind == synth::Scenario::CondPrefixSummary;
+  size_t NumV = CP.numValuations();
+  size_t NumAcc = CP.AccFields.size();
+  size_t NumCtrl = CP.CtrlFields.size();
+
+  WorkerOutput W;
+  W.D = Compiled.initialState();
+  if (Summary) {
+    W.CtrlCur.resize(NumV);
+    for (size_t V = 0; V != NumV; ++V)
+      W.CtrlCur[V] = static_cast<uint32_t>(V);
+    W.ModeArg.assign(NumV, std::vector<std::pair<int64_t, int64_t>>(
+                               NumAcc, {0, 0}));
+  }
+
+  std::vector<int64_t> Regs;
+  std::vector<int64_t> NewCtrl(NumCtrl);
+  size_t I = 0;
+  for (; I != Seg.Size; ++I) {
+    int64_t El = Seg.Data[I];
+    if (run1(PcFn, El, Regs) != 0)
+      break; // boundary found.
+    if (!Summary) {
+      W.PrefixData.push_back(El);
+      continue;
+    }
+    for (size_t V = 0; V != NumV; ++V) {
+      uint32_t Cur = W.CtrlCur[V];
+      // Accumulator transforms use the pre-element valuation.
+      for (size_t J = 0; J != NumAcc; ++J) {
+        int64_t M2 = run1(ModeFns[Cur][J], El, Regs);
+        int64_t A2 = run1(ArgFns[Cur][J], El, Regs);
+        auto &[M1, A1] = W.ModeArg[V][J];
+        if (M2 == 1) {
+          M1 = 1;
+          A1 = A2;
+        } else if (M2 == 2) {
+          if (M1 == 0) {
+            M1 = 2;
+            A1 = A2;
+          } else {
+            A1 = applyFlavor(CP.AccFlavors[J], A1, A2);
+          }
+        } // M2 == 0: identity, nothing to do.
+      }
+      for (size_t K = 0; K != NumCtrl; ++K)
+        NewCtrl[K] = run1(CtrlStepFns[Cur][K], El, Regs);
+      // Map the valuation back to its index; unknown valuations keep the
+      // current index (the verifier rules this out for accepted plans).
+      for (size_t X = 0; X != NumV; ++X) {
+        bool Match = true;
+        for (size_t K = 0; K != NumCtrl; ++K)
+          Match &= (CP.CtrlValues[X][K] == NewCtrl[K]);
+        if (Match) {
+          W.CtrlCur[V] = static_cast<uint32_t>(X);
+          break;
+        }
+      }
+    }
+  }
+  if (I != Seg.Size) {
+    W.Found = true;
+    W.Boundary = Seg.Data[I];
+    Compiled.foldSegment(W.D, {Seg.Data + I, Seg.Size - I});
+  }
+  return W;
+}
+
+void CompiledPlan::applyUpd(std::vector<int64_t> &C,
+                            const WorkerOutput &W) const {
+  const synth::CondPrefixInfo &CP = Plan.Cond;
+  // Find C's control valuation.
+  size_t Idx = CP.numValuations();
+  for (size_t V = 0; V != CP.numValuations(); ++V) {
+    bool Match = true;
+    for (size_t K = 0; K != CP.CtrlFields.size(); ++K)
+      Match &= (C[CP.CtrlFields[K]] == CP.CtrlValues[V][K]);
+    if (Match) {
+      Idx = V;
+      break;
+    }
+  }
+  if (Idx == CP.numValuations())
+    return; // unreachable for verified plans.
+  const std::vector<int64_t> &End = CP.CtrlValues[W.CtrlCur[Idx]];
+  for (size_t K = 0; K != CP.CtrlFields.size(); ++K)
+    C[CP.CtrlFields[K]] = End[K];
+  for (size_t J = 0; J != CP.AccFields.size(); ++J) {
+    auto [M, A] = W.ModeArg[Idx][J];
+    int64_t &Cur = C[CP.AccFields[J]];
+    if (M == 1)
+      Cur = A;
+    else if (M == 2)
+      Cur = applyFlavor(CP.AccFlavors[J], Cur, A);
+  }
+}
+
+void CompiledPlan::combineAtBoundary(std::vector<int64_t> &C,
+                                     const WorkerOutput &W) const {
+  const synth::CondPrefixInfo &CP = Plan.Cond;
+  std::vector<int64_t> T = C;
+  Compiled.step(T, W.Boundary);
+  std::vector<int64_t> W0 = Compiled.initialState();
+  Compiled.step(W0, W.Boundary);
+
+  C = W.D; // control fields and SetLike accumulators.
+  for (size_t J = 0; J != CP.AccFields.size(); ++J) {
+    size_t F = CP.AccFields[J];
+    switch (CP.AccFlavors[J]) {
+    case synth::AccFlavor::Plus:
+      C[F] = T[F] + (W.D[F] - W0[F]);
+      break;
+    case synth::AccFlavor::Max:
+      C[F] = std::max(T[F], W.D[F]);
+      break;
+    case synth::AccFlavor::Min:
+      C[F] = std::min(T[F], W.D[F]);
+      break;
+    case synth::AccFlavor::And:
+      C[F] = (T[F] != 0 && (W0[F] == 0 || W.D[F] != 0)) ? 1 : 0;
+      break;
+    case synth::AccFlavor::Or:
+      C[F] = (T[F] != 0 || (W.D[F] != 0 && W0[F] == 0)) ? 1 : 0;
+      break;
+    case synth::AccFlavor::SetLike:
+      break; // already W.D[F].
+    }
+  }
+}
+
+int64_t CompiledPlan::merge(const std::vector<WorkerOutput> &Workers,
+                            const std::vector<SegmentView> &Segs) const {
+  switch (Plan.Kind) {
+  case synth::Scenario::NoPrefix:
+  case synth::Scenario::ConstPrefix: {
+    if (Plan.Merge.Refold) {
+      std::vector<int64_t> All;
+      for (const WorkerOutput &W : Workers)
+        for (int64_t V : W.Distinct)
+          insertDistinctLinear(All, V);
+      return static_cast<int64_t>(All.size());
+    }
+    // Repair partial states with constant prefixes of the successors.
+    std::vector<std::vector<int64_t>> States;
+    States.reserve(Workers.size());
+    for (const WorkerOutput &W : Workers)
+      States.push_back(W.D);
+    if (Plan.Kind == synth::Scenario::ConstPrefix) {
+      for (size_t I = 0; I + 1 < States.size(); ++I) {
+        size_t L = std::min<size_t>(Plan.PrefixLen, Segs[I + 1].Size);
+        Compiled.foldSegment(States[I], {Segs[I + 1].Data, L});
+      }
+    }
+    // Left fold of the binary merge (interpreted; m is tiny).
+    ir::ConcretePolicy P;
+    std::vector<int64_t> Acc = States[0];
+    for (size_t I = 1; I != States.size(); ++I) {
+      ir::DomainEnv<ir::ConcretePolicy> Env;
+      for (size_t K = 0; K != Prog.State.size(); ++K) {
+        Env.emplace("a_" + Prog.State.field(K).Name,
+                    ir::DomainValue<ir::ConcretePolicy>::scalar(Acc[K]));
+        Env.emplace("b_" + Prog.State.field(K).Name,
+                    ir::DomainValue<ir::ConcretePolicy>::scalar(
+                        States[I][K]));
+      }
+      std::vector<int64_t> Next(Prog.State.size());
+      for (size_t K = 0; K != Prog.State.size(); ++K)
+        Next[K] = ir::evalExpr(Plan.Merge.Combine[K], Env, P).Sc;
+      Acc = std::move(Next);
+    }
+    return Compiled.output(Acc);
+  }
+  case synth::Scenario::CondPrefixRefold:
+  case synth::Scenario::CondPrefixSummary: {
+    std::vector<int64_t> C = Compiled.initialState();
+    for (const WorkerOutput &W : Workers) {
+      if (Plan.Kind == synth::Scenario::CondPrefixSummary) {
+        applyUpd(C, W);
+      } else if (!W.PrefixData.empty()) {
+        Compiled.foldSegment(C, {W.PrefixData.data(), W.PrefixData.size()});
+      }
+      if (W.Found)
+        combineAtBoundary(C, W);
+    }
+    return Compiled.output(C);
+  }
+  }
+  return 0;
+}
+
+} // namespace runtime
+} // namespace grassp

@@ -1,0 +1,116 @@
+//===- runtime/Kernels.h - Compiled execution kernels --------------------===//
+//
+// Fast concrete execution of serial programs and synthesized plans. Step
+// functions, output functions, prefix predicates, and the summary tables
+// are compiled to register bytecode (ir/Bytecode.h) once, then folded
+// over millions of elements. The one bag-typed benchmark ("counting
+// distinct elements") uses a native hash-set kernel instead.
+//
+// These kernels implement exactly the ParallelPlan semantics of
+// synth/PlanEval.h; a property test cross-checks them against the
+// domain-generic reference executor.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_RUNTIME_KERNELS_H
+#define GRASSP_RUNTIME_KERNELS_H
+
+#include "ir/Bytecode.h"
+#include "runtime/Workload.h"
+#include "synth/ParallelPlan.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace grassp {
+namespace runtime {
+
+/// The serial program compiled to bytecode (scalar states) or routed to
+/// the native distinct-elements kernel (bag states).
+class CompiledProgram {
+public:
+  explicit CompiledProgram(const lang::SerialProgram &Prog);
+
+  bool usesBag() const { return Bag; }
+  const lang::SerialProgram &program() const { return Prog; }
+
+  /// d0 as a flat int64 vector (Bools are 0/1). Bag programs return {}.
+  std::vector<int64_t> initialState() const;
+
+  /// In-place fold of f over \p Seg.
+  void foldSegment(std::vector<int64_t> &State, SegmentView Seg) const;
+
+  /// One f step.
+  void step(std::vector<int64_t> &State, int64_t El) const;
+
+  /// h.
+  int64_t output(const std::vector<int64_t> &State) const;
+
+  /// Serial run over consecutive segments (bag programs included).
+  int64_t runSerial(const std::vector<SegmentView> &Segs) const;
+
+private:
+  const lang::SerialProgram &Prog;
+  bool Bag = false;
+  ir::BytecodeFunction StepFn;   // inputs: fields + "in".
+  ir::BytecodeFunction OutputFn; // inputs: fields.
+  mutable std::vector<int64_t> Scratch;
+};
+
+/// Per-segment worker output (conditional-prefix scenarios carry summary
+/// tables; the distinct kernel carries its local hash set).
+struct WorkerOutput {
+  bool Found = false;
+  int64_t Boundary = 0;
+  std::vector<int64_t> D;
+
+  std::vector<uint32_t> CtrlCur;                  // [v] -> valuation idx
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> ModeArg; // [v][j]
+
+  std::vector<int64_t> PrefixData; // refold scenario
+
+  /// Bag kernel: the distinct elements in insertion order. Like the
+  /// paper's serial code, membership is a linear search — the source of
+  /// the superlinear "counting distinct" speedup (Sect. 9.4).
+  std::vector<int64_t> Distinct;
+};
+
+/// A synthesized plan compiled for fast segment-parallel execution.
+class CompiledPlan {
+public:
+  CompiledPlan(const lang::SerialProgram &Prog,
+               const synth::ParallelPlan &Plan);
+
+  /// Runs the per-segment worker (safe to call concurrently).
+  WorkerOutput runWorker(SegmentView Seg) const;
+
+  /// Merges worker outputs into the final output. \p Segs is consulted
+  /// by constant-prefix plans for the repair elements.
+  int64_t merge(const std::vector<WorkerOutput> &Workers,
+                const std::vector<SegmentView> &Segs) const;
+
+  const synth::ParallelPlan &plan() const { return Plan; }
+
+private:
+  WorkerOutput runScanWorker(SegmentView Seg) const;
+  WorkerOutput runCondWorker(SegmentView Seg) const;
+  void applyUpd(std::vector<int64_t> &C, const WorkerOutput &W) const;
+  void combineAtBoundary(std::vector<int64_t> &C,
+                         const WorkerOutput &W) const;
+  int64_t applyFlavor(synth::AccFlavor F, int64_t A, int64_t B) const;
+
+  const lang::SerialProgram &Prog;
+  const synth::ParallelPlan &Plan;
+  CompiledProgram Compiled;
+
+  // Conditional-prefix machinery, compiled.
+  ir::BytecodeFunction PcFn; // inputs: "in".
+  std::vector<std::vector<ir::BytecodeFunction>> CtrlStepFns; // [v][k]
+  std::vector<std::vector<ir::BytecodeFunction>> ModeFns;     // [v][j]
+  std::vector<std::vector<ir::BytecodeFunction>> ArgFns;      // [v][j]
+};
+
+} // namespace runtime
+} // namespace grassp
+
+#endif // GRASSP_RUNTIME_KERNELS_H

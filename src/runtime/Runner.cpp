@@ -1,0 +1,72 @@
+//===- runtime/Runner.cpp --------------------------------------------------=//
+
+#include "runtime/Runner.h"
+
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grassp {
+namespace runtime {
+
+int64_t runSerialTimed(const CompiledProgram &Prog,
+                       const std::vector<SegmentView> &Segs,
+                       double *Seconds) {
+  Stopwatch Timer;
+  int64_t Out = Prog.runSerial(Segs);
+  if (Seconds)
+    *Seconds = Timer.seconds();
+  return Out;
+}
+
+ParallelRunResult runParallel(const CompiledPlan &Plan,
+                              const std::vector<SegmentView> &Segs,
+                              ThreadPool *Pool) {
+  ParallelRunResult R;
+  Stopwatch Total;
+  std::vector<WorkerOutput> Outputs(Segs.size());
+  R.WorkerSeconds.assign(Segs.size(), 0.0);
+
+  if (Pool) {
+    for (size_t I = 0; I != Segs.size(); ++I) {
+      Pool->submit([&, I] {
+        Stopwatch W;
+        Outputs[I] = Plan.runWorker(Segs[I]);
+        R.WorkerSeconds[I] = W.seconds();
+      });
+    }
+    Pool->wait();
+  } else {
+    for (size_t I = 0; I != Segs.size(); ++I) {
+      Stopwatch W;
+      Outputs[I] = Plan.runWorker(Segs[I]);
+      R.WorkerSeconds[I] = W.seconds();
+    }
+  }
+
+  Stopwatch MergeTimer;
+  R.Output = Plan.merge(Outputs, Segs);
+  R.MergeSeconds = MergeTimer.seconds();
+  R.WallSeconds = Total.seconds();
+  return R;
+}
+
+double makespan(const std::vector<double> &WorkerSeconds, unsigned P) {
+  assert(P > 0);
+  std::vector<double> Sorted = WorkerSeconds;
+  std::sort(Sorted.rbegin(), Sorted.rend());
+  std::vector<double> Load(P, 0.0);
+  for (double T : Sorted)
+    *std::min_element(Load.begin(), Load.end()) += T;
+  return *std::max_element(Load.begin(), Load.end());
+}
+
+double modeledSpeedup(double SerialSeconds, const ParallelRunResult &R,
+                      unsigned P) {
+  double Par = makespan(R.WorkerSeconds, P) + R.MergeSeconds;
+  return Par > 0 ? SerialSeconds / Par : 0.0;
+}
+
+} // namespace runtime
+} // namespace grassp

@@ -1,0 +1,55 @@
+//===- runtime/Runner.h - Parallel execution and speedup modeling --------===//
+//
+// Two execution modes:
+//
+//  * ThreadPool mode — workers run concurrently on real std::threads (the
+//    paper's 8-thread POSIX study); used for correctness and on machines
+//    with real parallelism.
+//  * Measured critical-path mode — workers run one-by-one, each timed;
+//    the P-worker makespan is computed by LPT scheduling and the modeled
+//    speedup is serial / (makespan + merge). This reproduces the *shape*
+//    of the paper's Table-1 speedups on hosts without 8 hardware threads
+//    (see DESIGN.md, substitutions).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_RUNTIME_RUNNER_H
+#define GRASSP_RUNTIME_RUNNER_H
+
+#include "runtime/Kernels.h"
+#include "support/ThreadPool.h"
+
+#include <vector>
+
+namespace grassp {
+namespace runtime {
+
+struct ParallelRunResult {
+  int64_t Output = 0;
+  double WallSeconds = 0;               // end-to-end wall time.
+  std::vector<double> WorkerSeconds;    // per-segment compute time.
+  double MergeSeconds = 0;
+};
+
+/// Serial run over \p Segs; wall time in \p Seconds (optional).
+int64_t runSerialTimed(const CompiledProgram &Prog,
+                       const std::vector<SegmentView> &Segs,
+                       double *Seconds = nullptr);
+
+/// Parallel run. With \p Pool the workers execute concurrently; without,
+/// they run sequentially but are timed individually (critical-path mode).
+ParallelRunResult runParallel(const CompiledPlan &Plan,
+                              const std::vector<SegmentView> &Segs,
+                              ThreadPool *Pool = nullptr);
+
+/// LPT makespan of \p WorkerSeconds on \p P identical workers.
+double makespan(const std::vector<double> &WorkerSeconds, unsigned P);
+
+/// Modeled speedup: SerialSeconds / (makespan(P) + MergeSeconds).
+double modeledSpeedup(double SerialSeconds, const ParallelRunResult &R,
+                      unsigned P);
+
+} // namespace runtime
+} // namespace grassp
+
+#endif // GRASSP_RUNTIME_RUNNER_H

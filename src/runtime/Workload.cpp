@@ -1,0 +1,73 @@
+//===- runtime/Workload.cpp ------------------------------------------------=//
+
+#include "runtime/Workload.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grassp {
+namespace runtime {
+
+std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
+                                      size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<int64_t> Out;
+  Out.reserve(N);
+
+  if (Prog.Name == "is_sorted") {
+    // Nearly sorted ("system log files consistent with system time").
+    int64_t Cur = 0;
+    for (size_t I = 0; I != N; ++I) {
+      Cur += static_cast<int64_t>(R.next() % 3);
+      Out.push_back(Cur);
+    }
+    return Out;
+  }
+  if (Prog.Name == "all_equal") {
+    Out.assign(N, 5);
+    return Out;
+  }
+  if (Prog.Name == "alternating01") {
+    for (size_t I = 0; I != N; ++I)
+      Out.push_back(static_cast<int64_t>(I & 1));
+    return Out;
+  }
+  if (Prog.Name == "count_distinct") {
+    // Skewed stream reproducing the paper's superlinear observation: the
+    // first eighth carries many distinct values, the rest only a few, so
+    // a serial linear-search membership structure pays the full distinct
+    // count on every later element while per-thread structures stay tiny.
+    size_t Head = N / 8;
+    for (size_t I = 0; I != N; ++I)
+      Out.push_back(I < Head ? R.range(0, 1500) : 1600 + R.range(0, 9));
+    return Out;
+  }
+  if (!Prog.InputAlphabet.empty()) {
+    // Alphabet streams; markers (the boundary symbols) appear with their
+    // natural uniform frequency, which keeps conditional prefixes short.
+    return randomFromAlphabet(R, Prog.InputAlphabet, N);
+  }
+  return randomInRange(R, Prog.GenLo, Prog.GenHi, N);
+}
+
+std::vector<SegmentView> partition(const std::vector<int64_t> &Data,
+                                   unsigned M) {
+  assert(Data.size() >= M && M > 0 && "not enough data for M segments");
+  std::vector<SegmentView> Segs;
+  Segs.reserve(M);
+  size_t N = Data.size();
+  size_t Base = N / M, Rem = N % M;
+  size_t Off = 0;
+  for (unsigned I = 0; I != M; ++I) {
+    size_t Len = Base + (I < Rem ? 1 : 0);
+    Segs.push_back({Data.data() + Off, Len});
+    Off += Len;
+  }
+  assert(Off == N && "partition must cover the data");
+  return Segs;
+}
+
+} // namespace runtime
+} // namespace grassp

@@ -1,0 +1,39 @@
+//===- runtime/Workload.h - Per-benchmark workload generation ------------===//
+//
+// Deterministic synthetic data streams matching each benchmark's input
+// model (paper Sect. 9.1): alphabet streams for the pattern counters,
+// nearly-sorted streams for the sortedness check, constant streams for
+// the equality check, and uniform integers for the generic scans.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_RUNTIME_WORKLOAD_H
+#define GRASSP_RUNTIME_WORKLOAD_H
+
+#include "lang/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace grassp {
+namespace runtime {
+
+/// A view of one contiguous segment of the input stream.
+struct SegmentView {
+  const int64_t *Data = nullptr;
+  size_t Size = 0;
+};
+
+/// Generates \p N elements appropriate for \p Prog.
+std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
+                                      size_t N, uint64_t Seed);
+
+/// Splits \p Data into \p M contiguous, non-empty, near-equal segments.
+/// Requires Data.size() >= M.
+std::vector<SegmentView> partition(const std::vector<int64_t> &Data,
+                                   unsigned M);
+
+} // namespace runtime
+} // namespace grassp
+
+#endif // GRASSP_RUNTIME_WORKLOAD_H

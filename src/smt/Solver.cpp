@@ -1,0 +1,147 @@
+//===- smt/Solver.cpp ------------------------------------------------------=//
+
+#include "smt/Solver.h"
+
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+
+#include <z3++.h>
+
+namespace grassp {
+namespace smt {
+
+struct SmtSolver::Impl {
+  z3::context Ctx;
+  z3::solver Solver;
+  std::optional<z3::model> Model;
+  std::unordered_map<const ir::Expr *, z3::expr> Cache;
+  /// Keeps every asserted root (and thus its whole DAG) alive for the
+  /// solver's lifetime: the cache keys are raw node addresses, so a
+  /// freed-and-reallocated node must never alias a cached one.
+  std::vector<ir::ExprRef> Retained;
+
+  Impl() : Solver(Ctx) {}
+
+  z3::expr lower(const ir::ExprRef &E) {
+    auto It = Cache.find(E.get());
+    if (It != Cache.end())
+      return It->second;
+    z3::expr Z = lowerUncached(E);
+    Cache.emplace(E.get(), Z);
+    return Z;
+  }
+
+  z3::expr lowerUncached(const ir::ExprRef &E) {
+    using ir::Op;
+    switch (E->getOp()) {
+    case Op::ConstInt:
+      return Ctx.int_val(static_cast<int64_t>(E->intValue()));
+    case Op::ConstBool:
+      return Ctx.bool_val(E->boolValue());
+    case Op::Var:
+      if (E->getType() == ir::TypeKind::Bool)
+        return Ctx.bool_const(E->varName().c_str());
+      assert(E->getType() == ir::TypeKind::Int && "bag var reached solver");
+      return Ctx.int_const(E->varName().c_str());
+    case Op::Neg:
+      return -lower(E->operand(0));
+    case Op::Not:
+      return !lower(E->operand(0));
+    case Op::Ite:
+      return z3::ite(lower(E->operand(0)), lower(E->operand(1)),
+                     lower(E->operand(2)));
+    default:
+      break;
+    }
+    z3::expr A = lower(E->operand(0));
+    z3::expr B = lower(E->operand(1));
+    switch (E->getOp()) {
+    case Op::Add:
+      return A + B;
+    case Op::Sub:
+      return A - B;
+    case Op::Mul:
+      return A * B;
+    case Op::Div:
+      return A / B; // SMT-LIB integer div.
+    case Op::Mod:
+      return z3::mod(A, B);
+    case Op::Min:
+      return z3::ite(A <= B, A, B);
+    case Op::Max:
+      return z3::ite(A >= B, A, B);
+    case Op::Eq:
+      return A == B;
+    case Op::Ne:
+      return A != B;
+    case Op::Lt:
+      return A < B;
+    case Op::Le:
+      return A <= B;
+    case Op::Gt:
+      return A > B;
+    case Op::Ge:
+      return A >= B;
+    case Op::And:
+      return A && B;
+    case Op::Or:
+      return A || B;
+    default:
+      assert(false && "unhandled opcode in SMT lowering");
+      return Ctx.bool_val(false);
+    }
+  }
+};
+
+SmtSolver::SmtSolver() : I(std::make_unique<Impl>()) {}
+SmtSolver::~SmtSolver() = default;
+
+void SmtSolver::add(const ir::ExprRef &E) {
+  assert(E->getType() == ir::TypeKind::Bool && "assertions must be Bool");
+  I->Retained.push_back(E);
+  I->Solver.add(I->lower(E));
+}
+
+void SmtSolver::push() { I->Solver.push(); }
+void SmtSolver::pop() { I->Solver.pop(); }
+
+SatResult SmtSolver::check(unsigned TimeoutMs) {
+  ++Checks;
+  if (TimeoutMs != 0) {
+    z3::params P(I->Ctx);
+    P.set("timeout", TimeoutMs);
+    I->Solver.set(P);
+  }
+  I->Model.reset();
+  switch (I->Solver.check()) {
+  case z3::sat:
+    I->Model = I->Solver.get_model();
+    return SatResult::Sat;
+  case z3::unsat:
+    return SatResult::Unsat;
+  case z3::unknown:
+    return SatResult::Unknown;
+  }
+  return SatResult::Unknown;
+}
+
+int64_t SmtSolver::modelInt(const std::string &Name) const {
+  assert(I->Model && "no model available");
+  z3::expr V = I->Model->eval(I->Ctx.int_const(Name.c_str()),
+                              /*model_completion=*/true);
+  int64_t Out = 0;
+  if (!V.is_numeral_i64(Out))
+    return 0;
+  return Out;
+}
+
+bool SmtSolver::modelBool(const std::string &Name) const {
+  assert(I->Model && "no model available");
+  z3::expr V = I->Model->eval(I->Ctx.bool_const(Name.c_str()),
+                              /*model_completion=*/true);
+  return V.is_true();
+}
+
+} // namespace smt
+} // namespace grassp

@@ -1,0 +1,64 @@
+//===- smt/Solver.h - Z3-backed SMT solving over the IR ------------------===//
+//
+// A thin, layering-friendly facade over the Z3 C++ API. The rest of the
+// codebase speaks ir::ExprRef; this class lowers IR terms to Z3, runs
+// satisfiability checks, and reads models back as plain integers. Z3
+// headers stay out of public headers (pimpl).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SMT_SOLVER_H
+#define GRASSP_SMT_SOLVER_H
+
+#include "ir/Expr.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace grassp {
+namespace smt {
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// An incremental SMT solver session. Variables are identified by the IR
+/// variable names; Int lowers to SMT Int, Bool to SMT Bool. Bag-typed
+/// terms never reach the solver (the symbolic evaluator eliminates them).
+class SmtSolver {
+public:
+  SmtSolver();
+  ~SmtSolver();
+
+  SmtSolver(const SmtSolver &) = delete;
+  SmtSolver &operator=(const SmtSolver &) = delete;
+
+  /// Asserts a Bool-typed IR expression.
+  void add(const ir::ExprRef &E);
+
+  void push();
+  void pop();
+
+  /// Checks satisfiability of the asserted formulas. \p TimeoutMs == 0
+  /// means no limit.
+  SatResult check(unsigned TimeoutMs = 0);
+
+  /// After a Sat result: the model value of Int variable \p Name
+  /// (0 when the model leaves it unconstrained).
+  int64_t modelInt(const std::string &Name) const;
+
+  /// After a Sat result: the model value of Bool variable \p Name.
+  bool modelBool(const std::string &Name) const;
+
+  /// Number of check() calls performed (statistics for the benches).
+  unsigned numChecks() const { return Checks; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  unsigned Checks = 0;
+};
+
+} // namespace smt
+} // namespace grassp
+
+#endif // GRASSP_SMT_SOLVER_H

@@ -1,0 +1,28 @@
+//===- support/Random.cpp --------------------------------------------------=//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+namespace grassp {
+
+std::vector<int64_t> randomFromAlphabet(Rng &R,
+                                        const std::vector<int64_t> &Alphabet,
+                                        size_t N) {
+  assert(!Alphabet.empty() && "alphabet must be non-empty");
+  std::vector<int64_t> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(Alphabet[R.next() % Alphabet.size()]);
+  return Out;
+}
+
+std::vector<int64_t> randomInRange(Rng &R, int64_t Lo, int64_t Hi, size_t N) {
+  std::vector<int64_t> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(R.range(Lo, Hi));
+  return Out;
+}
+
+} // namespace grassp

@@ -1,0 +1,55 @@
+//===- support/Random.h - Deterministic PRNG ------------------------------==//
+//
+// A small, fast, deterministic PRNG (SplitMix64) used by workload
+// generators and property tests. Deterministic seeding keeps the
+// experiment harness reproducible across runs and machines.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SUPPORT_RANDOM_H
+#define GRASSP_SUPPORT_RANDOM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grassp {
+
+/// SplitMix64 pseudo-random generator. Not cryptographic; used for
+/// reproducible workload generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return next() % Den < Num; }
+
+private:
+  uint64_t State;
+};
+
+/// Generates \p N elements uniformly drawn from \p Alphabet.
+std::vector<int64_t> randomFromAlphabet(Rng &R,
+                                        const std::vector<int64_t> &Alphabet,
+                                        size_t N);
+
+/// Generates \p N elements uniformly in [Lo, Hi].
+std::vector<int64_t> randomInRange(Rng &R, int64_t Lo, int64_t Hi, size_t N);
+
+} // namespace grassp
+
+#endif // GRASSP_SUPPORT_RANDOM_H

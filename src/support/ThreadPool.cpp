@@ -1,0 +1,61 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+namespace grassp {
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  assert(NumThreads > 0 && "pool needs at least one worker");
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  QueueCv.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      QueueCv.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (ShuttingDown && Queue.empty())
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Active;
+      if (Queue.empty() && Active == 0)
+        IdleCv.notify_all();
+    }
+  }
+}
+
+} // namespace grassp

@@ -1,0 +1,54 @@
+//===- support/ThreadPool.h - Minimal fixed-size thread pool -------------===//
+//
+// A small fixed-size thread pool used by the parallel runtime. Tasks are
+// std::function<void()>; \c wait() blocks until all submitted tasks have
+// completed. The pool is also usable with a single worker, which the
+// benchmark harness exploits on constrained machines.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SUPPORT_THREADPOOL_H
+#define GRASSP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grassp {
+
+/// Fixed-size pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable QueueCv;
+  std::condition_variable IdleCv;
+  unsigned Active = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace grassp
+
+#endif // GRASSP_SUPPORT_THREADPOOL_H

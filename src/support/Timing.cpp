@@ -1,0 +1,21 @@
+//===- support/Timing.cpp -------------------------------------------------==//
+
+#include "support/Timing.h"
+
+#include <cstdio>
+
+namespace grassp {
+
+std::string formatSeconds(double Seconds) {
+  char Buf[64];
+  if (Seconds < 60.0) {
+    std::snprintf(Buf, sizeof(Buf), "%.3fs", Seconds);
+    return Buf;
+  }
+  int Minutes = static_cast<int>(Seconds / 60.0);
+  double Rest = Seconds - Minutes * 60.0;
+  std::snprintf(Buf, sizeof(Buf), "%dm %.1fs", Minutes, Rest);
+  return Buf;
+}
+
+} // namespace grassp

@@ -1,0 +1,46 @@
+//===- support/Timing.h - Wall-clock timing helpers ----------------------===//
+//
+// Part of the GRASSP reproduction. Small stopwatch utilities used by the
+// synthesis engine and the benchmark harnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SUPPORT_TIMING_H
+#define GRASSP_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace grassp {
+
+/// A monotonic stopwatch. Starts on construction; \c seconds() and
+/// \c millis() report the time elapsed since construction or the last
+/// \c reset().
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed wall-clock seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed wall-clock milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Formats a duration in seconds as a short human-readable string such as
+/// "1.056s" or "18m 23.1s" (the format used by the paper's Table 1).
+std::string formatSeconds(double Seconds);
+
+} // namespace grassp
+
+#endif // GRASSP_SUPPORT_TIMING_H

@@ -1,0 +1,560 @@
+//===- synth/CondPrefix.cpp ------------------------------------------------=//
+
+#include "synth/CondPrefix.h"
+
+#include "ir/DomainEval.h"
+#include "ir/Matchers.h"
+#include "lang/Interp.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace grassp::ir;
+
+namespace grassp {
+namespace synth {
+
+namespace {
+
+constexpr size_t kMaxValuations = 24;
+
+/// Decomposed prefix_cond: "in == C" (IsEq) or "in != C".
+struct PcShape {
+  bool IsEq = true;
+  int64_t C = 0;
+};
+
+std::optional<PcShape> decomposePc(const ExprRef &Pc) {
+  if (Pc->getOp() != Op::Eq && Pc->getOp() != Op::Ne)
+    return std::nullopt;
+  const ExprRef &A = Pc->operand(0);
+  const ExprRef &B = Pc->operand(1);
+  if (!A->isVar() || A->varName() != lang::inputVarName() || !B->isConstInt())
+    return std::nullopt;
+  return PcShape{Pc->getOp() == Op::Eq, B->intValue()};
+}
+
+/// Structurally replaces subterms equal to \p Pattern with \p Repl,
+/// rebuilding (and thereby re-folding) the term.
+ExprRef replaceSubterm(const ExprRef &E, const ExprRef &Pattern,
+                       const ExprRef &Repl) {
+  if (structurallyEqual(E, Pattern))
+    return Repl;
+  if (E->numOperands() == 0)
+    return E;
+  std::vector<ExprRef> Ops;
+  Ops.reserve(E->numOperands());
+  bool Changed = false;
+  for (const ExprRef &Opnd : E->operands()) {
+    ExprRef N = replaceSubterm(Opnd, Pattern, Repl);
+    Changed |= (N.get() != Opnd.get());
+    Ops.push_back(std::move(N));
+  }
+  if (!Changed)
+    return E;
+  switch (E->getOp()) {
+  case Op::Neg:
+    return neg(Ops[0]);
+  case Op::Not:
+    return lnot(Ops[0]);
+  case Op::BagSize:
+    return bagSize(Ops[0]);
+  case Op::Ite:
+    return ite(Ops[0], Ops[1], Ops[2]);
+  default:
+    return binary(E->getOp(), Ops[0], Ops[1]);
+  }
+}
+
+ExprRef inVar() { return var(lang::inputVarName(), TypeKind::Int); }
+
+/// Specializes \p E under the assumption that "in" is a *prefix* element
+/// (prefix_cond(in) is false).
+ExprRef normalizePrefix(const ExprRef &E, const PcShape &Pc) {
+  if (!Pc.IsEq) {
+    // prefix elements satisfy in == C.
+    std::map<std::string, ExprRef> Subst{
+        {lang::inputVarName(), constInt(Pc.C)}};
+    return substitute(E, Subst);
+  }
+  ExprRef R = replaceSubterm(E, eq(inVar(), constInt(Pc.C)), constBool(false));
+  return replaceSubterm(R, ne(inVar(), constInt(Pc.C)), constBool(true));
+}
+
+/// Specializes \p E under the assumption that "in" is a *boundary*
+/// element (prefix_cond(in) is true).
+ExprRef normalizeBoundary(const ExprRef &E, const PcShape &Pc) {
+  if (Pc.IsEq) {
+    std::map<std::string, ExprRef> Subst{
+        {lang::inputVarName(), constInt(Pc.C)}};
+    return substitute(E, Subst);
+  }
+  ExprRef R = replaceSubterm(E, eq(inVar(), constInt(Pc.C)), constBool(false));
+  return replaceSubterm(R, ne(inVar(), constInt(Pc.C)), constBool(true));
+}
+
+/// Scans \p E for occurrences of accumulator \p Name and deduces the
+/// combining flavor from the operators it occurs under. Returns nullopt
+/// on conflicting or non-combinable uses.
+std::optional<AccFlavor> deduceAccFlavor(const ExprRef &E,
+                                         const std::string &Name,
+                                         TypeKind Ty) {
+  std::set<AccFlavor> Seen;
+  bool Poison = false;
+
+  // Ctx: the nearest enclosing combining operator; nullopt = neutral.
+  auto Walk = [&](auto &&Self, const ExprRef &N,
+                  std::optional<AccFlavor> Ctx, bool InCond) -> void {
+    if (N->isVar() && N->varName() == Name) {
+      if (InCond) {
+        Poison = true;
+        return;
+      }
+      if (Ctx)
+        Seen.insert(*Ctx);
+      return;
+    }
+    switch (N->getOp()) {
+    case Op::Add:
+      Self(Self, N->operand(0), AccFlavor::Plus, InCond);
+      Self(Self, N->operand(1), AccFlavor::Plus, InCond);
+      return;
+    case Op::Sub:
+      Self(Self, N->operand(0), AccFlavor::Plus, InCond);
+      // acc on the right of a subtraction is not combinable.
+      Self(Self, N->operand(1), std::nullopt, /*InCond=*/true);
+      return;
+    case Op::Max:
+      Self(Self, N->operand(0), AccFlavor::Max, InCond);
+      Self(Self, N->operand(1), AccFlavor::Max, InCond);
+      return;
+    case Op::Min:
+      Self(Self, N->operand(0), AccFlavor::Min, InCond);
+      Self(Self, N->operand(1), AccFlavor::Min, InCond);
+      return;
+    case Op::And:
+      Self(Self, N->operand(0), AccFlavor::And, InCond);
+      Self(Self, N->operand(1), AccFlavor::And, InCond);
+      return;
+    case Op::Or:
+      Self(Self, N->operand(0), AccFlavor::Or, InCond);
+      Self(Self, N->operand(1), AccFlavor::Or, InCond);
+      return;
+    case Op::Ite:
+      Self(Self, N->operand(0), std::nullopt, /*InCond=*/true);
+      Self(Self, N->operand(1), Ctx, InCond);
+      Self(Self, N->operand(2), Ctx, InCond);
+      return;
+    case Op::Eq:
+    case Op::Ne:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod:
+    case Op::Neg:
+    case Op::Not:
+      // Occurrence under these operators is not summarizable.
+      for (const ExprRef &Opnd : N->operands())
+        Self(Self, Opnd, std::nullopt, /*InCond=*/true);
+      return;
+    default:
+      for (const ExprRef &Opnd : N->operands())
+        Self(Self, Opnd, Ctx, InCond);
+      return;
+    }
+  };
+  Walk(Walk, E, std::nullopt, false);
+
+  if (Poison || Seen.size() > 1)
+    return std::nullopt;
+  if (Seen.empty())
+    return AccFlavor::SetLike;
+  AccFlavor F = *Seen.begin();
+  // Bool accumulators must use boolean flavors, Ints arithmetic ones.
+  if (Ty == TypeKind::Bool && F != AccFlavor::And && F != AccFlavor::Or)
+    return std::nullopt;
+  return F;
+}
+
+/// Parametric transform classification of \p E (over vars {"in", Name})
+/// into (mode, arg) expressions over "in": mode 0 = identity, 1 = assign
+/// arg, 2 = flavor-op with arg.
+std::optional<std::pair<ExprRef, ExprRef>>
+classifyParam(const ExprRef &E, const std::string &Name, AccFlavor Flavor,
+              TypeKind AccTy) {
+  std::map<std::string, TypeKind> Vars;
+  collectVars(E, Vars);
+  bool MentionsAcc = Vars.count(Name) != 0;
+  // Acc-free: a plain assignment (arg may mention "in").
+  if (!MentionsAcc) {
+    for (const auto &KV : Vars)
+      if (KV.first != lang::inputVarName())
+        return std::nullopt;
+    return std::make_pair(constInt(1), E);
+  }
+  if (E->isVar() && E->varName() == Name) {
+    ExprRef Zero =
+        AccTy == TypeKind::Bool ? constBool(false) : constInt(0);
+    return std::make_pair(constInt(0), Zero);
+  }
+
+  auto FlavorOfOp = [](Op O) -> std::optional<AccFlavor> {
+    switch (O) {
+    case Op::Add:
+      return AccFlavor::Plus;
+    case Op::Max:
+      return AccFlavor::Max;
+    case Op::Min:
+      return AccFlavor::Min;
+    case Op::And:
+      return AccFlavor::And;
+    case Op::Or:
+      return AccFlavor::Or;
+    default:
+      return std::nullopt;
+    }
+  };
+
+  auto SideIsAccFree = [&](const ExprRef &Side) {
+    std::map<std::string, TypeKind> SV;
+    collectVars(Side, SV);
+    if (SV.count(Name))
+      return false;
+    for (const auto &KV : SV)
+      if (KV.first != lang::inputVarName())
+        return false;
+    return true;
+  };
+
+  switch (E->getOp()) {
+  case Op::Ite: {
+    const ExprRef &Cond = E->operand(0);
+    if (!SideIsAccFree(Cond))
+      return std::nullopt;
+    auto T = classifyParam(E->operand(1), Name, Flavor, AccTy);
+    auto F = classifyParam(E->operand(2), Name, Flavor, AccTy);
+    if (!T || !F)
+      return std::nullopt;
+    return std::make_pair(ite(Cond, T->first, F->first),
+                          ite(Cond, T->second, F->second));
+  }
+  case Op::Sub: {
+    // acc-side - constant-side == acc-side + (-constant-side).
+    if (Flavor != AccFlavor::Plus || !SideIsAccFree(E->operand(1)))
+      return std::nullopt;
+    auto L = classifyParam(E->operand(0), Name, Flavor, AccTy);
+    if (!L)
+      return std::nullopt;
+    ExprRef G = neg(E->operand(1));
+    ExprRef Mode = ite(eq(L->first, constInt(1)), constInt(1), constInt(2));
+    ExprRef Arg = ite(eq(L->first, constInt(0)), G,
+                      add(L->second, G));
+    return std::make_pair(Mode, Arg);
+  }
+  default:
+    break;
+  }
+
+  std::optional<AccFlavor> OpFlavor = FlavorOfOp(E->getOp());
+  if (!OpFlavor || *OpFlavor != Flavor || E->numOperands() != 2)
+    return std::nullopt;
+  const ExprRef *AccSide = nullptr, *FreeSide = nullptr;
+  if (SideIsAccFree(E->operand(1))) {
+    AccSide = &E->operand(0);
+    FreeSide = &E->operand(1);
+  } else if (SideIsAccFree(E->operand(0))) {
+    AccSide = &E->operand(1);
+    FreeSide = &E->operand(0);
+  } else {
+    return std::nullopt;
+  }
+  auto L = classifyParam(*AccSide, Name, Flavor, AccTy);
+  if (!L)
+    return std::nullopt;
+  // Compose "then apply flavor-op with G": Id -> Op(G); Set(a) ->
+  // Set(a (+) G); Op(a) -> Op(a (+) G).
+  ExprRef G = *FreeSide;
+  ExprRef Mode = ite(eq(L->first, constInt(1)), constInt(1), constInt(2));
+  ExprRef Combined;
+  switch (Flavor) {
+  case AccFlavor::Plus:
+    Combined = add(L->second, G);
+    break;
+  case AccFlavor::Max:
+    Combined = smax(L->second, G);
+    break;
+  case AccFlavor::Min:
+    Combined = smin(L->second, G);
+    break;
+  case AccFlavor::And:
+    Combined = land(L->second, G);
+    break;
+  case AccFlavor::Or:
+    Combined = lor(L->second, G);
+    break;
+  case AccFlavor::SetLike:
+    return std::nullopt;
+  }
+  ExprRef Arg = ite(eq(L->first, constInt(0)), G, Combined);
+  return std::make_pair(Mode, Arg);
+}
+
+/// Packs a valuation key for the exploration map.
+std::string valuationKey(const std::vector<int64_t> &V) {
+  std::string K;
+  for (int64_t X : V) {
+    K += std::to_string(X);
+    K += ',';
+  }
+  return K;
+}
+
+} // namespace
+
+std::optional<CondPrefixInfo>
+buildCondPrefix(const lang::SerialProgram &Prog, const ExprRef &PrefixCond,
+                std::string *WhyNot) {
+  auto Fail = [&](const std::string &Why) -> std::optional<CondPrefixInfo> {
+    if (WhyNot)
+      *WhyNot = Why;
+    return std::nullopt;
+  };
+
+  if (Prog.State.hasBag())
+    return Fail("bag-typed state");
+  std::optional<PcShape> Pc = decomposePc(PrefixCond);
+  if (!Pc)
+    return Fail("prefix_cond is not an eq/ne atom");
+
+  const lang::StateLayout &L = Prog.State;
+  size_t N = L.size();
+
+  // Step-shape analysis per field.
+  std::vector<StepShape> Shapes;
+  Shapes.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Shapes.push_back(analyzeStepShape(Prog.Step[I]));
+
+  // Structural control fixpoint, with an external "demoted" veto set that
+  // later semantic checks can grow.
+  std::set<std::string> Demoted;
+  auto ComputeCtrl = [&]() {
+    std::set<std::string> Ctrl;
+    for (size_t I = 0; I != N; ++I)
+      if (!Shapes[I].ValueHasArith && !Demoted.count(L.field(I).Name))
+        Ctrl.insert(L.field(I).Name);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t I = 0; I != N; ++I) {
+        const std::string &Name = L.field(I).Name;
+        if (!Ctrl.count(Name))
+          continue;
+        bool Ok = true;
+        for (const std::string &V : Shapes[I].ValueVars)
+          Ok &= Ctrl.count(V) != 0;
+        for (const std::string &V : Shapes[I].CondVars)
+          Ok &= (V == lang::inputVarName() || Ctrl.count(V) != 0);
+        if (!Ok) {
+          Ctrl.erase(Name);
+          Changed = true;
+        }
+      }
+    }
+    return Ctrl;
+  };
+
+  // Semantic refinement loop: explore valuations, checking that control
+  // steps fold to constants and synchronize at the boundary; demote
+  // offenders and retry.
+  std::vector<size_t> CtrlIdx, AccIdx;
+  std::vector<std::vector<int64_t>> Valuations;
+  // CtrlStepSym[v][k]: expr over "in".
+  std::vector<std::vector<ExprRef>> CtrlStepSym;
+
+  for (int Round = 0;; ++Round) {
+    if (Round > static_cast<int>(N) + 2)
+      return Fail("control refinement did not converge");
+    std::set<std::string> Ctrl = ComputeCtrl();
+    CtrlIdx.clear();
+    AccIdx.clear();
+    for (size_t I = 0; I != N; ++I) {
+      if (Ctrl.count(L.field(I).Name))
+        CtrlIdx.push_back(I);
+      else
+        AccIdx.push_back(I);
+    }
+    if (CtrlIdx.empty())
+      return Fail("no finite-control fields");
+
+    // Build the per-valuation control step expressions while exploring.
+    Valuations.clear();
+    CtrlStepSym.clear();
+    std::map<std::string, size_t> Seen;
+    std::deque<size_t> Work;
+
+    std::vector<int64_t> Init;
+    for (size_t K : CtrlIdx)
+      Init.push_back(L.field(K).InitInt);
+    Valuations.push_back(Init);
+    Seen.emplace(valuationKey(Init), 0);
+    Work.push_back(0);
+
+    std::vector<int64_t> Reps = Prog.representativeInputs();
+    std::string DemoteField;
+    bool Overflow = false;
+
+    while (!Work.empty() && DemoteField.empty() && !Overflow) {
+      size_t V = Work.front();
+      Work.pop_front();
+      // Substitution: control fields fixed to valuation V, accumulator
+      // fields left as variables, "in" left as a variable.
+      std::map<std::string, ExprRef> Subst;
+      for (size_t K = 0; K != CtrlIdx.size(); ++K) {
+        const lang::Field &F = L.field(CtrlIdx[K]);
+        Subst[F.Name] = F.Ty == TypeKind::Bool
+                            ? constBool(Valuations[V][K] != 0)
+                            : constInt(Valuations[V][K]);
+      }
+      std::vector<ExprRef> StepsV;
+      for (size_t K : CtrlIdx) {
+        ExprRef E = substitute(Prog.Step[K], Subst);
+        std::map<std::string, TypeKind> Vars;
+        collectVars(E, Vars);
+        for (const auto &KV : Vars) {
+          if (KV.first != lang::inputVarName()) {
+            DemoteField = L.field(K).Name; // reads an accumulator
+            break;
+          }
+        }
+        StepsV.push_back(E);
+      }
+      if (!DemoteField.empty())
+        break;
+      if (CtrlStepSym.size() <= V)
+        CtrlStepSym.resize(V + 1);
+      CtrlStepSym[V] = StepsV;
+
+      for (int64_t Rep : Reps) {
+        std::map<std::string, ExprRef> InSubst{
+            {lang::inputVarName(), constInt(Rep)}};
+        std::vector<int64_t> Next;
+        bool Foldable = true;
+        for (size_t K = 0; K != CtrlIdx.size(); ++K) {
+          ExprRef R = substitute(StepsV[K], InSubst);
+          if (R->isConstInt()) {
+            Next.push_back(R->intValue());
+          } else if (R->isConstBool()) {
+            Next.push_back(R->boolValue() ? 1 : 0);
+          } else {
+            Foldable = false;
+            DemoteField = L.field(CtrlIdx[K]).Name;
+            break;
+          }
+        }
+        if (!Foldable)
+          break;
+        std::string Key = valuationKey(Next);
+        if (!Seen.count(Key)) {
+          if (Valuations.size() >= kMaxValuations) {
+            Overflow = true;
+            break;
+          }
+          Seen.emplace(Key, Valuations.size());
+          Valuations.push_back(Next);
+          Work.push_back(Valuations.size() - 1);
+        }
+      }
+    }
+
+    if (Overflow)
+      return Fail("control valuation space too large");
+    if (!DemoteField.empty()) {
+      Demoted.insert(DemoteField);
+      continue;
+    }
+    // CtrlStepSym may be shorter than Valuations if the last discovered
+    // valuations were never popped; process the remainder.
+    if (CtrlStepSym.size() < Valuations.size()) {
+      // Remaining entries were queued but the loop exited normally only
+      // when Work is empty, so this cannot happen; guard anyway.
+      return Fail("internal: incomplete exploration");
+    }
+
+    // Boundary synchronization: all valuations must agree on the control
+    // state after one boundary step.
+    std::string Blocking;
+    for (size_t K = 0; K != CtrlIdx.size() && Blocking.empty(); ++K) {
+      ExprRef First;
+      for (size_t V = 0; V != Valuations.size(); ++V) {
+        ExprRef E = normalizeBoundary(CtrlStepSym[V][K], *Pc);
+        if (V == 0) {
+          First = E;
+        } else if (!structurallyEqual(First, E)) {
+          Blocking = L.field(CtrlIdx[K]).Name;
+          break;
+        }
+      }
+    }
+    if (!Blocking.empty()) {
+      Demoted.insert(Blocking);
+      continue;
+    }
+    break; // control set is stable and synchronizes.
+  }
+
+  // Accumulator flavors.
+  std::vector<AccFlavor> Flavors;
+  for (size_t J : AccIdx) {
+    std::optional<AccFlavor> F =
+        deduceAccFlavor(Prog.Step[J], L.field(J).Name, L.field(J).Ty);
+    if (!F)
+      return Fail("accumulator '" + L.field(J).Name +
+                  "' has no combinable flavor");
+    Flavors.push_back(*F);
+  }
+
+  // Per-valuation accumulator transforms on prefix elements.
+  CondPrefixInfo Info;
+  Info.PrefixCond = PrefixCond;
+  Info.CtrlFields = CtrlIdx;
+  Info.AccFields = AccIdx;
+  Info.AccFlavors = Flavors;
+  Info.CtrlValues = Valuations;
+  Info.CtrlStep.resize(Valuations.size());
+  Info.AccMode.resize(Valuations.size());
+  Info.AccArg.resize(Valuations.size());
+
+  for (size_t V = 0; V != Valuations.size(); ++V) {
+    std::map<std::string, ExprRef> Subst;
+    for (size_t K = 0; K != CtrlIdx.size(); ++K) {
+      const lang::Field &F = L.field(CtrlIdx[K]);
+      Subst[F.Name] = F.Ty == TypeKind::Bool
+                          ? constBool(Valuations[V][K] != 0)
+                          : constInt(Valuations[V][K]);
+    }
+    for (size_t K = 0; K != CtrlIdx.size(); ++K)
+      Info.CtrlStep[V].push_back(normalizePrefix(CtrlStepSym[V][K], *Pc));
+    for (size_t JJ = 0; JJ != AccIdx.size(); ++JJ) {
+      size_t J = AccIdx[JJ];
+      ExprRef E = normalizePrefix(substitute(Prog.Step[J], Subst), *Pc);
+      auto MA =
+          classifyParam(E, L.field(J).Name, Flavors[JJ], L.field(J).Ty);
+      if (!MA)
+        return Fail("accumulator '" + L.field(J).Name +
+                    "' is not summarizable on prefixes");
+      Info.AccMode[V].push_back(MA->first);
+      Info.AccArg[V].push_back(MA->second);
+    }
+  }
+
+  return Info;
+}
+
+} // namespace synth
+} // namespace grassp

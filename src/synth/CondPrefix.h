@@ -1,0 +1,46 @@
+//===- synth/CondPrefix.h - Conditional-prefix construction (stage 3) ----===//
+//
+// Given a candidate prefix_cond, constructs the summary machinery of the
+// paper's worst-case scenario (Sect. 6.3 and 7):
+//
+//  1. Splits the state into finite-range *control* fields and
+//     *accumulator* fields (a structural fixpoint over the step shapes,
+//     refined semantically during exploration).
+//  2. Explores the reachable control valuations V.
+//  3. Requires the boundary element to synchronize control: for every
+//     pair of valuations, one f-step on a prefix_cond element must agree.
+//     Fields that block synchronization are demoted to accumulators when
+//     possible.
+//  4. Builds, per start valuation, the control transition expressions and
+//     the parametric accumulator transforms over "in" — together these
+//     are the synthesized `sum`; their tabulated application is `upd`.
+//
+// Anything that does not fit makes construction fail for that
+// prefix_cond, and the driver moves to the next candidate; every
+// constructed result is still subject to the bounded equivalence check.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SYNTH_CONDPREFIX_H
+#define GRASSP_SYNTH_CONDPREFIX_H
+
+#include "lang/Program.h"
+#include "synth/ParallelPlan.h"
+
+#include <optional>
+#include <string>
+
+namespace grassp {
+namespace synth {
+
+/// Attempts to construct the conditional-prefix machinery for
+/// \p PrefixCond (an eq/ne comparison of "in" with a constant).
+/// On failure, \p WhyNot (if non-null) receives a short reason.
+std::optional<CondPrefixInfo>
+buildCondPrefix(const lang::SerialProgram &Prog,
+                const ir::ExprRef &PrefixCond, std::string *WhyNot = nullptr);
+
+} // namespace synth
+} // namespace grassp
+
+#endif // GRASSP_SYNTH_CONDPREFIX_H

@@ -1,0 +1,79 @@
+//===- synth/EquivCheck.h - Bounded serial/parallel equivalence ----------===//
+//
+// The CEGIS backbone (paper Sect. 8): candidates are first screened
+// against a corpus of concrete counterexamples (cheap), then checked
+// symbolically — both programs are evaluated over arrays of symbolic
+// elements for every segment shape within the bounds, the outputs are
+// conjoined with a disequality, and unsatisfiability of every query
+// establishes equivalence for the bound. Satisfying models become new
+// corpus entries, pruning the remaining search space.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SYNTH_EQUIVCHECK_H
+#define GRASSP_SYNTH_EQUIVCHECK_H
+
+#include "lang/Program.h"
+#include "synth/ParallelPlan.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace grassp {
+namespace synth {
+
+using Segments = std::vector<std::vector<int64_t>>;
+
+/// Bounds of the symbolic check: all segment counts in
+/// [MinSegments, MaxSegments] with each segment length in [1, MaxLen].
+/// Segments are non-empty (the paper's file-per-segment data model).
+struct VerifyOptions {
+  unsigned MinSegments = 2;
+  unsigned MaxSegments = 3;
+  unsigned MaxLen = 3;
+  unsigned SmtTimeoutMs = 30000;
+};
+
+enum class Verdict { Equivalent, Refuted, Unknown };
+
+/// Counterexample-corpus + bounded-SMT equivalence checking for one
+/// program.
+class EquivChecker {
+public:
+  explicit EquivChecker(const lang::SerialProgram &Prog);
+
+  /// Seeds the corpus with random and crafted segmented inputs.
+  void seedCorpus(unsigned NumRandom, uint64_t Seed);
+
+  /// Records a refuting input (typically an SMT model).
+  void addCounterexample(const Segments &Segs);
+
+  /// Fast concrete screen: does the plan match the serial program on
+  /// every corpus entry?
+  bool passesCorpus(const ParallelPlan &Plan) const;
+
+  /// Bounded symbolic check. On Refuted, \p CexOut (if non-null) receives
+  /// the refuting segments (also added to the corpus).
+  Verdict verify(const ParallelPlan &Plan, const VerifyOptions &Opts,
+                 Segments *CexOut = nullptr);
+
+  size_t corpusSize() const { return Corpus.size(); }
+  unsigned numSmtChecks() const { return SmtChecks; }
+
+private:
+  struct CorpusEntry {
+    Segments Segs;
+    int64_t Expected;
+  };
+
+  void addEntry(Segments Segs);
+
+  const lang::SerialProgram &Prog;
+  std::vector<CorpusEntry> Corpus;
+  unsigned SmtChecks = 0;
+};
+
+} // namespace synth
+} // namespace grassp
+
+#endif // GRASSP_SYNTH_EQUIVCHECK_H

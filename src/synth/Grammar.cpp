@@ -1,0 +1,172 @@
+//===- synth/Grammar.cpp ---------------------------------------------------=//
+
+#include "synth/Grammar.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace grassp::ir;
+
+namespace grassp {
+namespace synth {
+
+namespace {
+
+ExprRef aVar(const lang::Field &F) { return var("a_" + F.Name, F.Ty); }
+ExprRef bVar(const lang::Field &F) { return var("b_" + F.Name, F.Ty); }
+
+/// Per-field candidate combiners (expressions over a_*, b_*).
+std::vector<ExprRef> fieldCandidates(const lang::SerialProgram &Prog,
+                                     size_t FieldIdx) {
+  const lang::StateLayout &L = Prog.State;
+  const lang::Field &F = L.field(FieldIdx);
+  std::vector<ExprRef> Out;
+  ExprRef A = aVar(F), B = bVar(F);
+
+  if (F.Ty == ir::TypeKind::Bool) {
+    Out.push_back(lor(A, B));
+    Out.push_back(land(A, B));
+    Out.push_back(B);
+    Out.push_back(A);
+    return Out;
+  }
+  if (F.Ty == ir::TypeKind::Bag)
+    return Out; // handled by the refold merge.
+
+  // Simple operator combines.
+  Out.push_back(add(A, B));
+  Out.push_back(smin(A, B));
+  Out.push_back(smax(A, B));
+  Out.push_back(B);
+  Out.push_back(A);
+
+  // Keyed shapes, one per Int key field: three-way combines for counting
+  // extrema, runner-up combines for second-maximal style states.
+  for (size_t K = 0, E = L.size(); K != E; ++K) {
+    const lang::Field &KF = L.field(K);
+    if (KF.Ty != ir::TypeKind::Int)
+      continue;
+    ExprRef AK = aVar(KF), BK = bVar(KF);
+    // "Greater key wins; equal keys combine."
+    Out.push_back(
+        ite(gt(AK, BK), A, ite(lt(AK, BK), B, add(A, B))));
+    // "Smaller key wins; equal keys combine."
+    Out.push_back(
+        ite(lt(AK, BK), A, ite(gt(AK, BK), B, add(A, B))));
+    if (K != FieldIdx) {
+      // Runner-up under a max-key / min-key.
+      Out.push_back(ite(ge(AK, BK), smax(A, BK), smax(B, AK)));
+      Out.push_back(ite(le(AK, BK), smin(A, BK), smin(B, AK)));
+    }
+  }
+  return Out;
+}
+
+unsigned mergeSize(const MergeFn &M) {
+  unsigned N = 0;
+  for (const ExprRef &E : M.Combine)
+    if (E)
+      N += exprSize(E);
+  return N;
+}
+
+} // namespace
+
+std::vector<MergeFn>
+trivialMergeCandidates(const lang::SerialProgram &Prog) {
+  std::vector<MergeFn> Out;
+  if (Prog.State.size() != 1)
+    return Out;
+  const lang::Field &F = Prog.State.field(0);
+  if (F.Ty == ir::TypeKind::Bag)
+    return Out;
+  ExprRef A = aVar(F), B = bVar(F);
+  if (F.Ty == ir::TypeKind::Bool) {
+    Out.push_back(MergeFn{false, {lor(A, B)}});
+    Out.push_back(MergeFn{false, {land(A, B)}});
+    return Out;
+  }
+  Out.push_back(MergeFn{false, {add(A, B)}});
+  Out.push_back(MergeFn{false, {smin(A, B)}});
+  Out.push_back(MergeFn{false, {smax(A, B)}});
+  return Out;
+}
+
+std::vector<MergeFn>
+nontrivialMergeCandidates(const lang::SerialProgram &Prog) {
+  std::vector<MergeFn> Out;
+  const lang::StateLayout &L = Prog.State;
+
+  if (L.hasBag()) {
+    // The refold merge: union the partial bags and let h reprocess.
+    MergeFn M;
+    M.Refold = true;
+    M.Combine.assign(L.size(), nullptr);
+    bool AllBags = true;
+    for (const lang::Field &F : L.fields())
+      AllBags &= (F.Ty == ir::TypeKind::Bag);
+    if (AllBags)
+      Out.push_back(std::move(M));
+    return Out;
+  }
+
+  // Cartesian product of per-field candidates, capped to keep the stage
+  // bounded; ordering by size below restores "simplest first".
+  std::vector<std::vector<ExprRef>> PerField;
+  size_t Product = 1;
+  for (size_t I = 0, E = L.size(); I != E; ++I) {
+    PerField.push_back(fieldCandidates(Prog, I));
+    if (PerField.back().empty())
+      return Out;
+    Product *= PerField.back().size();
+  }
+  constexpr size_t kMaxCandidates = 4096;
+  if (Product > kMaxCandidates)
+    Product = kMaxCandidates;
+
+  std::vector<size_t> Idx(L.size(), 0);
+  for (size_t N = 0; N != Product; ++N) {
+    MergeFn M;
+    for (size_t I = 0, E = L.size(); I != E; ++I)
+      M.Combine.push_back(PerField[I][Idx[I]]);
+    Out.push_back(std::move(M));
+    // Advance the mixed-radix counter.
+    for (size_t I = 0; I != L.size(); ++I) {
+      if (++Idx[I] < PerField[I].size())
+        break;
+      Idx[I] = 0;
+    }
+  }
+
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const MergeFn &X, const MergeFn &Y) {
+                     return mergeSize(X) < mergeSize(Y);
+                   });
+  return Out;
+}
+
+std::vector<ir::ExprRef>
+prefixCondCandidates(const lang::SerialProgram &Prog) {
+  ExprRef In = var(lang::inputVarName(), ir::TypeKind::Int);
+  std::vector<int64_t> Pool = Prog.constantPool();
+  // Alphabet constants first — they are the constants the data actually
+  // contains, so boundaries will be found and suffix folds stay cheap.
+  std::vector<int64_t> Ordered;
+  std::set<int64_t> SeenC;
+  for (int64_t C : Prog.InputAlphabet)
+    if (SeenC.insert(C).second)
+      Ordered.push_back(C);
+  for (int64_t C : Pool)
+    if (SeenC.insert(C).second)
+      Ordered.push_back(C);
+
+  std::vector<ir::ExprRef> Out;
+  for (int64_t C : Ordered)
+    Out.push_back(eq(In, constInt(C)));
+  for (int64_t C : Ordered)
+    Out.push_back(ne(In, constInt(C)));
+  return Out;
+}
+
+} // namespace synth
+} // namespace grassp

@@ -1,0 +1,47 @@
+//===- synth/Grammar.h - Template grammars (paper Fig. 13) ---------------===//
+//
+// Candidate generation for the synthesized functions:
+//
+//   merge  - binary combiners of partial states. Stage 1 offers the
+//            trivial single-operator merges (sum / min / max / or / and);
+//            stage 1b/2 offer structured nontrivial shapes: keyed
+//            three-way combines (counting extrema), runner-up combines
+//            (second maximal), per-field operator products, and the
+//            refold merge for bag states.
+//   prefix_cond - equality/disequality of the element with a constant
+//            drawn from the program's constant pool (paper Sect. 9.2:
+//            "it is sufficient for prefix_cond to be either equality or
+//            disequality of an element to some constant").
+//
+// Candidates are ordered by term size, so the driver tries the simplest
+// solution first — the gradual search inside a stage (paper Sect. 9.1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SYNTH_GRAMMAR_H
+#define GRASSP_SYNTH_GRAMMAR_H
+
+#include "lang/Program.h"
+#include "synth/ParallelPlan.h"
+
+#include <vector>
+
+namespace grassp {
+namespace synth {
+
+/// Stage-1 trivial merges: only generated for single-scalar-field states.
+std::vector<MergeFn> trivialMergeCandidates(const lang::SerialProgram &Prog);
+
+/// Stage-1b/2 nontrivial merges (including the refold merge when the
+/// state has a bag field), ordered by size.
+std::vector<MergeFn>
+nontrivialMergeCandidates(const lang::SerialProgram &Prog);
+
+/// Stage-3 prefix_cond candidates over "in", alphabet constants first.
+std::vector<ir::ExprRef>
+prefixCondCandidates(const lang::SerialProgram &Prog);
+
+} // namespace synth
+} // namespace grassp
+
+#endif // GRASSP_SYNTH_GRAMMAR_H

@@ -1,0 +1,112 @@
+//===- tests/ir_bytecode_test.cpp - Bytecode VM vs tree evaluation --------==//
+//
+// Property tests: for every (bag-free) benchmark step function and output
+// function, the compiled bytecode must agree with the domain evaluator on
+// random states and inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Bytecode.h"
+#include "ir/DomainEval.h"
+#include "lang/Benchmarks.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::ir;
+
+namespace {
+
+TEST(Bytecode, SimpleExpression) {
+  ExprRef E = ite(gt(var("x", TypeKind::Int), constInt(0)),
+                  add(var("y", TypeKind::Int), constInt(1)),
+                  neg(var("y", TypeKind::Int)));
+  BytecodeFunction F = BytecodeFunction::compile({E}, {"x", "y"});
+  std::vector<int64_t> Regs(F.numRegs());
+  int64_t Out = 0;
+  Regs[0] = 5;
+  Regs[1] = 10;
+  F.run(Regs.data(), &Out);
+  EXPECT_EQ(Out, 11);
+  Regs[0] = -5;
+  Regs[1] = 10;
+  F.run(Regs.data(), &Out);
+  EXPECT_EQ(Out, -10);
+}
+
+TEST(Bytecode, SharedSubexpressionsCompileOnce) {
+  ExprRef X = var("x", TypeKind::Int);
+  ExprRef Shared = mul(X, X);
+  ExprRef E = add(Shared, Shared);
+  BytecodeFunction F = BytecodeFunction::compile({E}, {"x"});
+  // mul once + add once = 2 instructions.
+  EXPECT_EQ(F.numInstrs(), 2u);
+}
+
+TEST(Bytecode, DivModByZeroIsTotal) {
+  ExprRef E = intDiv(var("x", TypeKind::Int), var("y", TypeKind::Int));
+  ExprRef M = intMod(var("x", TypeKind::Int), var("y", TypeKind::Int));
+  BytecodeFunction F = BytecodeFunction::compile({E, M}, {"x", "y"});
+  std::vector<int64_t> Regs(F.numRegs());
+  int64_t Out[2] = {7, 7};
+  Regs[0] = 10;
+  Regs[1] = 0;
+  F.run(Regs.data(), Out);
+  EXPECT_EQ(Out[0], 0);
+  EXPECT_EQ(Out[1], 0);
+}
+
+class StepBytecode : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StepBytecode, AgreesWithEvaluator) {
+  const lang::SerialProgram *P = lang::findBenchmark(GetParam());
+  ASSERT_NE(P, nullptr);
+  if (P->State.hasBag())
+    GTEST_SKIP() << "bag programs are not bytecode-compiled";
+
+  std::vector<std::string> Inputs;
+  for (const lang::Field &F : P->State.fields())
+    Inputs.push_back(F.Name);
+  Inputs.push_back(lang::inputVarName());
+  std::vector<ExprRef> Roots = P->Step;
+  Roots.push_back(P->Output);
+  BytecodeFunction F = BytecodeFunction::compile(Roots, Inputs);
+
+  Rng R(42);
+  std::vector<int64_t> Regs(F.numRegs());
+  std::vector<int64_t> Out(Roots.size());
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    ConcretePolicy CP;
+    DomainEnv<ConcretePolicy> Env;
+    for (size_t I = 0; I != P->State.size(); ++I) {
+      int64_t V = P->State.field(I).Ty == TypeKind::Bool
+                      ? static_cast<int64_t>(R.next() % 2)
+                      : R.range(-20, 20);
+      Regs[I] = V;
+      Env.emplace(P->State.field(I).Name,
+                  DomainValue<ConcretePolicy>::scalar(V));
+    }
+    int64_t In = R.range(-10, 10);
+    Regs[P->State.size()] = In;
+    Env.emplace(lang::inputVarName(),
+                DomainValue<ConcretePolicy>::scalar(In));
+    F.run(Regs.data(), Out.data());
+    for (size_t I = 0; I != Roots.size(); ++I)
+      EXPECT_EQ(Out[I], evalExpr(Roots[I], Env, CP).Sc)
+          << P->Name << " root " << I << " trial " << Trial;
+  }
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> Names;
+  for (const lang::SerialProgram &P : lang::allBenchmarks())
+    Names.push_back(P.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, StepBytecode,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

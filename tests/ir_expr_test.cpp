@@ -1,0 +1,154 @@
+//===- tests/ir_expr_test.cpp - Expression IR unit tests ------------------==//
+
+#include "ir/Expr.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp::ir;
+
+namespace {
+
+ExprRef iv(const char *N) { return var(N, TypeKind::Int); }
+ExprRef bv(const char *N) { return var(N, TypeKind::Bool); }
+
+TEST(ExprBuild, ConstantsAndVars) {
+  EXPECT_TRUE(constInt(7)->isConstInt());
+  EXPECT_EQ(constInt(7)->intValue(), 7);
+  EXPECT_TRUE(constBool(true)->boolValue());
+  EXPECT_EQ(iv("x")->varName(), "x");
+  EXPECT_EQ(iv("x")->getType(), TypeKind::Int);
+  EXPECT_EQ(bv("b")->getType(), TypeKind::Bool);
+}
+
+TEST(ExprFold, Arithmetic) {
+  EXPECT_EQ(add(constInt(2), constInt(3))->intValue(), 5);
+  EXPECT_EQ(sub(constInt(2), constInt(3))->intValue(), -1);
+  EXPECT_EQ(mul(constInt(4), constInt(3))->intValue(), 12);
+  EXPECT_EQ(neg(constInt(4))->intValue(), -4);
+  EXPECT_EQ(smin(constInt(4), constInt(3))->intValue(), 3);
+  EXPECT_EQ(smax(constInt(4), constInt(3))->intValue(), 4);
+}
+
+TEST(ExprFold, EuclideanDivMod) {
+  // SMT-LIB semantics: -7 div 2 = -4, -7 mod 2 = 1.
+  EXPECT_EQ(intDiv(constInt(-7), constInt(2))->intValue(), -4);
+  EXPECT_EQ(intMod(constInt(-7), constInt(2))->intValue(), 1);
+  EXPECT_EQ(intDiv(constInt(7), constInt(2))->intValue(), 3);
+  EXPECT_EQ(intMod(constInt(7), constInt(2))->intValue(), 1);
+}
+
+TEST(ExprFold, Identities) {
+  ExprRef X = iv("x");
+  EXPECT_TRUE(structurallyEqual(add(X, constInt(0)), X));
+  EXPECT_TRUE(structurallyEqual(mul(X, constInt(1)), X));
+  EXPECT_EQ(mul(X, constInt(0))->intValue(), 0);
+  EXPECT_EQ(sub(X, X)->intValue(), 0);
+  EXPECT_TRUE(structurallyEqual(neg(neg(X)), X));
+  EXPECT_TRUE(structurallyEqual(smin(X, X), X));
+}
+
+TEST(ExprFold, Comparisons) {
+  EXPECT_TRUE(lt(constInt(1), constInt(2))->boolValue());
+  EXPECT_FALSE(gt(constInt(1), constInt(2))->boolValue());
+  ExprRef X = iv("x");
+  EXPECT_TRUE(le(X, X)->boolValue());
+  EXPECT_FALSE(ne(X, X)->boolValue());
+}
+
+TEST(ExprFold, Booleans) {
+  ExprRef B = bv("b");
+  EXPECT_TRUE(structurallyEqual(land(B, constBool(true)), B));
+  EXPECT_FALSE(land(B, constBool(false))->boolValue());
+  EXPECT_TRUE(lor(B, constBool(true))->boolValue());
+  EXPECT_TRUE(structurallyEqual(lor(B, constBool(false)), B));
+  EXPECT_TRUE(structurallyEqual(lnot(lnot(B)), B));
+}
+
+TEST(ExprFold, Ite) {
+  ExprRef X = iv("x"), Y = iv("y"), C = bv("c");
+  EXPECT_TRUE(structurallyEqual(ite(constBool(true), X, Y), X));
+  EXPECT_TRUE(structurallyEqual(ite(constBool(false), X, Y), Y));
+  EXPECT_TRUE(structurallyEqual(ite(C, X, X), X));
+  // ite(c, true, false) == c; ite(!c, x, y) == ite(c, y, x).
+  EXPECT_TRUE(
+      structurallyEqual(ite(C, constBool(true), constBool(false)), C));
+  EXPECT_TRUE(structurallyEqual(ite(lnot(C), X, Y), ite(C, Y, X)));
+}
+
+TEST(ExprQuery, CollectVarsAndConstants) {
+  ExprRef E = ite(eq(iv("x"), constInt(5)), add(iv("y"), constInt(2)),
+                  iv("y"));
+  std::map<std::string, TypeKind> Vars;
+  collectVars(E, Vars);
+  EXPECT_EQ(Vars.size(), 2u);
+  EXPECT_TRUE(Vars.count("x"));
+  EXPECT_TRUE(Vars.count("y"));
+  std::set<int64_t> Cs;
+  collectIntConstants(E, Cs);
+  EXPECT_TRUE(Cs.count(5));
+  EXPECT_TRUE(Cs.count(2));
+}
+
+TEST(ExprTransform, Substitute) {
+  ExprRef E = add(iv("x"), mul(iv("y"), constInt(2)));
+  std::map<std::string, ExprRef> S{{"x", constInt(3)}, {"y", constInt(4)}};
+  EXPECT_EQ(substitute(E, S)->intValue(), 11);
+  // Partial substitution leaves the other variable intact.
+  std::map<std::string, ExprRef> S2{{"x", constInt(3)}};
+  std::map<std::string, TypeKind> Vars;
+  collectVars(substitute(E, S2), Vars);
+  EXPECT_EQ(Vars.size(), 1u);
+  EXPECT_TRUE(Vars.count("y"));
+}
+
+TEST(ExprPrint, ToString) {
+  ExprRef E = ite(eq(iv("in"), constInt(2)), add(iv("res"), constInt(1)),
+                  iv("res"));
+  EXPECT_EQ(toString(E), "ite((in == 2), (res + 1), res)");
+}
+
+TEST(ExprQuery, SizeAndHash) {
+  ExprRef A = add(iv("x"), constInt(1));
+  ExprRef B = add(iv("x"), constInt(1));
+  EXPECT_EQ(exprSize(A), 3u);
+  EXPECT_EQ(A->hash(), B->hash());
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_FALSE(structurallyEqual(A, add(iv("x"), constInt(2))));
+}
+
+TEST(ExprBuild, BagOps) {
+  ExprRef Bag = var("s", TypeKind::Bag);
+  ExprRef Ins = bagInsertDistinct(Bag, iv("x"));
+  EXPECT_EQ(Ins->getType(), TypeKind::Bag);
+  EXPECT_EQ(bagSize(Ins)->getType(), TypeKind::Int);
+  EXPECT_EQ(bagUnion(Bag, Ins)->getType(), TypeKind::Bag);
+}
+
+// Parameterized constant-folding sweep over every binary opcode.
+struct FoldCase {
+  Op Opcode;
+  int64_t A, B, Expected;
+};
+
+class BinFold : public ::testing::TestWithParam<FoldCase> {};
+
+TEST_P(BinFold, FoldsToConstant) {
+  const FoldCase &C = GetParam();
+  ExprRef R = binary(C.Opcode, constInt(C.A), constInt(C.B));
+  ASSERT_TRUE(R->isConst());
+  int64_t Got = R->isConstInt() ? R->intValue() : (R->boolValue() ? 1 : 0);
+  EXPECT_EQ(Got, C.Expected) << opName(C.Opcode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BinFold,
+    ::testing::Values(
+        FoldCase{Op::Add, 9, -4, 5}, FoldCase{Op::Sub, 9, -4, 13},
+        FoldCase{Op::Mul, 9, -4, -36}, FoldCase{Op::Div, 9, 4, 2},
+        FoldCase{Op::Div, -9, 4, -3}, FoldCase{Op::Mod, -9, 4, 3},
+        FoldCase{Op::Min, 9, -4, -4}, FoldCase{Op::Max, 9, -4, 9},
+        FoldCase{Op::Eq, 3, 3, 1}, FoldCase{Op::Ne, 3, 3, 0},
+        FoldCase{Op::Lt, 2, 3, 1}, FoldCase{Op::Le, 3, 3, 1},
+        FoldCase{Op::Gt, 2, 3, 0}, FoldCase{Op::Ge, 2, 3, 0}));
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/lang_interp_test.cpp - Serial semantics of the benchmarks ----==//
+//
+// Hand-computed outputs for every Table-1 program on known inputs, plus
+// the sequential recurrence-decomposition property (paper Eq. (1)): the
+// segmented fold equals the flat fold for every benchmark and random
+// segmentation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::lang;
+
+namespace {
+
+int64_t run(const char *Name, const std::vector<int64_t> &A) {
+  const SerialProgram *P = findBenchmark(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  return runSerial(*P, A);
+}
+
+TEST(SerialSemantics, Scans) {
+  EXPECT_EQ(run("count", {4, 5, 6}), 3);
+  EXPECT_EQ(run("count_gt", {4, 5, 6, 7}), 2); // > 5
+  EXPECT_EQ(run("search", {1, 2, 3}), 0);
+  EXPECT_EQ(run("search", {1, 7, 3}), 1);
+  EXPECT_EQ(run("sum", {1, -2, 3}), 2);
+  EXPECT_EQ(run("sum_even", {1, 2, 3, 4}), 6);
+  EXPECT_EQ(run("sum_even", {-2, -3}), -2);
+  EXPECT_EQ(run("sum_gt", {4, 6, 10}), 16);
+  EXPECT_EQ(run("min_elem", {5, -3, 9}), -3);
+  EXPECT_EQ(run("max_elem", {5, -3, 9}), 9);
+  EXPECT_EQ(run("max_abs", {5, -13, 9}), 13);
+}
+
+TEST(SerialSemantics, StructuredStates) {
+  EXPECT_EQ(run("second_max", {5, 9, 7}), 7);
+  EXPECT_EQ(run("second_max", {9, 9, 1}), 9); // duplicates count
+  EXPECT_EQ(run("delta_max_min", {4, 10, 6}), 6);
+  EXPECT_EQ(run("average", {3, 4, 5}), 4);
+  EXPECT_EQ(run("average", {}), 0);
+  EXPECT_EQ(run("count_max", {3, 7, 7, 2, 7}), 3);
+  EXPECT_EQ(run("count_min", {3, 1, 1, 2}), 2);
+  EXPECT_EQ(run("eq_zeros_ones", {0, 1, 2, 1, 0}), 1);
+  EXPECT_EQ(run("eq_zeros_ones", {0, 0, 1}), 0);
+  EXPECT_EQ(run("count_distinct", {4, 4, 5, 4, 6}), 3);
+}
+
+TEST(SerialSemantics, PairwiseChecks) {
+  EXPECT_EQ(run("all_equal", {5, 5, 5}), 1);
+  EXPECT_EQ(run("all_equal", {5, 7, 5}), 0);
+  EXPECT_EQ(run("is_sorted", {1, 2, 2, 9}), 1);
+  EXPECT_EQ(run("is_sorted", {1, 2, 1}), 0);
+  EXPECT_EQ(run("alternating01", {0, 1, 0, 1}), 1);
+  EXPECT_EQ(run("alternating01", {0, 1, 1}), 0);
+  EXPECT_EQ(run("alternating01", {0, 2}), 0);
+}
+
+TEST(SerialSemantics, PatternCounting) {
+  EXPECT_EQ(run("count_run1", {1, 1, 0, 1, 0, 0, 1}), 3);
+  EXPECT_EQ(run("count_run1_then2", {1, 2, 1, 1, 2, 2}), 2);
+  // The paper's Sect.-2 input, flattened: expected 3.
+  EXPECT_EQ(run("count_102",
+                {1, 0, 0, 0, 0, 0, 0, 0, 0, 2, 1, 2, 1, 0, 2, 0}),
+            3);
+  EXPECT_EQ(run("count_123", {1, 2, 3, 1, 1, 2, 2, 3, 2, 3}), 2);
+  EXPECT_EQ(run("count_10203", {1, 0, 2, 0, 0, 3, 1, 2, 3}), 2);
+}
+
+TEST(SerialSemantics, PositionalChecks) {
+  EXPECT_EQ(run("zero_first_one_last", {0, 2, 2, 1}), 1);
+  EXPECT_EQ(run("zero_first_one_last", {2, 0, 1}), 0);  // 0 not first
+  EXPECT_EQ(run("zero_first_one_last", {0, 1, 2}), 0);  // 1 not last
+  EXPECT_EQ(run("max_dist_ones", {1, 0, 0, 1, 0, 1}), 3);
+  EXPECT_EQ(run("max_dist_ones", {0, 1, 0}), 0); // single one: no pair
+  EXPECT_EQ(run("max_sum_zeros", {0, 3, 4, 0, 9, 0}), 9);
+  EXPECT_EQ(run("max_sum_zeros", {3, 4, 0, 2, 0}), 2); // head ignored
+}
+
+class RecurrenceDecomposition : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(RecurrenceDecomposition, SegmentedEqualsFlat) {
+  const SerialProgram *P = findBenchmark(GetParam());
+  ASSERT_NE(P, nullptr);
+  Rng R(11);
+  std::vector<int64_t> Reps = P->representativeInputs();
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    std::vector<int64_t> Flat =
+        randomFromAlphabet(R, Reps, 1 + R.next() % 30);
+    // Random segmentation of the flat array.
+    std::vector<std::vector<int64_t>> Segs;
+    size_t I = 0;
+    while (I < Flat.size()) {
+      size_t Len = 1 + R.next() % 5;
+      Len = std::min(Len, Flat.size() - I);
+      Segs.emplace_back(Flat.begin() + I, Flat.begin() + I + Len);
+      I += Len;
+    }
+    EXPECT_EQ(runSerialSegmented(*P, Segs), runSerial(*P, Flat))
+        << P->Name;
+  }
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> Names;
+  for (const SerialProgram &P : allBenchmarks())
+    Names.push_back(P.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, RecurrenceDecomposition,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(Benchmarks, RegistryIsComplete) {
+  EXPECT_EQ(allBenchmarks().size(), 27u);
+  unsigned B1 = 0, B2 = 0, B3 = 0, B4 = 0;
+  for (const SerialProgram &P : allBenchmarks()) {
+    B1 += P.ExpectedGroup == "B1";
+    B2 += P.ExpectedGroup == "B2";
+    B3 += P.ExpectedGroup == "B3";
+    B4 += P.ExpectedGroup == "B4";
+  }
+  EXPECT_EQ(B1, 9u);
+  EXPECT_EQ(B2, 7u);
+  // Two of the paper's B4 rows land in B3 here (see EXPERIMENTS.md).
+  EXPECT_EQ(B3, 5u);
+  EXPECT_EQ(B4, 6u);
+}
+
+TEST(Benchmarks, ConstantPools) {
+  const SerialProgram *P = findBenchmark("count_102");
+  std::vector<int64_t> Pool = P->constantPool();
+  EXPECT_TRUE(std::count(Pool.begin(), Pool.end(), 2));
+  EXPECT_TRUE(std::count(Pool.begin(), Pool.end(), 0));
+  std::vector<int64_t> Reps = P->representativeInputs();
+  EXPECT_EQ(Reps, P->InputAlphabet);
+}
+
+} // namespace

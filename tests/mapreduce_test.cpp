@@ -1,0 +1,85 @@
+//===- tests/mapreduce_test.cpp - DFS and cluster-simulator tests ----------=//
+
+#include "lang/Benchmarks.h"
+#include "mapreduce/Cluster.h"
+#include "runtime/Runner.h"
+#include "synth/Grassp.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::mapreduce;
+
+namespace {
+
+TEST(MiniDfsTest, ShardsCoverFileWithRoundRobinPlacement) {
+  MiniDfs Dfs(4, /*BlockElems=*/8);
+  std::vector<int64_t> Data(100);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<int64_t>(I);
+  Dfs.put("f", Data);
+  EXPECT_EQ(Dfs.size("f"), 100u);
+
+  std::vector<Shard> Shards = Dfs.shards("f", 10);
+  ASSERT_EQ(Shards.size(), 10u);
+  size_t Total = 0;
+  int64_t Next = 0;
+  for (const Shard &S : Shards) {
+    EXPECT_LT(S.HomeNode, 4u);
+    for (size_t I = 0; I != S.View.Size; ++I)
+      EXPECT_EQ(S.View.Data[I], Next++);
+    Total += S.View.Size;
+  }
+  EXPECT_EQ(Total, 100u);
+  // Blocks of 8 across 4 nodes: shard at offset 10 lives on node 1.
+  EXPECT_EQ(Shards[1].HomeNode, 1u);
+}
+
+class JobBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(JobBenchmark, JobOutputMatchesSerialAndSpeedupIsBounded) {
+  const lang::SerialProgram *P = lang::findBenchmark(GetParam());
+  ASSERT_NE(P, nullptr);
+  synth::SynthesisResult R = synth::synthesize(*P);
+  ASSERT_TRUE(R.Success);
+
+  ClusterConfig Cfg;
+  Cfg.ComputeScale = 50000.0;
+  MiniDfs Dfs(Cfg.Nodes);
+  std::vector<int64_t> Data = runtime::generateWorkload(*P, 60000, 5);
+  Dfs.put("in", Data);
+
+  JobReport Rep = runJob(*P, R.Plan, Dfs, "in", Cfg);
+  runtime::CompiledProgram CP(*P);
+  EXPECT_EQ(Rep.Output, CP.runSerial({{Data.data(), Data.size()}}));
+  EXPECT_GT(Rep.Speedup, 1.0);
+  EXPECT_LE(Rep.Speedup, Cfg.Nodes + 0.5);
+  EXPECT_GT(Rep.ParallelJobSec, Cfg.JobStartupSec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, JobBenchmark,
+                         ::testing::Values("sum", "average", "count_max",
+                                           "second_max", "all_equal",
+                                           "search"),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(ClusterSim, MoreNodesNeverSlower) {
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  synth::SynthesisResult R = synth::synthesize(*P);
+  ASSERT_TRUE(R.Success);
+  std::vector<int64_t> Data = runtime::generateWorkload(*P, 60000, 5);
+
+  double Prev = 1e100;
+  for (unsigned Nodes : {2u, 5u, 10u}) {
+    ClusterConfig Cfg;
+    Cfg.Nodes = Nodes;
+    Cfg.ComputeScale = 50000.0;
+    MiniDfs Dfs(Nodes);
+    Dfs.put("in", Data);
+    JobReport Rep = runJob(*P, R.Plan, Dfs, "in", Cfg);
+    EXPECT_LT(Rep.ParallelJobSec, Prev * 1.2); // allow timing noise
+    Prev = Rep.ParallelJobSec;
+  }
+}
+
+} // namespace

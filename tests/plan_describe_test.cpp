@@ -1,0 +1,98 @@
+//===- tests/plan_describe_test.cpp - Plan metadata and printing ----------==//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "synth/Grassp.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::ir;
+using namespace grassp::synth;
+
+namespace {
+
+TEST(PlanMeta, ScenarioAndFlavorNames) {
+  EXPECT_STREQ(scenarioName(Scenario::NoPrefix), "no-prefix");
+  EXPECT_STREQ(scenarioName(Scenario::ConstPrefix), "const-prefix");
+  EXPECT_STREQ(scenarioName(Scenario::CondPrefixRefold),
+               "cond-prefix-refold");
+  EXPECT_STREQ(scenarioName(Scenario::CondPrefixSummary),
+               "cond-prefix-summary");
+  EXPECT_STREQ(accFlavorName(AccFlavor::Plus), "+");
+  EXPECT_STREQ(accFlavorName(AccFlavor::Max), "max");
+}
+
+TEST(PlanMeta, TrivialMergeClassification) {
+  MergeFn M;
+  M.Combine = {add(var("a_s", TypeKind::Int), var("b_s", TypeKind::Int))};
+  EXPECT_TRUE(M.isTrivial());
+  MergeFn Keyed;
+  Keyed.Combine = {ite(gt(var("a_k", TypeKind::Int),
+                          var("b_k", TypeKind::Int)),
+                      var("a_s", TypeKind::Int),
+                      var("b_s", TypeKind::Int))};
+  EXPECT_FALSE(Keyed.isTrivial());
+  MergeFn Refold;
+  Refold.Refold = true;
+  EXPECT_FALSE(Refold.isTrivial());
+}
+
+TEST(PlanMeta, GroupLabels) {
+  // Single-field trivial merge: B1.
+  ParallelPlan P1;
+  P1.Kind = Scenario::NoPrefix;
+  P1.Merge.Combine = {
+      add(var("a_s", TypeKind::Int), var("b_s", TypeKind::Int))};
+  EXPECT_EQ(P1.group(), "B1");
+  // Multi-field, even if each field is a single operator: B2.
+  ParallelPlan P2 = P1;
+  P2.Merge.Combine.push_back(
+      smax(var("a_m", TypeKind::Int), var("b_m", TypeKind::Int)));
+  EXPECT_EQ(P2.group(), "B2");
+  ParallelPlan P3;
+  P3.Kind = Scenario::ConstPrefix;
+  EXPECT_EQ(P3.group(), "B3");
+  ParallelPlan P4;
+  P4.Kind = Scenario::CondPrefixSummary;
+  EXPECT_EQ(P4.group(), "B4");
+}
+
+TEST(PlanMeta, DescribeMentionsKeyArtifacts) {
+  const lang::SerialProgram *P = lang::findBenchmark("count_102");
+  SynthesisResult R = synthesize(*P);
+  ASSERT_TRUE(R.Success);
+  std::string D = R.Plan.describe(*P);
+  EXPECT_NE(D.find("prefix_cond"), std::string::npos);
+  EXPECT_NE(D.find("upd"), std::string::npos);
+  EXPECT_NE(D.find("B4"), std::string::npos);
+}
+
+TEST(SymbolicFold, ConstantFoldsClosedPrograms) {
+  // Folding "count" over 3 symbolic elements yields the literal 3: the
+  // builders' local simplification collapses input-independent terms.
+  const lang::SerialProgram *P = lang::findBenchmark("count");
+  SymbolicPolicy Pol;
+  lang::StateVec<SymbolicPolicy> St = lang::initialState(*P, Pol);
+  std::vector<ExprRef> Elems = {var("e0", TypeKind::Int),
+                                var("e1", TypeKind::Int),
+                                var("e2", TypeKind::Int)};
+  St = lang::foldSegment(*P, std::move(St), Elems, Pol);
+  ExprRef Out = lang::outputOf(*P, St, Pol);
+  ASSERT_TRUE(Out->isConstInt());
+  EXPECT_EQ(Out->intValue(), 3);
+}
+
+TEST(SymbolicFold, SumBuildsLinearTerm) {
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  SymbolicPolicy Pol;
+  lang::StateVec<SymbolicPolicy> St = lang::initialState(*P, Pol);
+  std::vector<ExprRef> Elems = {var("e0", TypeKind::Int),
+                                var("e1", TypeKind::Int)};
+  St = lang::foldSegment(*P, std::move(St), Elems, Pol);
+  ExprRef Out = lang::outputOf(*P, St, Pol);
+  // The zero initial state folds away: the result is e0 + e1.
+  EXPECT_EQ(toString(Out), "(e0 + e1)");
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/runtime_kernels_test.cpp - Kernels vs reference semantics ----==//
+//
+// Cross-checks the compiled runtime kernels against (a) the serial
+// reference interpreter and (b) the domain-generic plan executor, for
+// every benchmark, over randomized workloads and segmentations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "runtime/Runner.h"
+#include "support/Random.h"
+#include "synth/Grassp.h"
+#include "synth/PlanEval.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::lang;
+using namespace grassp::runtime;
+using namespace grassp::synth;
+
+namespace {
+
+class KernelBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelBenchmark, CompiledMatchesReference) {
+  const SerialProgram *P = findBenchmark(GetParam());
+  ASSERT_NE(P, nullptr);
+  SynthesisResult R = synthesize(*P);
+  ASSERT_TRUE(R.Success) << R.FailureReason;
+
+  CompiledProgram CP(*P);
+  CompiledPlan Plan(*P, R.Plan);
+
+  Rng Rand(0x5151);
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    size_t N = 40 + Rand.next() % 400;
+    std::vector<int64_t> Data = generateWorkload(*P, N, Rand.next());
+    unsigned M = 2 + Rand.next() % 6;
+    std::vector<SegmentView> Segs = partition(Data, M);
+
+    // Reference serial result via the interpreter.
+    Segments RefSegs;
+    for (const SegmentView &S : Segs)
+      RefSegs.emplace_back(S.Data, S.Data + S.Size);
+    int64_t Expected = runSerialSegmented(*P, RefSegs);
+
+    // Compiled serial kernel.
+    EXPECT_EQ(CP.runSerial(Segs), Expected);
+
+    // Compiled parallel kernel (sequential workers).
+    ParallelRunResult PR = runParallel(Plan, Segs, nullptr);
+    EXPECT_EQ(PR.Output, Expected) << P->Name << " trial " << Trial;
+
+    // Compiled parallel kernel on a real thread pool.
+    ThreadPool Pool(3);
+    ParallelRunResult PT = runParallel(Plan, Segs, &Pool);
+    EXPECT_EQ(PT.Output, Expected);
+
+    // Reference plan executor agrees too.
+    EXPECT_EQ(runPlanConcrete(*P, R.Plan, RefSegs), Expected);
+  }
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> Names;
+  for (const SerialProgram &P : allBenchmarks())
+    Names.push_back(P.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, KernelBenchmark,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

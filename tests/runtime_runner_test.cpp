@@ -1,0 +1,113 @@
+//===- tests/runtime_runner_test.cpp - Runner and workload tests -----------=//
+
+#include "lang/Benchmarks.h"
+#include "runtime/Runner.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace grassp;
+using namespace grassp::runtime;
+
+namespace {
+
+TEST(Partition, CoversDataContiguously) {
+  std::vector<int64_t> Data(103);
+  std::iota(Data.begin(), Data.end(), 0);
+  for (unsigned M : {1u, 2u, 7u, 103u}) {
+    std::vector<SegmentView> Segs = partition(Data, M);
+    ASSERT_EQ(Segs.size(), M);
+    size_t Total = 0;
+    const int64_t *Expect = Data.data();
+    for (const SegmentView &S : Segs) {
+      EXPECT_GE(S.Size, 1u);
+      EXPECT_EQ(S.Data, Expect);
+      Expect += S.Size;
+      Total += S.Size;
+    }
+    EXPECT_EQ(Total, Data.size());
+    // Near-equal: sizes differ by at most one.
+    size_t Mn = Segs[0].Size, Mx = Segs[0].Size;
+    for (const SegmentView &S : Segs) {
+      Mn = std::min(Mn, S.Size);
+      Mx = std::max(Mx, S.Size);
+    }
+    EXPECT_LE(Mx - Mn, 1u);
+  }
+}
+
+TEST(Makespan, LptBasics) {
+  // One worker: makespan is the sum.
+  EXPECT_DOUBLE_EQ(makespan({1, 2, 3}, 1), 6.0);
+  // Enough workers: makespan is the max.
+  EXPECT_DOUBLE_EQ(makespan({1, 2, 3}, 3), 3.0);
+  // The classic LPT suboptimality instance: {3,3,2,2,2} on 2 workers
+  // schedules to 7 (optimal is 6) — LPT is a 7/6 approximation.
+  EXPECT_DOUBLE_EQ(makespan({3, 3, 2, 2, 2}, 2), 7.0);
+  // Balanced case: {4,3,3,2} on 2 workers -> 6.
+  EXPECT_DOUBLE_EQ(makespan({4, 3, 3, 2}, 2), 6.0);
+}
+
+TEST(Makespan, NeverBelowTheoreticalBounds) {
+  std::vector<double> T = {5, 1, 4, 2, 8, 3, 3, 6};
+  double Sum = 0, Max = 0;
+  for (double X : T) {
+    Sum += X;
+    Max = std::max(Max, X);
+  }
+  for (unsigned P = 1; P <= 8; ++P) {
+    double M = makespan(T, P);
+    EXPECT_GE(M + 1e-9, Sum / P);
+    EXPECT_GE(M + 1e-9, Max);
+    EXPECT_LE(M, Sum + 1e-9);
+  }
+}
+
+TEST(Workload, GeneratorsMatchBenchmarks) {
+  const lang::SerialProgram *Sorted = lang::findBenchmark("is_sorted");
+  std::vector<int64_t> S = generateWorkload(*Sorted, 1000, 3);
+  for (size_t I = 1; I != S.size(); ++I)
+    EXPECT_LE(S[I - 1], S[I]);
+
+  const lang::SerialProgram *Alt = lang::findBenchmark("alternating01");
+  std::vector<int64_t> A = generateWorkload(*Alt, 100, 3);
+  for (size_t I = 1; I != A.size(); ++I)
+    EXPECT_NE(A[I - 1], A[I]);
+
+  const lang::SerialProgram *Pat = lang::findBenchmark("count_102");
+  std::vector<int64_t> Pd = generateWorkload(*Pat, 1000, 3);
+  for (int64_t V : Pd)
+    EXPECT_TRUE(V == 0 || V == 1 || V == 2);
+
+  // The skewed distinct stream: wide head, narrow tail.
+  const lang::SerialProgram *D = lang::findBenchmark("count_distinct");
+  std::vector<int64_t> Dd = generateWorkload(*D, 8000, 3);
+  for (size_t I = 4000; I != Dd.size(); ++I)
+    EXPECT_GE(Dd[I], 1600);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+  // Reusable after wait().
+  Pool.submit([&Count] { Count += 10; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 110);
+}
+
+TEST(Runner, SpeedupModelIsConsistent) {
+  ParallelRunResult R;
+  R.WorkerSeconds = {0.1, 0.1, 0.1, 0.1};
+  R.MergeSeconds = 0.0;
+  EXPECT_NEAR(modeledSpeedup(0.4, R, 4), 4.0, 1e-9);
+  EXPECT_NEAR(modeledSpeedup(0.4, R, 1), 1.0, 1e-9);
+}
+
+} // namespace

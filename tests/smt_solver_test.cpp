@@ -1,0 +1,82 @@
+//===- tests/smt_solver_test.cpp - Z3 facade tests -------------------------=//
+
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp::ir;
+using namespace grassp::smt;
+
+namespace {
+
+ExprRef iv(const char *N) { return var(N, TypeKind::Int); }
+
+TEST(SmtSolver, SatAndModel) {
+  SmtSolver S;
+  S.add(eq(add(iv("x"), iv("y")), constInt(10)));
+  S.add(gt(iv("x"), constInt(7)));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  int64_t X = S.modelInt("x"), Y = S.modelInt("y");
+  EXPECT_EQ(X + Y, 10);
+  EXPECT_GT(X, 7);
+}
+
+TEST(SmtSolver, Unsat) {
+  SmtSolver S;
+  S.add(gt(iv("x"), constInt(5)));
+  S.add(lt(iv("x"), constInt(3)));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+}
+
+TEST(SmtSolver, PushPop) {
+  SmtSolver S;
+  S.add(gt(iv("x"), constInt(0)));
+  S.push();
+  S.add(lt(iv("x"), constInt(0)));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+  S.pop();
+  EXPECT_EQ(S.check(), SatResult::Sat);
+  EXPECT_EQ(S.numChecks(), 2u);
+}
+
+TEST(SmtSolver, BoolVars) {
+  SmtSolver S;
+  ExprRef B = var("b", TypeKind::Bool);
+  S.add(B);
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  EXPECT_TRUE(S.modelBool("b"));
+}
+
+TEST(SmtSolver, EuclideanDivModSemantics) {
+  // -7 div 2 == -4 and -7 mod 2 == 1 must be valid (unsat negation).
+  SmtSolver S;
+  S.add(ne(intDiv(constInt(-7), add(iv("z"), constInt(2))),
+           constInt(-4))); // z == 0 forced below
+  S.add(eq(iv("z"), constInt(0)));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+
+  SmtSolver S2;
+  S2.add(eq(iv("x"), constInt(-7)));
+  S2.add(ne(intMod(iv("x"), constInt(2)), constInt(1)));
+  EXPECT_EQ(S2.check(), SatResult::Unsat);
+}
+
+TEST(SmtSolver, MinMaxIteLowering) {
+  // max(x, y) >= x /\ max(x, y) >= y is valid.
+  SmtSolver S;
+  ExprRef M = smax(iv("x"), iv("y"));
+  S.add(lnot(land(ge(M, iv("x")), ge(M, iv("y")))));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+}
+
+TEST(SmtSolver, IteAndConnectives) {
+  // ite(b, x, y) picks a branch: (b -> r == x) /\ (!b -> r == y).
+  SmtSolver S;
+  ExprRef B = var("b", TypeKind::Bool);
+  ExprRef R = ite(B, iv("x"), iv("y"));
+  S.add(lnot(lor(land(B, eq(R, iv("x"))),
+                 land(lnot(B), eq(R, iv("y"))))));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+//===- tests/synth_benchmarks_test.cpp - Full Table-1 synthesis sweep -----==//
+//
+// Synthesizes every Table-1 benchmark, asserts that GRASSP's gradual
+// search lands it in the paper's group (B1..B4), and property-checks the
+// resulting plan against the serial specification on randomized
+// segmentations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "support/Random.h"
+#include "synth/Grassp.h"
+#include "synth/PlanEval.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::lang;
+using namespace grassp::synth;
+
+namespace {
+
+class SynthBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SynthBenchmark, SynthesizesIntoExpectedGroup) {
+  const SerialProgram *P = findBenchmark(GetParam());
+  ASSERT_NE(P, nullptr);
+  SynthesisResult R = synthesize(*P);
+  ASSERT_TRUE(R.Success) << P->Name << ": " << R.FailureReason;
+  EXPECT_EQ(R.Group, P->ExpectedGroup) << P->Name;
+
+  // Property check on random segmentations (beyond the verifier bounds).
+  Rng Rand(0xabcdef);
+  std::vector<int64_t> Reps = P->representativeInputs();
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    unsigned M = 1 + Rand.next() % 6;
+    Segments Segs(M);
+    for (auto &S : Segs) {
+      unsigned Len = 1 + Rand.next() % 9;
+      S = Trial % 2 == 0
+              ? randomFromAlphabet(Rand, Reps, Len)
+              : randomInRange(Rand, P->GenLo, P->GenHi, Len);
+    }
+    ASSERT_EQ(runPlanConcrete(*P, R.Plan, Segs),
+              runSerialSegmented(*P, Segs))
+        << P->Name << " trial " << Trial;
+  }
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> Names;
+  for (const SerialProgram &P : allBenchmarks())
+    Names.push_back(P.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SynthBenchmark,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

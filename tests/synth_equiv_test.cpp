@@ -1,0 +1,99 @@
+//===- tests/synth_equiv_test.cpp - Bounded verifier tests -----------------=//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "synth/EquivCheck.h"
+#include "synth/PlanEval.h"
+#include "synth/Grammar.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::ir;
+using namespace grassp::synth;
+
+namespace {
+
+MergeFn singleFieldMerge(const lang::SerialProgram &P, Op O) {
+  const lang::Field &F = P.State.field(0);
+  return MergeFn{false,
+                 {binary(O, var("a_" + F.Name, F.Ty),
+                         var("b_" + F.Name, F.Ty))}};
+}
+
+TEST(EquivCheck, AcceptsCorrectSumMerge) {
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  EquivChecker C(*P);
+  ParallelPlan Plan;
+  Plan.Kind = Scenario::NoPrefix;
+  Plan.Merge = singleFieldMerge(*P, Op::Add);
+  EXPECT_EQ(C.verify(Plan, VerifyOptions()), Verdict::Equivalent);
+}
+
+TEST(EquivCheck, RefutesWrongSumMergeWithCounterexample) {
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  EquivChecker C(*P);
+  ParallelPlan Plan;
+  Plan.Kind = Scenario::NoPrefix;
+  Plan.Merge = singleFieldMerge(*P, Op::Max);
+  Segments Cex;
+  ASSERT_EQ(C.verify(Plan, VerifyOptions(), &Cex), Verdict::Refuted);
+  // The model really is a counterexample: serial != plan on it.
+  EXPECT_NE(lang::runSerialSegmented(*P, Cex),
+            runPlanConcrete(*P, Plan, Cex));
+  // And it entered the corpus, so the same plan now fails the screen.
+  EXPECT_FALSE(C.passesCorpus(Plan));
+}
+
+TEST(EquivCheck, CorpusScreensObviouslyWrongPlans) {
+  const lang::SerialProgram *P = lang::findBenchmark("count");
+  EquivChecker C(*P);
+  C.seedCorpus(50, 1);
+  ParallelPlan Wrong;
+  Wrong.Kind = Scenario::NoPrefix;
+  Wrong.Merge = singleFieldMerge(*P, Op::Min);
+  EXPECT_FALSE(C.passesCorpus(Wrong));
+  ParallelPlan Right;
+  Right.Kind = Scenario::NoPrefix;
+  Right.Merge = singleFieldMerge(*P, Op::Add);
+  EXPECT_TRUE(C.passesCorpus(Right));
+}
+
+TEST(EquivCheck, ConstPrefixLengthMatters) {
+  // is_sorted needs l >= 1; l = 0 (plain merge) must be refuted.
+  const lang::SerialProgram *P = lang::findBenchmark("is_sorted");
+  EquivChecker C(*P);
+  std::vector<MergeFn> Ms = nontrivialMergeCandidates(*P);
+
+  bool AnyL1Accepted = false;
+  for (const MergeFn &M : Ms) {
+    ParallelPlan Plan;
+    Plan.Kind = Scenario::ConstPrefix;
+    Plan.PrefixLen = 1;
+    Plan.Merge = M;
+    if (!C.passesCorpus(Plan))
+      continue;
+    if (C.verify(Plan, VerifyOptions()) == Verdict::Equivalent) {
+      AnyL1Accepted = true;
+      // The same merge *without* the repair must be wrong.
+      ParallelPlan NoRepair = Plan;
+      NoRepair.Kind = Scenario::NoPrefix;
+      EXPECT_NE(C.verify(NoRepair, VerifyOptions()), Verdict::Equivalent);
+      break;
+    }
+  }
+  EXPECT_TRUE(AnyL1Accepted);
+}
+
+TEST(EquivCheck, SmtQueriesAreCounted) {
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  EquivChecker C(*P);
+  ParallelPlan Plan;
+  Plan.Kind = Scenario::NoPrefix;
+  Plan.Merge = singleFieldMerge(*P, Op::Add);
+  VerifyOptions Opts;
+  C.verify(Plan, Opts);
+  EXPECT_GT(C.numSmtChecks(), 0u);
+}
+
+} // namespace

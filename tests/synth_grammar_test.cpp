@@ -1,0 +1,83 @@
+//===- tests/synth_grammar_test.cpp - Fig. 13 grammar tests ----------------=//
+
+#include "lang/Benchmarks.h"
+#include "synth/Grammar.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::synth;
+
+namespace {
+
+TEST(Grammar, TrivialMergesOnlyForSingleField) {
+  const lang::SerialProgram *Sum = lang::findBenchmark("sum");
+  std::vector<MergeFn> T = trivialMergeCandidates(*Sum);
+  EXPECT_EQ(T.size(), 3u); // +, min, max
+  for (const MergeFn &M : T)
+    EXPECT_TRUE(M.isTrivial());
+
+  const lang::SerialProgram *Avg = lang::findBenchmark("average");
+  EXPECT_TRUE(trivialMergeCandidates(*Avg).empty());
+}
+
+TEST(Grammar, BooleanTrivialMerges) {
+  const lang::SerialProgram *Search = lang::findBenchmark("search");
+  std::vector<MergeFn> T = trivialMergeCandidates(*Search);
+  EXPECT_EQ(T.size(), 2u); // or, and
+}
+
+TEST(Grammar, NontrivialMergesAreSizeOrdered) {
+  const lang::SerialProgram *P = lang::findBenchmark("second_max");
+  std::vector<MergeFn> Ms = nontrivialMergeCandidates(*P);
+  ASSERT_GT(Ms.size(), 10u);
+  auto Size = [](const MergeFn &M) {
+    unsigned N = 0;
+    for (const ir::ExprRef &E : M.Combine)
+      N += ir::exprSize(E);
+    return N;
+  };
+  for (size_t I = 1; I != Ms.size(); ++I)
+    EXPECT_LE(Size(Ms[I - 1]), Size(Ms[I]));
+}
+
+TEST(Grammar, RunnerUpShapeIsGenerated) {
+  // The second-max merge needs ite(a_m1 >= b_m1, max(a_m2, b_m1),
+  // max(b_m2, a_m1)); check some candidate contains an ite over m2.
+  const lang::SerialProgram *P = lang::findBenchmark("second_max");
+  bool FoundIte = false;
+  for (const MergeFn &M : nontrivialMergeCandidates(*P))
+    FoundIte |= M.Combine[1]->getOp() == ir::Op::Ite;
+  EXPECT_TRUE(FoundIte);
+}
+
+TEST(Grammar, RefoldOnlyForBagStates) {
+  const lang::SerialProgram *D = lang::findBenchmark("count_distinct");
+  std::vector<MergeFn> Ms = nontrivialMergeCandidates(*D);
+  ASSERT_EQ(Ms.size(), 1u);
+  EXPECT_TRUE(Ms[0].Refold);
+
+  const lang::SerialProgram *S = lang::findBenchmark("sum");
+  for (const MergeFn &M : nontrivialMergeCandidates(*S))
+    EXPECT_FALSE(M.Refold);
+}
+
+TEST(Grammar, PrefixCondsPutAlphabetFirst) {
+  const lang::SerialProgram *P = lang::findBenchmark("count_102");
+  std::vector<ir::ExprRef> Pcs = prefixCondCandidates(*P);
+  ASSERT_GE(Pcs.size(), 6u);
+  // First candidates are equalities with alphabet constants 0, 1, 2.
+  EXPECT_EQ(ir::toString(Pcs[0]), "(in == 0)");
+  EXPECT_EQ(ir::toString(Pcs[1]), "(in == 1)");
+  EXPECT_EQ(ir::toString(Pcs[2]), "(in == 2)");
+  // Disequalities come after all equalities.
+  bool SeenNe = false;
+  for (const ir::ExprRef &Pc : Pcs) {
+    if (Pc->getOp() == ir::Op::Ne)
+      SeenNe = true;
+    else
+      EXPECT_FALSE(SeenNe) << "eq after ne";
+  }
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- tests/synth_smoke_test.cpp - End-to-end synthesis smoke tests ------==//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "support/Random.h"
+#include "synth/Grassp.h"
+#include "synth/PlanEval.h"
+
+#include <gtest/gtest.h>
+
+using namespace grassp;
+using namespace grassp::lang;
+using namespace grassp::synth;
+
+namespace {
+
+SynthesisResult synthFor(const char *Name) {
+  const SerialProgram *P = findBenchmark(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  SynthOptions Opts;
+  return synthesize(*P, Opts);
+}
+
+void checkPlanOnRandomData(const char *Name, const SynthesisResult &R) {
+  const SerialProgram *P = findBenchmark(Name);
+  ASSERT_TRUE(R.Success) << Name;
+  Rng Rand(7);
+  std::vector<int64_t> Reps = P->representativeInputs();
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    unsigned M = 1 + Rand.next() % 5;
+    Segments Segs(M);
+    for (auto &S : Segs)
+      S = randomFromAlphabet(Rand, Reps, 1 + Rand.next() % 8);
+    EXPECT_EQ(runPlanConcrete(*P, R.Plan, Segs),
+              runSerialSegmented(*P, Segs))
+        << Name << " trial " << Trial;
+  }
+}
+
+TEST(SynthSmoke, Count) {
+  SynthesisResult R = synthFor("count");
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Group, "B1");
+  checkPlanOnRandomData("count", R);
+}
+
+TEST(SynthSmoke, SecondMax) {
+  SynthesisResult R = synthFor("second_max");
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Group, "B2");
+  checkPlanOnRandomData("second_max", R);
+}
+
+TEST(SynthSmoke, IsSorted) {
+  SynthesisResult R = synthFor("is_sorted");
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Group, "B3");
+  checkPlanOnRandomData("is_sorted", R);
+}
+
+TEST(SynthSmoke, Count102) {
+  SynthesisResult R = synthFor("count_102");
+  ASSERT_TRUE(R.Success) << R.FailureReason;
+  EXPECT_EQ(R.Group, "B4");
+  checkPlanOnRandomData("count_102", R);
+}
+
+TEST(SynthSmoke, CountDistinctRefold) {
+  SynthesisResult R = synthFor("count_distinct");
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Group, "B2");
+  checkPlanOnRandomData("count_distinct", R);
+}
+
+} // namespace

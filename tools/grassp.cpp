@@ -1,0 +1,151 @@
+//===- tools/grassp.cpp - The GRASSP command-line driver ------------------==//
+//
+// End-user entry point:
+//
+//   grassp list                      list the Table-1 benchmarks
+//   grassp synth <name>             synthesize and describe the plan
+//   grassp run <name> [N] [P]       serial vs parallel over N elements
+//   grassp emit-cpp <name>          print the standalone C++ translation
+//   grassp emit-mr <name>           print the mapper/reducer translation
+//   grassp emit-chc <name>          print the CHC system (SMT-LIB2)
+//   grassp certify <name> [ms]      Spacer certification
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Certify.h"
+#include "codegen/CppCodegen.h"
+#include "lang/Benchmarks.h"
+#include "runtime/Runner.h"
+#include "support/Timing.h"
+#include "synth/Grassp.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace grassp;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s list | synth <name> | run <name> [N] [P] |\n"
+               "       emit-cpp <name> | emit-mr <name> | emit-chc <name> "
+               "| certify <name> [timeout-ms]\n",
+               Prog);
+  return 2;
+}
+
+const lang::SerialProgram *lookup(const char *Name) {
+  const lang::SerialProgram *P = lang::findBenchmark(Name);
+  if (!P)
+    std::fprintf(stderr, "error: unknown benchmark '%s' (try 'list')\n",
+                 Name);
+  return P;
+}
+
+synth::SynthesisResult synthOrDie(const lang::SerialProgram &P) {
+  synth::SynthesisResult R = synth::synthesize(P);
+  if (!R.Success) {
+    std::fprintf(stderr, "error: synthesis failed: %s\n",
+                 R.FailureReason.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+  const char *Cmd = argv[1];
+
+  if (std::strcmp(Cmd, "list") == 0) {
+    for (const lang::SerialProgram &P : lang::allBenchmarks())
+      std::printf("%-22s %-4s %s\n", P.Name.c_str(),
+                  P.ExpectedGroup.c_str(), P.Description.c_str());
+    return 0;
+  }
+  if (argc < 3)
+    return usage(argv[0]);
+  const lang::SerialProgram *P = lookup(argv[2]);
+  if (!P)
+    return 1;
+
+  if (std::strcmp(Cmd, "synth") == 0) {
+    synth::SynthesisResult R = synthOrDie(*P);
+    std::printf("%s (%s)\nsynthesized in %s, %u candidates, %u SMT "
+                "queries\n\n%s\nstages:\n",
+                P->Name.c_str(), P->Description.c_str(),
+                formatSeconds(R.SynthSeconds).c_str(), R.CandidatesTried,
+                R.SmtChecks, R.Plan.describe(*P).c_str());
+    for (const std::string &S : R.StageLog)
+      std::printf("  %s\n", S.c_str());
+    return 0;
+  }
+  if (std::strcmp(Cmd, "run") == 0) {
+    size_t N = argc > 3 ? static_cast<size_t>(std::atoll(argv[3]))
+                        : 10000000;
+    unsigned Workers = argc > 4 ? static_cast<unsigned>(std::atoi(argv[4]))
+                                : 8;
+    synth::SynthesisResult R = synthOrDie(*P);
+    std::vector<int64_t> Data = runtime::generateWorkload(*P, N, 1);
+    std::vector<runtime::SegmentView> Segs =
+        runtime::partition(Data, Workers);
+    runtime::CompiledProgram CP(*P);
+    runtime::CompiledPlan Plan(*P, R.Plan);
+    double SerialSec = 0;
+    int64_t SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
+    runtime::ParallelRunResult PR = runtime::runParallel(Plan, Segs);
+    std::printf("serial   = %lld (%s)\nparallel = %lld (modeled %.2fX on "
+                "%u workers)\n",
+                (long long)SerialOut, formatSeconds(SerialSec).c_str(),
+                (long long)PR.Output,
+                runtime::modeledSpeedup(SerialSec, PR, Workers), Workers);
+    return SerialOut == PR.Output ? 0 : 1;
+  }
+  if (std::strcmp(Cmd, "emit-cpp") == 0) {
+    synth::SynthesisResult R = synthOrDie(*P);
+    std::string Code = codegen::emitStandaloneCpp(*P, R.Plan);
+    if (Code.empty()) {
+      std::fprintf(stderr, "error: plan not supported by the emitter\n");
+      return 1;
+    }
+    std::fputs(Code.c_str(), stdout);
+    return 0;
+  }
+  if (std::strcmp(Cmd, "emit-mr") == 0) {
+    synth::SynthesisResult R = synthOrDie(*P);
+    std::string Code = codegen::emitMapReduceCpp(*P, R.Plan);
+    if (Code.empty()) {
+      std::fprintf(stderr, "error: only order-insensitive no-prefix "
+                           "plans translate to MapReduce\n");
+      return 1;
+    }
+    std::fputs(Code.c_str(), stdout);
+    return 0;
+  }
+  if (std::strcmp(Cmd, "emit-chc") == 0) {
+    synth::SynthesisResult R = synthOrDie(*P);
+    std::string Text = chc::chcToSmtlib(*P, R.Plan);
+    if (Text.empty()) {
+      std::fprintf(stderr, "error: plan not encodable as CHCs\n");
+      return 1;
+    }
+    std::fputs(Text.c_str(), stdout);
+    return 0;
+  }
+  if (std::strcmp(Cmd, "certify") == 0) {
+    synth::SynthesisResult R = synthOrDie(*P);
+    chc::CertifyOptions Opts;
+    if (argc > 3)
+      Opts.TimeoutMs = static_cast<unsigned>(std::atoi(argv[3]));
+    chc::CertifyOutcome C = chc::certify(*P, R.Plan, Opts);
+    std::printf("%s: %s in %s (%u variables)\n", P->Name.c_str(),
+                chc::certStatusName(C.Status),
+                formatSeconds(C.Seconds).c_str(), C.NumVars);
+    return C.Status == chc::CertStatus::Certified ? 0 : 1;
+  }
+  return usage(argv[0]);
+}
