@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chc.dir/bench_chc.cpp.o"
+  "CMakeFiles/bench_chc.dir/bench_chc.cpp.o.d"
+  "bench_chc"
+  "bench_chc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

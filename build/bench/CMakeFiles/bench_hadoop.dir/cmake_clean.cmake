@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hadoop.dir/bench_hadoop.cpp.o"
+  "CMakeFiles/bench_hadoop.dir/bench_hadoop.cpp.o.d"
+  "bench_hadoop"
+  "bench_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

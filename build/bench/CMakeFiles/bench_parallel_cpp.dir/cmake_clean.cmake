@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_cpp.dir/bench_parallel_cpp.cpp.o"
+  "CMakeFiles/bench_parallel_cpp.dir/bench_parallel_cpp.cpp.o.d"
+  "bench_parallel_cpp"
+  "bench_parallel_cpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_cpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

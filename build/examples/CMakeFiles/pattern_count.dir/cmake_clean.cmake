@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_count.dir/pattern_count.cpp.o"
+  "CMakeFiles/pattern_count.dir/pattern_count.cpp.o.d"
+  "pattern_count"
+  "pattern_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/grassp_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/grassp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/grassp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/chc/CMakeFiles/grassp_chc.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/grassp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/grassp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/grassp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grassp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/grassp_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

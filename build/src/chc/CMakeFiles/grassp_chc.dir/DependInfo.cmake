@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chc/Certify.cpp" "src/chc/CMakeFiles/grassp_chc.dir/Certify.cpp.o" "gcc" "src/chc/CMakeFiles/grassp_chc.dir/Certify.cpp.o.d"
+  "/root/repo/src/chc/Encode.cpp" "src/chc/CMakeFiles/grassp_chc.dir/Encode.cpp.o" "gcc" "src/chc/CMakeFiles/grassp_chc.dir/Encode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/grassp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/grassp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/grassp_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/grassp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grassp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_chc.dir/Certify.cpp.o"
+  "CMakeFiles/grassp_chc.dir/Certify.cpp.o.d"
+  "CMakeFiles/grassp_chc.dir/Encode.cpp.o"
+  "CMakeFiles/grassp_chc.dir/Encode.cpp.o.d"
+  "libgrassp_chc.a"
+  "libgrassp_chc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_chc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

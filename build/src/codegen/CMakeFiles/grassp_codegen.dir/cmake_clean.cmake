@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_codegen.dir/CppCodegen.cpp.o"
+  "CMakeFiles/grassp_codegen.dir/CppCodegen.cpp.o.d"
+  "CMakeFiles/grassp_codegen.dir/ExprCpp.cpp.o"
+  "CMakeFiles/grassp_codegen.dir/ExprCpp.cpp.o.d"
+  "libgrassp_codegen.a"
+  "libgrassp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Bytecode.cpp" "src/ir/CMakeFiles/grassp_ir.dir/Bytecode.cpp.o" "gcc" "src/ir/CMakeFiles/grassp_ir.dir/Bytecode.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/grassp_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/grassp_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Matchers.cpp" "src/ir/CMakeFiles/grassp_ir.dir/Matchers.cpp.o" "gcc" "src/ir/CMakeFiles/grassp_ir.dir/Matchers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/grassp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_ir.dir/Bytecode.cpp.o"
+  "CMakeFiles/grassp_ir.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/grassp_ir.dir/Expr.cpp.o"
+  "CMakeFiles/grassp_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/grassp_ir.dir/Matchers.cpp.o"
+  "CMakeFiles/grassp_ir.dir/Matchers.cpp.o.d"
+  "libgrassp_ir.a"
+  "libgrassp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

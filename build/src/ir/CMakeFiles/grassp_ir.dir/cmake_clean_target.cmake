@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrassp_ir.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/BenchmarksPrefix.cpp" "src/lang/CMakeFiles/grassp_lang.dir/BenchmarksPrefix.cpp.o" "gcc" "src/lang/CMakeFiles/grassp_lang.dir/BenchmarksPrefix.cpp.o.d"
+  "/root/repo/src/lang/BenchmarksScan.cpp" "src/lang/CMakeFiles/grassp_lang.dir/BenchmarksScan.cpp.o" "gcc" "src/lang/CMakeFiles/grassp_lang.dir/BenchmarksScan.cpp.o.d"
+  "/root/repo/src/lang/Interp.cpp" "src/lang/CMakeFiles/grassp_lang.dir/Interp.cpp.o" "gcc" "src/lang/CMakeFiles/grassp_lang.dir/Interp.cpp.o.d"
+  "/root/repo/src/lang/Program.cpp" "src/lang/CMakeFiles/grassp_lang.dir/Program.cpp.o" "gcc" "src/lang/CMakeFiles/grassp_lang.dir/Program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/grassp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grassp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

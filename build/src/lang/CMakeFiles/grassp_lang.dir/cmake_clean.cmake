@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_lang.dir/BenchmarksPrefix.cpp.o"
+  "CMakeFiles/grassp_lang.dir/BenchmarksPrefix.cpp.o.d"
+  "CMakeFiles/grassp_lang.dir/BenchmarksScan.cpp.o"
+  "CMakeFiles/grassp_lang.dir/BenchmarksScan.cpp.o.d"
+  "CMakeFiles/grassp_lang.dir/Interp.cpp.o"
+  "CMakeFiles/grassp_lang.dir/Interp.cpp.o.d"
+  "CMakeFiles/grassp_lang.dir/Program.cpp.o"
+  "CMakeFiles/grassp_lang.dir/Program.cpp.o.d"
+  "libgrassp_lang.a"
+  "libgrassp_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

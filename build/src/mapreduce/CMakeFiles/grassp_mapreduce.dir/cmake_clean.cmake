@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_mapreduce.dir/Cluster.cpp.o"
+  "CMakeFiles/grassp_mapreduce.dir/Cluster.cpp.o.d"
+  "CMakeFiles/grassp_mapreduce.dir/Dfs.cpp.o"
+  "CMakeFiles/grassp_mapreduce.dir/Dfs.cpp.o.d"
+  "libgrassp_mapreduce.a"
+  "libgrassp_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_runtime.dir/Kernels.cpp.o"
+  "CMakeFiles/grassp_runtime.dir/Kernels.cpp.o.d"
+  "CMakeFiles/grassp_runtime.dir/Runner.cpp.o"
+  "CMakeFiles/grassp_runtime.dir/Runner.cpp.o.d"
+  "CMakeFiles/grassp_runtime.dir/Workload.cpp.o"
+  "CMakeFiles/grassp_runtime.dir/Workload.cpp.o.d"
+  "libgrassp_runtime.a"
+  "libgrassp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_smt.dir/Solver.cpp.o"
+  "CMakeFiles/grassp_smt.dir/Solver.cpp.o.d"
+  "libgrassp_smt.a"
+  "libgrassp_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

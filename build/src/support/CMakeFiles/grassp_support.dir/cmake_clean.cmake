@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_support.dir/Random.cpp.o"
+  "CMakeFiles/grassp_support.dir/Random.cpp.o.d"
+  "CMakeFiles/grassp_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/grassp_support.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/grassp_support.dir/Timing.cpp.o"
+  "CMakeFiles/grassp_support.dir/Timing.cpp.o.d"
+  "libgrassp_support.a"
+  "libgrassp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/CondPrefix.cpp" "src/synth/CMakeFiles/grassp_synth.dir/CondPrefix.cpp.o" "gcc" "src/synth/CMakeFiles/grassp_synth.dir/CondPrefix.cpp.o.d"
+  "/root/repo/src/synth/EquivCheck.cpp" "src/synth/CMakeFiles/grassp_synth.dir/EquivCheck.cpp.o" "gcc" "src/synth/CMakeFiles/grassp_synth.dir/EquivCheck.cpp.o.d"
+  "/root/repo/src/synth/Grammar.cpp" "src/synth/CMakeFiles/grassp_synth.dir/Grammar.cpp.o" "gcc" "src/synth/CMakeFiles/grassp_synth.dir/Grammar.cpp.o.d"
+  "/root/repo/src/synth/Grassp.cpp" "src/synth/CMakeFiles/grassp_synth.dir/Grassp.cpp.o" "gcc" "src/synth/CMakeFiles/grassp_synth.dir/Grassp.cpp.o.d"
+  "/root/repo/src/synth/ParallelPlan.cpp" "src/synth/CMakeFiles/grassp_synth.dir/ParallelPlan.cpp.o" "gcc" "src/synth/CMakeFiles/grassp_synth.dir/ParallelPlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/grassp_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/grassp_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/grassp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grassp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

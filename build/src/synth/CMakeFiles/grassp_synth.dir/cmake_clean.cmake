@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp_synth.dir/CondPrefix.cpp.o"
+  "CMakeFiles/grassp_synth.dir/CondPrefix.cpp.o.d"
+  "CMakeFiles/grassp_synth.dir/EquivCheck.cpp.o"
+  "CMakeFiles/grassp_synth.dir/EquivCheck.cpp.o.d"
+  "CMakeFiles/grassp_synth.dir/Grammar.cpp.o"
+  "CMakeFiles/grassp_synth.dir/Grammar.cpp.o.d"
+  "CMakeFiles/grassp_synth.dir/Grassp.cpp.o"
+  "CMakeFiles/grassp_synth.dir/Grassp.cpp.o.d"
+  "CMakeFiles/grassp_synth.dir/ParallelPlan.cpp.o"
+  "CMakeFiles/grassp_synth.dir/ParallelPlan.cpp.o.d"
+  "libgrassp_synth.a"
+  "libgrassp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

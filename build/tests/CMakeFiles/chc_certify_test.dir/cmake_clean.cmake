@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_certify_test.dir/chc_certify_test.cpp.o"
+  "CMakeFiles/chc_certify_test.dir/chc_certify_test.cpp.o.d"
+  "chc_certify_test"
+  "chc_certify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_certify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_bytecode_test.dir/ir_bytecode_test.cpp.o"
+  "CMakeFiles/ir_bytecode_test.dir/ir_bytecode_test.cpp.o.d"
+  "ir_bytecode_test"
+  "ir_bytecode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_bytecode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_expr_test.dir/ir_expr_test.cpp.o"
+  "CMakeFiles/ir_expr_test.dir/ir_expr_test.cpp.o.d"
+  "ir_expr_test"
+  "ir_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

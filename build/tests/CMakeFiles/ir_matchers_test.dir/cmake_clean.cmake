@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_matchers_test.dir/ir_matchers_test.cpp.o"
+  "CMakeFiles/ir_matchers_test.dir/ir_matchers_test.cpp.o.d"
+  "ir_matchers_test"
+  "ir_matchers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_matchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

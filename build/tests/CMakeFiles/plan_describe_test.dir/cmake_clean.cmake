@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_describe_test.dir/plan_describe_test.cpp.o"
+  "CMakeFiles/plan_describe_test.dir/plan_describe_test.cpp.o.d"
+  "plan_describe_test"
+  "plan_describe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_describe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

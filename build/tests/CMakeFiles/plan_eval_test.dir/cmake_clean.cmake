@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_eval_test.dir/plan_eval_test.cpp.o"
+  "CMakeFiles/plan_eval_test.dir/plan_eval_test.cpp.o.d"
+  "plan_eval_test"
+  "plan_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_runner_test.dir/runtime_runner_test.cpp.o"
+  "CMakeFiles/runtime_runner_test.dir/runtime_runner_test.cpp.o.d"
+  "runtime_runner_test"
+  "runtime_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

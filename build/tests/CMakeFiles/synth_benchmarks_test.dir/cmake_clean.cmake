@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_benchmarks_test.dir/synth_benchmarks_test.cpp.o"
+  "CMakeFiles/synth_benchmarks_test.dir/synth_benchmarks_test.cpp.o.d"
+  "synth_benchmarks_test"
+  "synth_benchmarks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_benchmarks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

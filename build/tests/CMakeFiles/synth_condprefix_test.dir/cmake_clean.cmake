@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_condprefix_test.dir/synth_condprefix_test.cpp.o"
+  "CMakeFiles/synth_condprefix_test.dir/synth_condprefix_test.cpp.o.d"
+  "synth_condprefix_test"
+  "synth_condprefix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_condprefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

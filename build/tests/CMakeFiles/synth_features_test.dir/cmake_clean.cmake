@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_features_test.dir/synth_features_test.cpp.o"
+  "CMakeFiles/synth_features_test.dir/synth_features_test.cpp.o.d"
+  "synth_features_test"
+  "synth_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_grammar_test.dir/synth_grammar_test.cpp.o"
+  "CMakeFiles/synth_grammar_test.dir/synth_grammar_test.cpp.o.d"
+  "synth_grammar_test"
+  "synth_grammar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_grammar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_smoke_test.dir/synth_smoke_test.cpp.o"
+  "CMakeFiles/synth_smoke_test.dir/synth_smoke_test.cpp.o.d"
+  "synth_smoke_test"
+  "synth_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

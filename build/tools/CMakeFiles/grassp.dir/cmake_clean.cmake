@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grassp.dir/grassp.cpp.o"
+  "CMakeFiles/grassp.dir/grassp.cpp.o.d"
+  "grassp"
+  "grassp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grassp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
