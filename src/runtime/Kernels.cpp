@@ -87,11 +87,11 @@ void CompiledProgram::step(std::vector<int64_t> &State, int64_t El) const {
 
 int64_t CompiledProgram::output(const std::vector<int64_t> &State) const {
   assert(!Bag);
-  Scratch.resize(OutputFn.numRegs());
+  std::vector<int64_t> Regs(OutputFn.numRegs());
   for (size_t K = 0; K != State.size(); ++K)
-    Scratch[K] = State[K];
+    Regs[K] = State[K];
   int64_t Out = 0;
-  OutputFn.run(Scratch.data(), &Out);
+  OutputFn.run(Regs.data(), &Out);
   return Out;
 }
 

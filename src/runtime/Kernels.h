@@ -43,7 +43,8 @@ public:
   /// One f step.
   void step(std::vector<int64_t> &State, int64_t El) const;
 
-  /// h.
+  /// h. Uses only local buffers, so a CompiledProgram shared across
+  /// ThreadPool workers is const-callable without races.
   int64_t output(const std::vector<int64_t> &State) const;
 
   /// Serial run over consecutive segments (bag programs included).
@@ -54,7 +55,6 @@ private:
   bool Bag = false;
   ir::BytecodeFunction StepFn;   // inputs: fields + "in".
   ir::BytecodeFunction OutputFn; // inputs: fields.
-  mutable std::vector<int64_t> Scratch;
 };
 
 /// Per-segment worker output (conditional-prefix scenarios carry summary

@@ -13,7 +13,7 @@ std::vector<int64_t> randomFromAlphabet(Rng &R,
   std::vector<int64_t> Out;
   Out.reserve(N);
   for (size_t I = 0; I != N; ++I)
-    Out.push_back(Alphabet[R.next() % Alphabet.size()]);
+    Out.push_back(Alphabet[R.bounded(Alphabet.size())]);
   return Out;
 }
 

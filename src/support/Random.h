@@ -29,6 +29,19 @@ public:
     return Z ^ (Z >> 31);
   }
 
+  /// Returns a uniform integer in [0, N). Rejection-sampled, so the draw
+  /// is exactly uniform (a plain `next() % N` over-weights the first
+  /// 2^64 mod N values). Requires N > 0.
+  uint64_t bounded(uint64_t N) {
+    // Reject draws below 2^64 mod N, leaving a multiple of N outcomes.
+    uint64_t Threshold = (0 - N) % N;
+    for (;;) {
+      uint64_t X = next();
+      if (X >= Threshold)
+        return X % N;
+    }
+  }
+
   /// Returns a uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
   int64_t range(int64_t Lo, int64_t Hi) {
     uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;

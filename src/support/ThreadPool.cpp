@@ -34,6 +34,12 @@ void ThreadPool::submit(std::function<void()> Task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   IdleCv.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+  if (FirstError) {
+    std::exception_ptr E = std::move(FirstError);
+    FirstError = nullptr;
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -48,7 +54,13 @@ void ThreadPool::workerLoop() {
       Queue.pop_front();
       ++Active;
     }
-    Task();
+    try {
+      Task();
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       --Active;

@@ -1,9 +1,14 @@
 //===- support/ThreadPool.h - Minimal fixed-size thread pool -------------===//
 //
-// A small fixed-size thread pool used by the parallel runtime. Tasks are
-// std::function<void()>; \c wait() blocks until all submitted tasks have
-// completed. The pool is also usable with a single worker, which the
-// benchmark harness exploits on constrained machines.
+// A small fixed-size thread pool used by the parallel runtime and the
+// parallel synthesis driver. Tasks are std::function<void()>; \c wait()
+// blocks until all submitted tasks have completed. The pool is also
+// usable with a single worker, which the benchmark harness exploits on
+// constrained machines.
+//
+// Tasks may throw: the first exception is captured and rethrown from the
+// next \c wait(); later exceptions (and exceptions pending when the pool
+// is destroyed without a wait) are discarded.
 //
 //===----------------------------------------------------------------------===//
 
@@ -12,6 +17,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,7 +37,9 @@ public:
   /// Enqueues \p Task for execution on some worker.
   void submit(std::function<void()> Task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last wait(), rethrows the first captured exception (the
+  /// pool itself stays usable).
   void wait();
 
   /// Number of worker threads.
@@ -47,6 +55,7 @@ private:
   std::condition_variable IdleCv;
   unsigned Active = 0;
   bool ShuttingDown = false;
+  std::exception_ptr FirstError;
 };
 
 } // namespace grassp

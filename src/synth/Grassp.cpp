@@ -26,6 +26,8 @@ bool tryPlans(EquivChecker &Checker, const std::vector<ParallelPlan> &Plans,
       continue;
     }
     Verdict V = Checker.verify(Plan, Bounds);
+    if (V == Verdict::Unknown)
+      ++Res.UnknownVerdicts;
     if (V == Verdict::Equivalent) {
       Res.Plan = Plan;
       Res.Success = true;
@@ -179,6 +181,7 @@ SynthesisResult synthesizeWithLazyBounds(const lang::SerialProgram &Prog,
       return Res;
     }
     if (V == Verdict::Unknown) {
+      ++Res.UnknownVerdicts;
       Res.StageLog.push_back("lazy-bounds: wider verification unknown");
       return Res;
     }

@@ -50,6 +50,10 @@ struct SynthesisResult {
   double SynthSeconds = 0;
   unsigned CandidatesTried = 0;
   unsigned SmtChecks = 0;
+  /// Bounded-verifier verdicts that came back Unknown (solver timeout).
+  /// A failed run with UnknownVerdicts != 0 may succeed under a larger
+  /// SMT budget; the parallel driver keys its retry policy on this.
+  unsigned UnknownVerdicts = 0;
   /// One line per stage attempted, e.g. "stage1: refuted after 3
   /// candidates"; reproduces the gradual escalation of Fig. 10.
   std::vector<std::string> StageLog;

@@ -1,0 +1,103 @@
+//===- synth/ParallelDriver.cpp -------------------------------------------==//
+
+#include "synth/ParallelDriver.h"
+
+#include "lang/Benchmarks.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace grassp {
+namespace synth {
+
+const char *taskStatusName(TaskStatus S) {
+  switch (S) {
+  case TaskStatus::Solved:
+    return "solved";
+  case TaskStatus::Unknown:
+    return "unknown";
+  case TaskStatus::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+ParallelDriver::ParallelDriver(DriverOptions Opts) : Opts(std::move(Opts)) {}
+
+TaskResult ParallelDriver::synthesizeOne(const lang::SerialProgram &Prog,
+                                         const DriverOptions &Opts) {
+  TaskResult T;
+  T.Name = Prog.Name;
+  unsigned Budget = Opts.SmtTimeoutMs;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    SynthOptions SO = Opts.Synth;
+    SO.Bounds.SmtTimeoutMs = Budget;
+    ++T.Attempts;
+    T.BudgetMs = Budget;
+    SynthesisResult R = synthesize(Prog, SO);
+    bool SawUnknown = R.UnknownVerdicts != 0;
+    if (Attempt > 0) {
+      // Merge this attempt into the accumulated result: times and counts
+      // add up, stage logs concatenate around a retry marker.
+      R.SynthSeconds += T.Result.SynthSeconds;
+      R.CandidatesTried += T.Result.CandidatesTried;
+      R.SmtChecks += T.Result.SmtChecks;
+      R.UnknownVerdicts += T.Result.UnknownVerdicts;
+      std::vector<std::string> Log = std::move(T.Result.StageLog);
+      Log.push_back("driver: retry with SMT budget " +
+                    std::to_string(Budget) + "ms");
+      Log.insert(Log.end(), R.StageLog.begin(), R.StageLog.end());
+      R.StageLog = std::move(Log);
+    }
+    T.Result = std::move(R);
+    if (T.Result.Success) {
+      T.Status = TaskStatus::Solved;
+      return T;
+    }
+    if (!SawUnknown) {
+      T.Status = TaskStatus::Failed;
+      return T;
+    }
+    if (Attempt >= Opts.MaxRetries) {
+      T.Status = TaskStatus::Unknown;
+      T.Result.StageLog.push_back(
+          "driver: still unknown at " + std::to_string(Budget) +
+          "ms SMT budget, giving up");
+      return T;
+    }
+    Budget *= 2;
+  }
+}
+
+std::vector<TaskResult>
+ParallelDriver::run(const std::vector<const lang::SerialProgram *> &Progs)
+    const {
+  std::vector<TaskResult> Results(Progs.size());
+  unsigned Jobs = Opts.Jobs != 0
+                      ? Opts.Jobs
+                      : std::max(1u, std::thread::hardware_concurrency());
+  Jobs = std::min<unsigned>(Jobs, std::max<size_t>(Progs.size(), 1));
+  if (Jobs <= 1) {
+    for (size_t I = 0; I != Progs.size(); ++I)
+      Results[I] = synthesizeOne(*Progs[I], Opts);
+    return Results;
+  }
+  ThreadPool Pool(Jobs);
+  for (size_t I = 0; I != Progs.size(); ++I)
+    Pool.submit([this, &Results, &Progs, I] {
+      Results[I] = synthesizeOne(*Progs[I], Opts);
+    });
+  Pool.wait();
+  return Results;
+}
+
+std::vector<TaskResult> ParallelDriver::runAll() const {
+  std::vector<const lang::SerialProgram *> Progs;
+  for (const lang::SerialProgram &P : lang::allBenchmarks())
+    Progs.push_back(&P);
+  return run(Progs);
+}
+
+} // namespace synth
+} // namespace grassp

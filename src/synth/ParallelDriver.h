@@ -1,0 +1,90 @@
+//===- synth/ParallelDriver.h - Concurrent synthesis driver --------------===//
+//
+// Schedules per-benchmark GRASSP pipelines onto the shared ThreadPool.
+// Synthesis of one program is independent of every other (the original
+// GRASSP report and Farzan's divide-and-conquer work both treat it as
+// embarrassingly parallel), so the driver fans one task out per program.
+//
+// Isolation and determinism:
+//  * Every in-flight task owns its whole pipeline — corpus, symbolic
+//    evaluation, and one SmtSolver (one Z3 context) per bounded check —
+//    so tasks never share solver state.
+//  * Results are stored by task index and returned in input order; with
+//    ample SMT budgets the table a harness prints is byte-identical
+//    (plan, stage, candidate/SMT counts) for any --jobs value.
+//
+// Budget policy: each task runs under Opts.SmtTimeoutMs. When a run
+// fails *and* some bounded check returned Unknown (solver timeout), the
+// task is retried once with a doubled budget before the driver reports
+// TaskStatus::Unknown. Failures without Unknown verdicts are genuine
+// search exhaustion and are reported as Failed immediately.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SYNTH_PARALLELDRIVER_H
+#define GRASSP_SYNTH_PARALLELDRIVER_H
+
+#include "synth/Grassp.h"
+
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace synth {
+
+struct DriverOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  unsigned Jobs = 1;
+  /// Initial per-task SMT budget (doubled once on an Unknown retry).
+  unsigned SmtTimeoutMs = 30000;
+  /// Retries granted to a task whose failure involved Unknown verdicts.
+  unsigned MaxRetries = 1;
+  /// Base synthesis options; Bounds.SmtTimeoutMs is overridden by the
+  /// budget policy above.
+  SynthOptions Synth;
+};
+
+enum class TaskStatus {
+  Solved,  ///< A verified plan was found.
+  Unknown, ///< Failed with solver timeouts even at the doubled budget.
+  Failed,  ///< Every stage exhausted without any Unknown verdict.
+};
+
+const char *taskStatusName(TaskStatus S);
+
+/// Outcome of one per-benchmark synthesis task.
+struct TaskResult {
+  std::string Name;
+  SynthesisResult Result; ///< Attempts merged: log, counts, seconds.
+  TaskStatus Status = TaskStatus::Failed;
+  unsigned Attempts = 0;
+  unsigned BudgetMs = 0; ///< SMT budget of the final attempt.
+};
+
+/// Fans per-program synthesis tasks out over a ThreadPool.
+class ParallelDriver {
+public:
+  explicit ParallelDriver(DriverOptions Opts = DriverOptions());
+
+  /// Synthesizes every program in \p Progs; results in input order.
+  std::vector<TaskResult>
+  run(const std::vector<const lang::SerialProgram *> &Progs) const;
+
+  /// Runs the full Table-1 suite (lang::allBenchmarks()).
+  std::vector<TaskResult> runAll() const;
+
+  /// One task: synthesis under the budget/retry policy above. Exposed
+  /// for tests and for callers that do their own scheduling.
+  static TaskResult synthesizeOne(const lang::SerialProgram &Prog,
+                                  const DriverOptions &Opts);
+
+  const DriverOptions &options() const { return Opts; }
+
+private:
+  DriverOptions Opts;
+};
+
+} // namespace synth
+} // namespace grassp
+
+#endif // GRASSP_SYNTH_PARALLELDRIVER_H

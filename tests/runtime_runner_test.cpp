@@ -3,6 +3,7 @@
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
 #include "support/ThreadPool.h"
+#include "synth/Grassp.h"
 
 #include <gtest/gtest.h>
 
@@ -108,6 +109,52 @@ TEST(Runner, SpeedupModelIsConsistent) {
   R.MergeSeconds = 0.0;
   EXPECT_NEAR(modeledSpeedup(0.4, R, 4), 4.0, 1e-9);
   EXPECT_NEAR(modeledSpeedup(0.4, R, 1), 1.0, 1e-9);
+}
+
+// One CompiledPlan shared across a multi-worker pool, folded over many
+// segments, repeatedly: the merged output must equal the serial fold
+// every round. Run under -DGRASSP_SANITIZE=thread this also proves the
+// kernels are const-callable without races (the old shared Scratch
+// buffer in CompiledProgram::output was not).
+TEST(Runner, SharedPlanConcurrentStressMatchesSerial) {
+  ThreadPool Pool(4);
+  for (const char *Name : {"sum", "second_max", "is_sorted", "count_102",
+                           "count_distinct"}) {
+    const lang::SerialProgram *P = lang::findBenchmark(Name);
+    ASSERT_NE(P, nullptr) << Name;
+    synth::SynthesisResult R = synth::synthesize(*P);
+    ASSERT_TRUE(R.Success) << Name;
+
+    std::vector<int64_t> Data = generateWorkload(*P, 20000, 11);
+    std::vector<SegmentView> Segs = partition(Data, 32);
+    CompiledProgram CP(*P);
+    CompiledPlan Plan(*P, R.Plan);
+    int64_t Serial = CP.runSerial(Segs);
+    for (int Round = 0; Round != 4; ++Round) {
+      ParallelRunResult PR = runParallel(Plan, Segs, &Pool);
+      EXPECT_EQ(PR.Output, Serial) << Name << " round " << Round;
+    }
+  }
+}
+
+// The h kernel itself, hammered from many workers through one shared
+// CompiledProgram (runSerial ends in output()): concurrent const calls
+// must agree with each other and with the single-threaded answer.
+TEST(Runner, SharedCompiledProgramConcurrentOutput) {
+  const lang::SerialProgram *P = lang::findBenchmark("delta_max_min");
+  ASSERT_NE(P, nullptr);
+  std::vector<int64_t> Data = generateWorkload(*P, 4000, 5);
+  std::vector<SegmentView> Segs = partition(Data, 8);
+  CompiledProgram CP(*P);
+  int64_t Expected = CP.runSerial(Segs);
+
+  ThreadPool Pool(4);
+  std::vector<int64_t> Outs(64, 0);
+  for (size_t I = 0; I != Outs.size(); ++I)
+    Pool.submit([&, I] { Outs[I] = CP.runSerial(Segs); });
+  Pool.wait();
+  for (int64_t O : Outs)
+    EXPECT_EQ(O, Expected);
 }
 
 } // namespace

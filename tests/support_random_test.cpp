@@ -1,0 +1,66 @@
+//===- tests/support_random_test.cpp - PRNG and workload draws ------------==//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace grassp;
+
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  bool Differs = false;
+  for (int I = 0; I != 64; ++I) {
+    uint64_t X = A.next();
+    EXPECT_EQ(X, B.next());
+    Differs |= (X != C.next());
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng R(7);
+  for (uint64_t N : {1ull, 2ull, 3ull, 5ull, 7ull, 64ull, 1000ull}) {
+    for (int I = 0; I != 2000; ++I)
+      EXPECT_LT(R.bounded(N), N);
+  }
+}
+
+TEST(Rng, BoundedIsCloseToUniform) {
+  // Deterministic seed, so this is a fixed arithmetic fact, not a flaky
+  // statistical assertion: each of 3 buckets gets 60000/3 +- 2% draws.
+  Rng R(0x5eed);
+  std::map<uint64_t, unsigned> Counts;
+  const unsigned Draws = 60000;
+  for (unsigned I = 0; I != Draws; ++I)
+    ++Counts[R.bounded(3)];
+  for (uint64_t V = 0; V != 3; ++V) {
+    EXPECT_GT(Counts[V], Draws / 3 - Draws / 50);
+    EXPECT_LT(Counts[V], Draws / 3 + Draws / 50);
+  }
+}
+
+TEST(RandomFromAlphabet, DrawsOnlyAlphabetValuesDeterministically) {
+  std::vector<int64_t> Alphabet = {-3, 0, 7, 11, 12};
+  Rng A(9), B(9);
+  std::vector<int64_t> X = randomFromAlphabet(A, Alphabet, 500);
+  std::vector<int64_t> Y = randomFromAlphabet(B, Alphabet, 500);
+  EXPECT_EQ(X, Y);
+  for (int64_t V : X)
+    EXPECT_NE(std::find(Alphabet.begin(), Alphabet.end(), V),
+              Alphabet.end());
+}
+
+TEST(RandomFromAlphabet, CoversEveryLetter) {
+  std::vector<int64_t> Alphabet = {1, 2, 3};
+  Rng R(123);
+  std::vector<int64_t> X = randomFromAlphabet(R, Alphabet, 300);
+  for (int64_t V : Alphabet)
+    EXPECT_NE(std::find(X.begin(), X.end(), V), X.end());
+}
+
+} // namespace

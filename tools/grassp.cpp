@@ -4,6 +4,8 @@
 //
 //   grassp list                      list the Table-1 benchmarks
 //   grassp synth <name>             synthesize and describe the plan
+//   grassp synth-all [--jobs N]     synthesize the whole suite, in
+//                                   parallel on a thread pool
 //   grassp run <name> [N] [P]       serial vs parallel over N elements
 //   grassp emit-cpp <name>          print the standalone C++ translation
 //   grassp emit-mr <name>           print the mapper/reducer translation
@@ -18,10 +20,12 @@
 #include "runtime/Runner.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
+#include "synth/ParallelDriver.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 using namespace grassp;
 
@@ -29,11 +33,22 @@ namespace {
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s list | synth <name> | run <name> [N] [P] |\n"
-               "       emit-cpp <name> | emit-mr <name> | emit-chc <name> "
+               "usage: %s list | synth <name> | synth-all [--jobs N] "
+               "[--timeout-ms T] |\n"
+               "       run <name> [N] [P] | emit-cpp <name> | emit-mr "
+               "<name> | emit-chc <name> "
                "| certify <name> [timeout-ms]\n",
                Prog);
   return 2;
+}
+
+bool parseUnsigned(const char *Arg, unsigned *Out) {
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || V > std::numeric_limits<unsigned>::max())
+    return false;
+  *Out = static_cast<unsigned>(V);
+  return true;
 }
 
 const lang::SerialProgram *lookup(const char *Name) {
@@ -66,6 +81,40 @@ int main(int argc, char **argv) {
       std::printf("%-22s %-4s %s\n", P.Name.c_str(),
                   P.ExpectedGroup.c_str(), P.Description.c_str());
     return 0;
+  }
+  if (std::strcmp(Cmd, "synth-all") == 0) {
+    synth::DriverOptions Opts;
+    for (int I = 2; I != argc; ++I) {
+      if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
+        if (!parseUnsigned(argv[++I], &Opts.Jobs)) {
+          std::fprintf(stderr, "error: --jobs expects a number, got '%s'\n",
+                       argv[I]);
+          return 2;
+        }
+      } else if (std::strcmp(argv[I], "--timeout-ms") == 0 && I + 1 < argc) {
+        if (!parseUnsigned(argv[++I], &Opts.SmtTimeoutMs)) {
+          std::fprintf(stderr,
+                       "error: --timeout-ms expects a number, got '%s'\n",
+                       argv[I]);
+          return 2;
+        }
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    synth::ParallelDriver Driver(Opts);
+    std::vector<synth::TaskResult> Results = Driver.runAll();
+    unsigned Solved = 0;
+    for (const synth::TaskResult &T : Results) {
+      std::printf("%-22s %-8s %-4s %s  (%u attempt%s)\n", T.Name.c_str(),
+                  taskStatusName(T.Status),
+                  T.Result.Success ? T.Result.Group.c_str() : "-",
+                  formatSeconds(T.Result.SynthSeconds).c_str(), T.Attempts,
+                  T.Attempts == 1 ? "" : "s");
+      Solved += T.Result.Success ? 1 : 0;
+    }
+    std::printf("solved %u/%zu\n", Solved, Results.size());
+    return Solved == Results.size() ? 0 : 1;
   }
   if (argc < 3)
     return usage(argv[0]);
