@@ -12,6 +12,7 @@
 
 #include "chc/Certify.h"
 #include "lang/Benchmarks.h"
+#include "support/Args.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
 
@@ -21,8 +22,13 @@
 using namespace grassp;
 
 int main(int argc, char **argv) {
-  unsigned TimeoutMs =
-      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 30000;
+  unsigned TimeoutMs = 30000;
+  if (argc > 1 && !parseUnsigned(argv[1], &TimeoutMs)) {
+    std::fprintf(stderr,
+                 "usage: bench_chc [timeout-ms]  (got non-numeric '%s')\n",
+                 argv[1]);
+    return 2;
+  }
 
   std::printf("CHC certification (paper Sect. 8.2, Figs. 11/12), "
               "timeout %ums, m=2 segments\n",

@@ -1,0 +1,64 @@
+//===- bench/fuzz_driver.cpp - Open-ended differential soak harness -------==//
+//
+// Long-running companion to `grassp fuzz`: keeps hammering every
+// benchmark's synthesized plan with fresh random rounds until the time
+// budget expires, rotating the seed each pass so successive invocations
+// with different --seed values explore disjoint workload streams. Meant
+// for overnight soaks; the bounded ctest tier runs fuzz_smoke instead.
+//
+// Usage: fuzz_driver [--seconds N] [--seed S] [--segments M] [--no-emit]
+//                    [--jobs N]   (defaults: 600s, seed 1, 4 segments)
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Args.h"
+#include "testing/Fuzz.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace grassp;
+
+int main(int argc, char **argv) {
+  testing::FuzzOptions FOpts;
+  FOpts.Seconds = 600;
+  synth::DriverOptions DOpts;
+  DOpts.Jobs = 0; // all hardware threads for the synthesis stage.
+
+  for (int I = 1; I != argc; ++I) {
+    auto numeric = [&](const char *Flag, unsigned *Out) {
+      if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
+        return false;
+      if (!parseUnsigned(argv[++I], Out)) {
+        std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Flag,
+                     argv[I]);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (numeric("--seconds", &FOpts.Seconds) ||
+        numeric("--segments", &FOpts.Segments) ||
+        numeric("--jobs", &DOpts.Jobs))
+      continue;
+    if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc) {
+      if (!parseSeed(argv[++I], &FOpts.Seed)) {
+        std::fprintf(stderr, "error: --seed expects a number, got '%s'\n",
+                     argv[I]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[I], "--no-emit") == 0) {
+      FOpts.UseEmitted = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_driver [--seconds N] [--seed S] "
+                   "[--segments M] [--no-emit] [--jobs N]\n");
+      return 2;
+    }
+  }
+
+  std::printf("fuzz_driver: %us soak, seed %llu, %u segments\n",
+              FOpts.Seconds, (unsigned long long)FOpts.Seed, FOpts.Segments);
+  return testing::fuzzMain({}, FOpts, DOpts);
+}

@@ -58,29 +58,55 @@ void emitMerge(const SerialProgram &Prog, const ParallelPlan &Plan,
 
 void emitWorkload(const SerialProgram &Prog, const CppEmitOptions &Opts,
                   std::ostringstream &OS) {
+  // SplitMix64 plus rejection sampling, matching support/Random.h
+  // exactly: generated binaries draw from the same distribution as the
+  // runtime workload generators (a plain `bits % n` over-weights the
+  // first 2^64 mod n values).
+  OS << "static uint64_t g_rng;\n"
+     << "static inline uint64_t g_next() {\n"
+     << "  uint64_t z = (g_rng += 0x9e3779b97f4a7c15ull);\n"
+     << "  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;\n"
+     << "  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;\n"
+     << "  return z ^ (z >> 31);\n"
+     << "}\n"
+     << "static inline uint64_t g_bounded(uint64_t n) {\n"
+     << "  uint64_t t = (0 - n) % n;\n"
+     << "  for (;;) { uint64_t x = g_next(); if (x >= t) return x % n; }\n"
+     << "}\n\n";
   OS << "static std::vector<i64> make_workload() {\n"
      << "  std::vector<i64> d(" << Opts.NumElements << ");\n"
-     << "  uint64_t s = " << Opts.Seed << "ull;\n"
-     << "  for (auto &x : d) {\n"
-     << "    s = s * 6364136223846793005ull + 1442695040888963407ull;\n";
+     << "  g_rng = " << Opts.Seed << "ull;\n"
+     << "  for (auto &x : d) {\n";
   if (!Prog.InputAlphabet.empty()) {
     OS << "    static const i64 alpha[] = {";
     for (size_t I = 0; I != Prog.InputAlphabet.size(); ++I)
       OS << (I ? ", " : "") << Prog.InputAlphabet[I];
-    OS << "};\n    x = alpha[(s >> 33) % "
-       << Prog.InputAlphabet.size() << "];\n";
+    OS << "};\n    x = alpha[g_bounded(" << Prog.InputAlphabet.size()
+       << ")];\n";
   } else {
-    OS << "    x = (i64)((s >> 33) % " << (Prog.GenHi - Prog.GenLo + 1)
+    OS << "    x = (i64)g_bounded(" << (Prog.GenHi - Prog.GenLo + 1)
        << ") + (" << Prog.GenLo << ");\n";
   }
   OS << "  }\n  return d;\n}\n\n";
+  // File-input hook for the differential oracle: argv[1] names a text
+  // file with one decimal element per line.
+  OS << "static std::vector<i64> load_workload(const char *path) {\n"
+     << "  std::FILE *f = std::fopen(path, \"r\");\n"
+     << "  if (!f) { std::fprintf(stderr, \"cannot open %s\\n\", path); "
+        "std::exit(2); }\n"
+     << "  std::vector<i64> d;\n"
+     << "  long long v;\n"
+     << "  while (std::fscanf(f, \"%lld\", &v) == 1) d.push_back((i64)v);\n"
+     << "  std::fclose(f);\n"
+     << "  return d;\n}\n\n";
 }
 
 void emitMainCommon(const CppEmitOptions &Opts, std::ostringstream &OS,
                     const char *WorkerCall, const char *MergeCall) {
-  OS << "int main() {\n"
+  OS << "int main(int argc, char **argv) {\n"
      << "  const unsigned T = " << Opts.NumThreads << ";\n"
-     << "  std::vector<i64> data = make_workload();\n"
+     << "  std::vector<i64> data = argc > 1 ? load_workload(argv[1])\n"
+     << "                                   : make_workload();\n"
      << "  // Serial run (the specification).\n"
      << "  State ser;\n"
      << "  for (i64 x : data) step(ser, x);\n"
@@ -123,24 +149,27 @@ std::string emitNoOrConstPrefix(const SerialProgram &Prog,
   if (Plan.Kind == Scenario::ConstPrefix)
     OS << "static const size_t PREFIX_LEN = " << Plan.PrefixLen << ";\n\n";
 
+  // Empty segments (n < T) are dropped before merging: a d0 partial
+  // state need not be neutral for a nontrivial merge, and the constant
+  // prefix must be repaired from the next *non-empty* segment.
   std::ostringstream Merge;
-  if (Plan.Kind == Scenario::ConstPrefix) {
-    Merge << "[&]{\n"
-          << "    for (unsigned i = 0; i + 1 != T; ++i) {\n"
-          << "      size_t l = hi[i + 1] - lo[i + 1];\n"
+  Merge << "[&]{\n"
+        << "    std::vector<unsigned> act;\n"
+        << "    for (unsigned i = 0; i != T; ++i)\n"
+        << "      if (hi[i] > lo[i]) act.push_back(i);\n"
+        << "    if (act.empty()) { State z; return output(z); }\n";
+  if (Plan.Kind == Scenario::ConstPrefix)
+    Merge << "    for (size_t k = 0; k + 1 < act.size(); ++k) {\n"
+          << "      unsigned i = act[k], j = act[k + 1];\n"
+          << "      size_t l = hi[j] - lo[j];\n"
           << "      if (l > PREFIX_LEN) l = PREFIX_LEN;\n"
-          << "      for (size_t k = 0; k != l; ++k)\n"
-          << "        step(w[i].d, data[lo[i + 1] + k]);\n"
-          << "    }\n"
-          << "    State acc = w[0].d;\n"
-          << "    for (unsigned i = 1; i != T; ++i) acc = merge2(acc, w[i].d);\n"
-          << "    return output(acc);\n  }()";
-  } else {
-    Merge << "[&]{\n"
-          << "    State acc = w[0].d;\n"
-          << "    for (unsigned i = 1; i != T; ++i) acc = merge2(acc, w[i].d);\n"
-          << "    return output(acc);\n  }()";
-  }
+          << "      for (size_t q = 0; q != l; ++q)\n"
+          << "        step(w[i].d, data[lo[j] + q]);\n"
+          << "    }\n";
+  Merge << "    State acc = w[act[0]].d;\n"
+        << "    for (size_t k = 1; k != act.size(); ++k)\n"
+        << "      acc = merge2(acc, w[act[k]].d);\n"
+        << "    return output(acc);\n  }()";
   emitMainCommon(Opts, OS, "run_worker(w[i], data.data() + lo[i], hi[i] - lo[i]);",
                  Merge.str().c_str());
   return OS.str();
@@ -386,21 +415,14 @@ std::string emitStandaloneCpp(const SerialProgram &Prog,
     std::ostringstream OS;
     OS << "// Generated by grassp-codegen: " << Prog.Description << "\n"
        << cppPreamble() << "#include <unordered_set>\n\n";
-    std::ostringstream Dummy;
-    CppEmitOptions O = Opts;
-    OS << "static std::vector<i64> make_workload() {\n"
-       << "  std::vector<i64> d(" << O.NumElements << ");\n"
-       << "  uint64_t s = " << O.Seed << "ull;\n"
-       << "  for (auto &x : d) {\n"
-       << "    s = s * 6364136223846793005ull + 1442695040888963407ull;\n"
-       << "    x = (i64)((s >> 33) % " << (Prog.GenHi - Prog.GenLo + 1)
-       << ") + (" << Prog.GenLo << ");\n  }\n  return d;\n}\n\n"
-       << "struct Worker { std::unordered_set<i64> seen; };\n"
+    emitWorkload(Prog, Opts, OS);
+    OS << "struct Worker { std::unordered_set<i64> seen; };\n"
        << "static void run_worker(Worker &w, const i64 *p, size_t n) {\n"
        << "  for (size_t i = 0; i != n; ++i) w.seen.insert(p[i]);\n}\n\n"
-       << "int main() {\n"
-       << "  const unsigned T = " << O.NumThreads << ";\n"
-       << "  std::vector<i64> data = make_workload();\n"
+       << "int main(int argc, char **argv) {\n"
+       << "  const unsigned T = " << Opts.NumThreads << ";\n"
+       << "  std::vector<i64> data = argc > 1 ? load_workload(argv[1])\n"
+       << "                                   : make_workload();\n"
        << "  std::unordered_set<i64> ser(data.begin(), data.end());\n"
        << "  i64 serial_out = (i64)ser.size();\n"
        << "  size_t n = data.size(), base = n / T, rem = n % T, off = 0;\n"

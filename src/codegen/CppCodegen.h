@@ -3,9 +3,14 @@
 // Emits the paper's "C++ translations of the GRASSP solutions"
 // (Sect. 9.4): a self-contained multithreaded C++ source file that
 // generates a workload, runs the serial specification and the
-// synthesized parallel plan, prints both results, and exits nonzero on a
-// mismatch. Integration tests compile and run the emitted code with the
-// host compiler.
+// synthesized parallel plan, prints both results
+// ("serial=<v> parallel=<v> OK|MISMATCH"), and exits nonzero on a
+// mismatch. Run with no arguments the binary generates its own workload
+// (SplitMix64 + rejection sampling, the runtime's distribution); given
+// argv[1] it instead reads one decimal element per line from that file —
+// the hook the differential-oracle harness (src/testing) uses to replay
+// identical workloads across execution paths. Integration tests compile
+// and run the emitted code with the host compiler.
 //
 //===----------------------------------------------------------------------===//
 

@@ -10,13 +10,6 @@
 namespace grassp {
 namespace mapreduce {
 
-namespace {
-
-/// Locality-aware LPT at node granularity. Map tasks are scan-dominated,
-/// so a node's shard reads serialize on its storage bandwidth: each node
-/// is one bin regardless of map slots. Tasks prefer their home node; a
-/// task migrates when another node is less loaded, paying the
-/// remote-read penalty.
 double scheduleTasks(const std::vector<double> &TaskSec,
                      const std::vector<unsigned> &Home,
                      const ClusterConfig &Cfg) {
@@ -45,10 +38,10 @@ double scheduleTasks(const std::vector<double> &TaskSec,
     else
       Load[BestNode] = AwayCost;
   }
+  if (Load.empty())
+    return 0.0;
   return *std::max_element(Load.begin(), Load.end());
 }
-
-} // namespace
 
 JobReport runJob(const lang::SerialProgram &Prog,
                  const synth::ParallelPlan &Plan, const MiniDfs &Dfs,

@@ -46,6 +46,17 @@ struct JobReport {
   double MeasuredComputeSec = 0; // actual host compute across all tasks.
 };
 
+/// Locality-aware LPT at node granularity. Map tasks are scan-dominated,
+/// so a node's shard reads serialize on its storage bandwidth: each node
+/// is one bin regardless of map slots. Tasks prefer their home node; a
+/// task migrates when another node is less loaded, paying the
+/// remote-read penalty. Returns the map-phase makespan in seconds (0 for
+/// an empty task list). Requires Cfg.Nodes >= 1 and every Home entry
+/// < Cfg.Nodes.
+double scheduleTasks(const std::vector<double> &TaskSec,
+                     const std::vector<unsigned> &Home,
+                     const ClusterConfig &Cfg);
+
 /// Runs plan \p Plan as a MapReduce job over DFS file \p File.
 JobReport runJob(const lang::SerialProgram &Prog,
                  const synth::ParallelPlan &Plan, const MiniDfs &Dfs,

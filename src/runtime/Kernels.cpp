@@ -314,6 +314,7 @@ void CompiledPlan::combineAtBoundary(std::vector<int64_t> &C,
 
 int64_t CompiledPlan::merge(const std::vector<WorkerOutput> &Workers,
                             const std::vector<SegmentView> &Segs) const {
+  assert(Workers.size() == Segs.size() && "one worker output per segment");
   switch (Plan.Kind) {
   case synth::Scenario::NoPrefix:
   case synth::Scenario::ConstPrefix: {
@@ -324,15 +325,30 @@ int64_t CompiledPlan::merge(const std::vector<WorkerOutput> &Workers,
           insertDistinctLinear(All, V);
       return static_cast<int64_t>(All.size());
     }
-    // Repair partial states with constant prefixes of the successors.
+    // Empty segments sit outside the verified data model (the bounded
+    // checker quantifies over non-empty segments only), and a d0 partial
+    // state is not guaranteed to be neutral for a nontrivial merge — so
+    // drop them here. The concatenation semantics is unchanged, and the
+    // remaining shape is one the plan was verified for.
     std::vector<std::vector<int64_t>> States;
+    std::vector<size_t> Live; // indices of non-empty segments.
     States.reserve(Workers.size());
-    for (const WorkerOutput &W : Workers)
-      States.push_back(W.D);
+    for (size_t I = 0; I != Workers.size(); ++I) {
+      if (Segs[I].Size == 0)
+        continue;
+      States.push_back(Workers[I].D);
+      Live.push_back(I);
+    }
+    if (States.empty())
+      return Compiled.output(Compiled.initialState());
+    // Repair partial states with constant prefixes of the *next
+    // non-empty* successor (what PlanEval::runConstPrefix computes once
+    // empties are dropped).
     if (Plan.Kind == synth::Scenario::ConstPrefix) {
       for (size_t I = 0; I + 1 < States.size(); ++I) {
-        size_t L = std::min<size_t>(Plan.PrefixLen, Segs[I + 1].Size);
-        Compiled.foldSegment(States[I], {Segs[I + 1].Data, L});
+        const SegmentView &Next = Segs[Live[I + 1]];
+        size_t L = std::min<size_t>(Plan.PrefixLen, Next.Size);
+        Compiled.foldSegment(States[I], {Next.Data, L});
       }
     }
     // Left fold of the binary merge (interpreted; m is tiny).

@@ -6,21 +6,30 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
+#include <stdexcept>
 
 namespace grassp {
 namespace runtime {
 
 std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
-                                      size_t N, uint64_t Seed) {
+                                      size_t N, uint64_t Seed,
+                                      const WorkloadOptions &Opts) {
   Rng R(Seed);
   std::vector<int64_t> Out;
   Out.reserve(N);
 
   if (Prog.Name == "is_sorted") {
-    // Nearly sorted ("system log files consistent with system time").
+    // Nearly sorted ("system log files consistent with system time"),
+    // with rare injected inversions so both outcomes of the sortedness
+    // check occur across seeds.
     int64_t Cur = 0;
     for (size_t I = 0; I != N; ++I) {
-      Cur += static_cast<int64_t>(R.next() % 3);
+      if (I != 0 && Opts.SortedInversionPerMille != 0 &&
+          R.chance(Opts.SortedInversionPerMille, 1000))
+        Cur -= 1 + static_cast<int64_t>(R.next() % 3);
+      else
+        Cur += static_cast<int64_t>(R.next() % 3);
       Out.push_back(Cur);
     }
     return Out;
@@ -54,7 +63,11 @@ std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
 
 std::vector<SegmentView> partition(const std::vector<int64_t> &Data,
                                    unsigned M) {
-  assert(Data.size() >= M && M > 0 && "not enough data for M segments");
+  if (M == 0 || Data.size() < M)
+    throw std::invalid_argument(
+        "runtime::partition: need 0 < M <= Data.size() (M=" +
+        std::to_string(M) + ", N=" + std::to_string(Data.size()) +
+        "); use segmentsFromLengths for degenerate shapes");
   std::vector<SegmentView> Segs;
   Segs.reserve(M);
   size_t N = Data.size();
@@ -67,6 +80,94 @@ std::vector<SegmentView> partition(const std::vector<int64_t> &Data,
   }
   assert(Off == N && "partition must cover the data");
   return Segs;
+}
+
+std::vector<SegmentView> segmentsFromLengths(const std::vector<int64_t> &Data,
+                                             const std::vector<size_t> &Lens) {
+  size_t Total = std::accumulate(Lens.begin(), Lens.end(), size_t{0});
+  if (Total != Data.size())
+    throw std::invalid_argument(
+        "runtime::segmentsFromLengths: lengths sum to " +
+        std::to_string(Total) + " but Data has " +
+        std::to_string(Data.size()) + " elements");
+  std::vector<SegmentView> Segs;
+  Segs.reserve(Lens.size());
+  size_t Off = 0;
+  for (size_t Len : Lens) {
+    Segs.push_back({Data.data() + Off, Len});
+    Off += Len;
+  }
+  return Segs;
+}
+
+namespace {
+
+/// Near-equal lengths (the partition() split), but tolerating M > N by
+/// letting trailing segments go empty.
+std::vector<size_t> nearEqualLens(size_t N, unsigned M) {
+  std::vector<size_t> Lens(M, 0);
+  size_t Base = M ? N / M : 0, Rem = M ? N % M : 0;
+  for (unsigned I = 0; I != M; ++I)
+    Lens[I] = Base + (I < Rem ? 1 : 0);
+  return Lens;
+}
+
+} // namespace
+
+std::vector<SegmentShape> adversarialShapes(size_t N, unsigned M) {
+  std::vector<SegmentShape> Shapes;
+  if (M == 0)
+    return Shapes;
+  auto Add = [&](std::string Name, std::vector<size_t> Lens) {
+    // Dedup: degenerate N/M make several recipes coincide.
+    for (const SegmentShape &S : Shapes)
+      if (S.Lens == Lens)
+        return;
+    Shapes.push_back({std::move(Name), std::move(Lens)});
+  };
+
+  Add("near-equal", nearEqualLens(N, M));
+
+  if (M > 1) {
+    // Empty segment at the front, middle, and back.
+    std::vector<size_t> Rest = nearEqualLens(N, M - 1);
+    std::vector<size_t> Front = Rest;
+    Front.insert(Front.begin(), 0);
+    Add("empty-first", Front);
+    std::vector<size_t> Mid = Rest;
+    Mid.insert(Mid.begin() + Mid.size() / 2, 0);
+    Add("empty-middle", Mid);
+    std::vector<size_t> Back = Rest;
+    Back.push_back(0);
+    Add("empty-last", Back);
+
+    // All data in one segment, everything else empty.
+    std::vector<size_t> First(M, 0);
+    First[0] = N;
+    Add("all-in-first", First);
+    std::vector<size_t> Last(M, 0);
+    Last[M - 1] = N;
+    Add("all-in-last", Last);
+
+    // Length-1 head segments; the remainder lands in the last segment.
+    std::vector<size_t> Ones(M, 0);
+    size_t Left = N;
+    for (unsigned I = 0; I + 1 < M && Left != 0; ++I) {
+      Ones[I] = 1;
+      --Left;
+    }
+    Ones[M - 1] += Left;
+    Add("length-1-head", Ones);
+
+    // Data only in every other segment (empty segments interleaved).
+    std::vector<size_t> Alt(M, 0);
+    unsigned Holders = (M + 1) / 2;
+    std::vector<size_t> Packed = nearEqualLens(N, Holders);
+    for (unsigned I = 0; I != Holders; ++I)
+      Alt[2 * I] = Packed[I];
+    Add("alternating-empty", Alt);
+  }
+  return Shapes;
 }
 
 } // namespace runtime

@@ -5,6 +5,12 @@
 // nearly-sorted streams for the sortedness check, constant streams for
 // the equality check, and uniform integers for the generic scans.
 //
+// Also home of the segment-shape machinery: partition() produces the
+// standard near-equal non-empty split, while segmentsFromLengths() and
+// adversarialShapes() let the differential-oracle harness exercise the
+// shapes the verifier's non-empty data model never sees (empty segments,
+// length-1 segments, all data in one segment, M > N).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef GRASSP_RUNTIME_WORKLOAD_H
@@ -13,6 +19,7 @@
 #include "lang/Program.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace grassp {
@@ -24,14 +31,46 @@ struct SegmentView {
   size_t Size = 0;
 };
 
+/// Knobs for generateWorkload().
+struct WorkloadOptions {
+  /// Expected inversions per 1000 elements of the "nearly sorted"
+  /// is_sorted stream. The default keeps streams *nearly* sorted but
+  /// makes sure the false branch of the benchmark is exercised across
+  /// seeds (a strictly monotone generator never is). 0 restores the
+  /// always-sorted stream.
+  unsigned SortedInversionPerMille = 1;
+};
+
 /// Generates \p N elements appropriate for \p Prog.
 std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
-                                      size_t N, uint64_t Seed);
+                                      size_t N, uint64_t Seed,
+                                      const WorkloadOptions &Opts =
+                                          WorkloadOptions());
 
 /// Splits \p Data into \p M contiguous, non-empty, near-equal segments.
-/// Requires Data.size() >= M.
+/// Throws std::invalid_argument unless 0 < M <= Data.size(); this is a
+/// real runtime check, not an assert, so Release builds cannot silently
+/// produce zero-length trailing segments.
 std::vector<SegmentView> partition(const std::vector<int64_t> &Data,
                                    unsigned M);
+
+/// Builds segment views with the exact lengths \p Lens (empty segments
+/// allowed). Throws std::invalid_argument unless the lengths sum to
+/// Data.size(). The testing entry point for shapes partition() rejects.
+std::vector<SegmentView> segmentsFromLengths(const std::vector<int64_t> &Data,
+                                             const std::vector<size_t> &Lens);
+
+/// One named adversarial segment shape: lengths summing to N.
+struct SegmentShape {
+  std::string Name;
+  std::vector<size_t> Lens;
+};
+
+/// Adversarial segment shapes covering \p N elements with \p M segments
+/// (M may exceed N; empty segments appear deliberately): near-equal,
+/// empty first/middle/last, alternating empties, length-1 head, and all
+/// data in a single segment. Shapes degenerate gracefully for tiny N.
+std::vector<SegmentShape> adversarialShapes(size_t N, unsigned M);
 
 } // namespace runtime
 } // namespace grassp

@@ -1,0 +1,63 @@
+//===- support/Args.h - Strict command-line number parsing ---------------===//
+//
+// Shared strict parsers for CLI tools and benchmark harnesses. Unlike
+// std::atoi/atoll (which silently turn garbage into 0 — a zero-worker
+// run or a zero-millisecond solver budget), these reject empty strings,
+// trailing junk, and out-of-range values, so malformed arguments become
+// hard usage errors at the call site.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SUPPORT_ARGS_H
+#define GRASSP_SUPPORT_ARGS_H
+
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace grassp {
+
+/// Parses \p Arg as a base-10 unsigned; false on malformed or
+/// out-of-range input (\p Out untouched on failure).
+inline bool parseUnsigned(const char *Arg, unsigned *Out) {
+  if (!Arg || !std::isdigit(static_cast<unsigned char>(*Arg)))
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long V = std::strtoul(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || errno == ERANGE ||
+      V > std::numeric_limits<unsigned>::max())
+    return false;
+  *Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Parses \p Arg as a base-10 size_t; false on malformed input.
+inline bool parseSize(const char *Arg, size_t *Out) {
+  if (!Arg || !std::isdigit(static_cast<unsigned char>(*Arg)))
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || errno == ERANGE ||
+      V > std::numeric_limits<size_t>::max())
+    return false;
+  *Out = static_cast<size_t>(V);
+  return true;
+}
+
+/// Parses \p Arg as a base-10 uint64 (e.g. PRNG seeds).
+inline bool parseSeed(const char *Arg, uint64_t *Out) {
+  size_t V = 0;
+  if (!parseSize(Arg, &V))
+    return false;
+  *Out = static_cast<uint64_t>(V);
+  return true;
+}
+
+} // namespace grassp
+
+#endif // GRASSP_SUPPORT_ARGS_H

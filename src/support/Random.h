@@ -43,13 +43,14 @@ public:
   }
 
   /// Returns a uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  /// Exactly uniform (routed through bounded()).
   int64_t range(int64_t Lo, int64_t Hi) {
     uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
-    return Lo + static_cast<int64_t>(next() % Span);
+    return Lo + static_cast<int64_t>(bounded(Span));
   }
 
-  /// Returns true with probability Num/Den.
-  bool chance(uint64_t Num, uint64_t Den) { return next() % Den < Num; }
+  /// Returns true with probability Num/Den. Requires Den > 0.
+  bool chance(uint64_t Num, uint64_t Den) { return bounded(Den) < Num; }
 
 private:
   uint64_t State;

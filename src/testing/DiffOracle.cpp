@@ -1,0 +1,219 @@
+//===- testing/DiffOracle.cpp ---------------------------------------------==//
+
+#include "testing/DiffOracle.h"
+
+#include "codegen/CppCodegen.h"
+#include "lang/Interp.h"
+#include "runtime/Runner.h"
+#include "runtime/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#else
+#include <unistd.h>
+#endif
+
+namespace grassp {
+namespace testing {
+
+bool DiffOracle::hostCompilerAvailable() {
+  static const bool Available = [] {
+    return std::system("g++ --version > /dev/null 2>&1") == 0;
+  }();
+  return Available;
+}
+
+DiffOracle::DiffOracle(const lang::SerialProgram &P,
+                       const synth::ParallelPlan &PlanIn,
+                       const OracleConfig &Cfg)
+    : Prog(P), Plan(PlanIn), Compiled(P), CompiledPlanImpl(P, Plan),
+      Pool(Cfg.Threads ? Cfg.Threads : 1) {
+  if (!Cfg.UseEmitted || !hostCompilerAvailable())
+    return;
+  codegen::CppEmitOptions EOpts;
+  EOpts.NumThreads = Cfg.Threads ? Cfg.Threads : 1;
+  EOpts.NumElements = 1024; // overridden by the file-input hook anyway.
+  std::string Src = codegen::emitStandaloneCpp(Prog, Plan, EOpts);
+  if (Src.empty())
+    return; // no translation for this plan (e.g. CondPrefixRefold).
+
+  char Template[] = "/tmp/grassp_oracle_XXXXXX";
+  char *Dir = mkdtemp(Template);
+  if (!Dir)
+    return;
+  TmpDir = Dir;
+  std::string SrcPath = TmpDir + "/gen.cpp";
+  BinPath = TmpDir + "/gen";
+  {
+    std::ofstream Out(SrcPath);
+    Out << Src;
+  }
+  std::string Compile = "g++ -std=c++17 -O1 -o " + BinPath + " " + SrcPath +
+                        " -lpthread > " + TmpDir + "/cc.log 2>&1";
+  EmittedReady = std::system(Compile.c_str()) == 0;
+}
+
+DiffOracle::~DiffOracle() {
+  if (TmpDir.empty())
+    return;
+  // Best-effort cleanup of the fixed file set; the dir itself last.
+  for (const char *F : {"/gen.cpp", "/gen", "/cc.log", "/in.txt", "/out.txt"})
+    std::remove((TmpDir + F).c_str());
+  rmdir(TmpDir.c_str());
+}
+
+bool DiffOracle::runEmitted(const std::vector<int64_t> &Flat,
+                            int64_t *SerialOut, int64_t *ParallelOut) {
+  std::string InPath = TmpDir + "/in.txt";
+  std::string OutPath = TmpDir + "/out.txt";
+  {
+    std::ofstream In(InPath);
+    for (int64_t V : Flat)
+      In << V << '\n';
+  }
+  std::string Cmd = BinPath + " " + InPath + " > " + OutPath + " 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  std::ifstream Out(OutPath);
+  std::string Line;
+  std::getline(Out, Line);
+  long long S = 0, Par = 0;
+  if (std::sscanf(Line.c_str(), "serial=%lld parallel=%lld", &S, &Par) != 2)
+    return false;
+  *SerialOut = S;
+  *ParallelOut = Par;
+  // A nonzero exit means the binary's own self-check already saw the
+  // serial/parallel mismatch; the parsed values carry the detail.
+  (void)Rc;
+  return true;
+}
+
+OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
+  ++Checks;
+  std::vector<int64_t> Flat;
+  std::vector<size_t> Lens;
+  Lens.reserve(Segs.size());
+  for (const std::vector<int64_t> &S : Segs) {
+    Flat.insert(Flat.end(), S.begin(), S.end());
+    Lens.push_back(S.size());
+  }
+
+  OracleVerdict V;
+  V.Expected = lang::runSerial(Prog, Flat);
+
+  std::vector<runtime::SegmentView> Views =
+      runtime::segmentsFromLengths(Flat, Lens);
+  int64_t Vm = Compiled.runSerial(Views);
+  int64_t Par = runtime::runParallel(CompiledPlanImpl, Views, &Pool).Output;
+
+  bool EmittedOk = true;
+  int64_t EmSerial = 0, EmParallel = 0;
+  if (EmittedReady)
+    EmittedOk = runEmitted(Flat, &EmSerial, &EmParallel);
+
+  bool Agree = Vm == V.Expected && Par == V.Expected &&
+               (!EmittedReady ||
+                (EmittedOk && EmSerial == V.Expected &&
+                 EmParallel == V.Expected));
+  if (Agree)
+    return V;
+
+  V.Diverged = true;
+  std::ostringstream D;
+  D << "interp=" << V.Expected << " vm=" << Vm << " plan+pool=" << Par;
+  if (EmittedReady) {
+    if (EmittedOk)
+      D << " emitted-serial=" << EmSerial << " emitted-parallel="
+        << EmParallel;
+    else
+      D << " emitted=<unparsable output>";
+  }
+  V.Detail = D.str();
+  return V;
+}
+
+SegmentedInput DiffOracle::minimize(SegmentedInput Segs, unsigned MaxChecks) {
+  unsigned Budget = MaxChecks;
+  auto stillDiverges = [&](const SegmentedInput &Cand) {
+    if (Budget == 0)
+      return false;
+    --Budget;
+    return check(Cand).Diverged;
+  };
+
+  bool Progress = true;
+  while (Progress && Budget != 0) {
+    Progress = false;
+
+    // Drop whole segments.
+    for (size_t I = 0; I < Segs.size() && Segs.size() > 1;) {
+      SegmentedInput Cand = Segs;
+      Cand.erase(Cand.begin() + I);
+      if (stillDiverges(Cand)) {
+        Segs = std::move(Cand);
+        Progress = true;
+      } else {
+        ++I;
+      }
+    }
+
+    // Bisection-shrink each segment: drop its first or second half.
+    for (size_t I = 0; I < Segs.size(); ++I) {
+      while (Segs[I].size() > 1 && Budget != 0) {
+        size_t Half = Segs[I].size() / 2;
+        SegmentedInput Front = Segs;
+        Front[I].erase(Front[I].begin(), Front[I].begin() + Half);
+        if (stillDiverges(Front)) {
+          Segs = std::move(Front);
+          Progress = true;
+          continue;
+        }
+        SegmentedInput Back = Segs;
+        Back[I].erase(Back[I].begin() + Half, Back[I].end());
+        if (stillDiverges(Back)) {
+          Segs = std::move(Back);
+          Progress = true;
+          continue;
+        }
+        break;
+      }
+    }
+
+    // Drop single elements.
+    for (size_t I = 0; I < Segs.size(); ++I) {
+      for (size_t J = 0; J < Segs[I].size() && Budget != 0;) {
+        SegmentedInput Cand = Segs;
+        Cand[I].erase(Cand[I].begin() + J);
+        if (stillDiverges(Cand)) {
+          Segs = std::move(Cand);
+          Progress = true;
+        } else {
+          ++J;
+        }
+      }
+    }
+  }
+  return Segs;
+}
+
+std::string DiffOracle::formatInput(const SegmentedInput &Segs) {
+  std::ostringstream OS;
+  OS << Segs.size() << " segment" << (Segs.size() == 1 ? "" : "s") << " [";
+  for (size_t I = 0; I != Segs.size(); ++I) {
+    if (I)
+      OS << " |";
+    for (int64_t V : Segs[I])
+      OS << ' ' << V;
+    if (Segs[I].empty())
+      OS << ' ';
+  }
+  OS << " ]";
+  return OS.str();
+}
+
+} // namespace testing
+} // namespace grassp

@@ -1,0 +1,111 @@
+//===- testing/DiffOracle.h - Differential oracle over execution paths ---===//
+//
+// One plan, four executions of the same workload:
+//
+//  1. the tree-walking reference interpreter (lang::runSerial) — the
+//     ground truth, a flat fold of f with no segmentation at all;
+//  2. the register-bytecode VM folded over the segments
+//     (runtime::CompiledProgram::runSerial);
+//  3. the compiled plan run segment-parallel on a real ThreadPool
+//     (runtime::runParallel);
+//  4. the emitted standalone C++ translation, compiled on the fly with
+//     the host compiler and fed the identical workload through its
+//     file-input hook (skipped gracefully when no compiler is present or
+//     the plan has no translation).
+//
+// Any disagreement is a divergence; minimize() shrinks a diverging input
+// with a ddmin-style pass (drop segments, halve segments, drop single
+// elements), re-checking the full oracle after every step so the
+// reproducer it returns still diverges.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_TESTING_DIFFORACLE_H
+#define GRASSP_TESTING_DIFFORACLE_H
+
+#include "lang/Program.h"
+#include "runtime/Kernels.h"
+#include "support/ThreadPool.h"
+#include "synth/ParallelPlan.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace testing {
+
+/// A workload already carved into segments; empty segments are legal and
+/// deliberately interesting.
+using SegmentedInput = std::vector<std::vector<int64_t>>;
+
+struct OracleConfig {
+  /// Attempt the emitted-C++ path. Quietly disabled when the host has no
+  /// g++ or the plan has no standalone translation.
+  bool UseEmitted = true;
+  /// Worker threads for the ThreadPool path and the emitted binary.
+  unsigned Threads = 4;
+};
+
+struct OracleVerdict {
+  bool Diverged = false;
+  /// Ground-truth output (the reference interpreter).
+  int64_t Expected = 0;
+  /// On divergence: every path's value, e.g.
+  /// "interp=3 vm=3 plan+pool=4 emitted=3".
+  std::string Detail;
+};
+
+class DiffOracle {
+public:
+  /// \p Prog must outlive the oracle (benchmarks have static storage);
+  /// \p Plan is copied.
+  DiffOracle(const lang::SerialProgram &Prog, const synth::ParallelPlan &Plan,
+             const OracleConfig &Cfg = OracleConfig());
+  ~DiffOracle();
+
+  DiffOracle(const DiffOracle &) = delete;
+  DiffOracle &operator=(const DiffOracle &) = delete;
+
+  /// Paths compared per check: 3, or 4 with the emitted binary.
+  unsigned numPaths() const { return EmittedReady ? 4 : 3; }
+  bool emittedActive() const { return EmittedReady; }
+
+  /// Runs all paths on \p Segs and compares.
+  OracleVerdict check(const SegmentedInput &Segs);
+
+  /// Shrinks a diverging input, spending at most \p MaxChecks oracle
+  /// re-checks; the result is guaranteed to still diverge.
+  SegmentedInput minimize(SegmentedInput Segs, unsigned MaxChecks = 200);
+
+  /// Total oracle checks run (fuzzing + minimization).
+  unsigned long checksRun() const { return Checks; }
+
+  /// "file.cpp:3 segments [1 2 | | 7]" — reproducer pretty-printer.
+  static std::string formatInput(const SegmentedInput &Segs);
+
+  /// True when `g++` works on this host (cached after the first probe).
+  static bool hostCompilerAvailable();
+
+private:
+  bool runEmitted(const std::vector<int64_t> &Flat, int64_t *SerialOut,
+                  int64_t *ParallelOut);
+
+  const lang::SerialProgram &Prog;
+  synth::ParallelPlan Plan; // owned: CompiledPlan holds a reference.
+  runtime::CompiledProgram Compiled;
+  runtime::CompiledPlan CompiledPlanImpl;
+  ThreadPool Pool;
+  unsigned long Checks = 0;
+
+  // Emitted-path state: a temp dir holding the compiled binary plus the
+  // per-check workload/output files.
+  bool EmittedReady = false;
+  std::string TmpDir;
+  std::string BinPath;
+};
+
+} // namespace testing
+} // namespace grassp
+
+#endif // GRASSP_TESTING_DIFFORACLE_H

@@ -1,0 +1,188 @@
+//===- testing/Fuzz.cpp ---------------------------------------------------==//
+
+#include "testing/Fuzz.h"
+
+#include "lang/Benchmarks.h"
+#include "runtime/Workload.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace grassp {
+namespace testing {
+
+namespace {
+
+/// Carves flat \p Data into owned segments with lengths \p Lens.
+SegmentedInput carve(const std::vector<int64_t> &Data,
+                     const std::vector<size_t> &Lens) {
+  SegmentedInput Segs;
+  Segs.reserve(Lens.size());
+  size_t Off = 0;
+  for (size_t L : Lens) {
+    Segs.emplace_back(Data.begin() + Off, Data.begin() + Off + L);
+    Off += L;
+  }
+  return Segs;
+}
+
+/// Golden-ratio increment decorrelates per-round seeds (SplitMix64's own
+/// stream constant).
+constexpr uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
+
+FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
+                         const synth::ParallelPlan &Plan,
+                         const FuzzOptions &Opts) {
+  FuzzReport R;
+  R.Benchmark = Prog.Name;
+
+  OracleConfig OC;
+  OC.UseEmitted = Opts.UseEmitted;
+  DiffOracle Oracle(Prog, Plan, OC);
+  R.PathsCompared = Oracle.numPaths();
+
+  std::vector<size_t> Sizes = Opts.Sizes;
+  if (Sizes.empty())
+    Sizes = {0, 1, 2, 3, 5, 17, 64, 257};
+
+  auto tryInput = [&](const std::vector<int64_t> &Data,
+                      const std::vector<size_t> &Lens,
+                      const std::string &ShapeName, uint64_t Seed) {
+    SegmentedInput Segs = carve(Data, Lens);
+    OracleVerdict V = Oracle.check(Segs);
+    if (!V.Diverged)
+      return false;
+    R.Diverged = true;
+    R.Shape = ShapeName;
+    R.Detail = V.Detail;
+    R.Seed = Seed;
+    R.Reproducer = Oracle.minimize(std::move(Segs), Opts.MaxMinimizeChecks);
+    OracleVerdict MV = Oracle.check(R.Reproducer);
+    if (MV.Diverged) // refresh the per-path values for the shrunk input.
+      R.Detail = MV.Detail;
+    return true;
+  };
+
+  // One full deterministic sweep for a given workload seed: every size,
+  // every adversarial shape, plus the marker-planted variant for
+  // alphabet programs.
+  auto sweep = [&](uint64_t Seed) {
+    for (size_t N : Sizes) {
+      std::vector<int64_t> Data = runtime::generateWorkload(Prog, N, Seed);
+      std::vector<runtime::SegmentShape> Shapes =
+          runtime::adversarialShapes(N, Opts.Segments);
+      if (N <= 8) {
+        // Explicit M > N shapes: more segments than elements.
+        for (runtime::SegmentShape &S :
+             runtime::adversarialShapes(N, static_cast<unsigned>(N) + 3)) {
+          S.Name += "/M>N";
+          Shapes.push_back(std::move(S));
+        }
+      }
+      for (const runtime::SegmentShape &Shape : Shapes) {
+        if (tryInput(Data, Shape.Lens, Shape.Name, Seed))
+          return true;
+        if (!Prog.InputAlphabet.empty() && N != 0) {
+          // Plant alphabet symbols (the boundary markers conditional
+          // prefixes key on) at the first and last slot of every
+          // non-empty segment.
+          std::vector<int64_t> Marked = Data;
+          size_t Rot = 0, Off = 0;
+          for (size_t L : Shape.Lens) {
+            if (L != 0) {
+              Marked[Off] =
+                  Prog.InputAlphabet[Rot++ % Prog.InputAlphabet.size()];
+              Marked[Off + L - 1] =
+                  Prog.InputAlphabet[Rot++ % Prog.InputAlphabet.size()];
+            }
+            Off += L;
+          }
+          if (tryInput(Marked, Shape.Lens, Shape.Name + "+markers", Seed))
+            return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  Stopwatch T;
+  bool Found = sweep(Opts.Seed);
+  for (uint64_t Round = 1; !Found && Opts.Seconds != 0 &&
+                           T.seconds() < static_cast<double>(Opts.Seconds);
+       ++Round)
+    Found = sweep(Opts.Seed + Round * kSeedStride);
+
+  R.Checks = Oracle.checksRun();
+  return R;
+}
+
+int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
+             const synth::DriverOptions &DriverOpts) {
+  std::vector<const lang::SerialProgram *> Progs;
+  if (Names.empty()) {
+    for (const lang::SerialProgram &P : lang::allBenchmarks())
+      Progs.push_back(&P);
+  } else {
+    for (const std::string &N : Names) {
+      const lang::SerialProgram *P = lang::findBenchmark(N);
+      if (!P) {
+        std::fprintf(stderr, "error: unknown benchmark '%s'\n", N.c_str());
+        return 2;
+      }
+      Progs.push_back(P);
+    }
+  }
+
+  std::printf("fuzz: synthesizing %zu plan(s)%s...\n", Progs.size(),
+              Opts.UseEmitted && DiffOracle::hostCompilerAvailable()
+                  ? ", 4-path oracle (emitted C++ enabled)"
+                  : ", 3-path oracle");
+  synth::ParallelDriver Driver(DriverOpts);
+  std::vector<synth::TaskResult> Results = Driver.run(Progs);
+
+  // The --seconds budget is the whole run's; split it evenly across the
+  // benchmarks (each still gets at least its deterministic sweep).
+  FuzzOptions PerBench = Opts;
+  if (Opts.Seconds != 0)
+    PerBench.Seconds = std::max<unsigned>(
+        1, Opts.Seconds / static_cast<unsigned>(Progs.size()));
+
+  std::printf("%-22s %-6s %-7s %-8s %s\n", "benchmark", "group", "paths",
+              "checks", "verdict");
+  bool AnyDivergence = false;
+  unsigned Fuzzed = 0;
+  for (size_t I = 0; I != Progs.size(); ++I) {
+    if (!Results[I].Result.Success) {
+      std::printf("%-22s %-6s synthesis failed: %s\n",
+                  Progs[I]->Name.c_str(), "-",
+                  Results[I].Result.FailureReason.c_str());
+      continue;
+    }
+    FuzzReport R = fuzzBenchmark(*Progs[I], Results[I].Result.Plan, PerBench);
+    ++Fuzzed;
+    if (!R.Diverged) {
+      std::printf("%-22s %-6s %-7u %-8lu ok\n", R.Benchmark.c_str(),
+                  Results[I].Result.Group.c_str(), R.PathsCompared,
+                  R.Checks);
+      continue;
+    }
+    AnyDivergence = true;
+    std::printf("%-22s %-6s %-7u %-8lu DIVERGED\n", R.Benchmark.c_str(),
+                Results[I].Result.Group.c_str(), R.PathsCompared, R.Checks);
+    std::printf("  shape: %s (seed %llu)\n  %s\n  minimized reproducer: %s\n",
+                R.Shape.c_str(), (unsigned long long)R.Seed,
+                R.Detail.c_str(),
+                DiffOracle::formatInput(R.Reproducer).c_str());
+  }
+  std::printf("fuzzed %u/%zu benchmark(s): %s\n", Fuzzed, Progs.size(),
+              AnyDivergence ? "DIVERGENCE FOUND" : "no divergences");
+  if (AnyDivergence)
+    return 1;
+  return Fuzzed == Progs.size() ? 0 : 1;
+}
+
+} // namespace testing
+} // namespace grassp

@@ -1,0 +1,74 @@
+//===- testing/Fuzz.h - Differential fuzzing over the benchmark suite ----===//
+//
+// Drives DiffOracle over each benchmark's synthesized plan with (a)
+// seeded random workloads across a size ladder and (b) the adversarial
+// segment shapes of runtime::adversarialShapes — empty segments,
+// length-1 segments, all data in one segment, more segments than
+// elements — plus marker-planting at segment edges for alphabet
+// programs, where conditional prefixes start and end.
+//
+// Two modes: a bounded fixed sweep (Seconds == 0, the ctest fuzz_smoke
+// configuration — fixed seeds, deterministic, a few seconds) and an
+// open-ended soak (Seconds > 0: the fixed sweep first, then fresh
+// random rounds until the budget runs out). Both report the first
+// divergence with a minimized reproducer.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_TESTING_FUZZ_H
+#define GRASSP_TESTING_FUZZ_H
+
+#include "lang/Program.h"
+#include "synth/ParallelDriver.h"
+#include "synth/ParallelPlan.h"
+#include "testing/DiffOracle.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace testing {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  /// 0 = one deterministic sweep; N = sweep plus random rounds for ~N
+  /// seconds of wall-clock budget.
+  unsigned Seconds = 0;
+  /// Baseline segment count M for the adversarial shapes.
+  unsigned Segments = 4;
+  bool UseEmitted = true;
+  /// Workload sizes; empty picks the default ladder
+  /// {0, 1, 2, 3, 5, 17, 64, 257}.
+  std::vector<size_t> Sizes;
+  /// Oracle re-check budget for reproducer minimization.
+  unsigned MaxMinimizeChecks = 200;
+};
+
+struct FuzzReport {
+  bool Diverged = false;
+  std::string Benchmark;
+  std::string Shape;  // shape name (suffix "+markers" for the variant).
+  std::string Detail; // per-path values from the oracle.
+  SegmentedInput Reproducer; // minimized.
+  uint64_t Seed = 0;  // workload seed of the diverging round.
+  unsigned long Checks = 0;
+  unsigned PathsCompared = 0;
+};
+
+/// Fuzzes one benchmark/plan pair; stops at the first divergence.
+FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
+                         const synth::ParallelPlan &Plan,
+                         const FuzzOptions &Opts);
+
+/// The `grassp fuzz` entry point: synthesizes the requested benchmarks
+/// (all 27 when \p Names is empty) on the parallel driver, fuzzes each,
+/// prints a per-benchmark table plus any minimized reproducer, and
+/// returns a process exit code (0 = no divergence).
+int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
+             const synth::DriverOptions &DriverOpts);
+
+} // namespace testing
+} // namespace grassp
+
+#endif // GRASSP_TESTING_FUZZ_H

@@ -1,0 +1,172 @@
+//===- tests/fuzz_smoke.cpp - Bounded differential-oracle smoke tier ------==//
+//
+// The fixed-seed, seconds-bounded slice of the fuzz harness that runs on
+// every ctest invocation: representative benchmarks from each Table-1
+// group sweep the adversarial shape set with zero divergences, the
+// emitted-C++ fourth path is exercised on one benchmark (skipped without
+// a host compiler), and a deliberately broken merge rule is planted to
+// prove the oracle actually catches and minimizes divergences. The
+// open-ended soak lives in `grassp fuzz --seconds N` / bench/fuzz_driver.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+#include "lang/Benchmarks.h"
+#include "runtime/Workload.h"
+#include "synth/Grassp.h"
+#include "testing/DiffOracle.h"
+#include "testing/Fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gt = grassp::testing;
+using grassp::lang::SerialProgram;
+using grassp::lang::findBenchmark;
+
+namespace {
+
+gt::FuzzOptions smokeOptions() {
+  gt::FuzzOptions Opts;
+  Opts.Seed = 1;          // fixed: this tier must be deterministic.
+  Opts.Seconds = 0;       // one bounded sweep, no open-ended rounds.
+  Opts.Segments = 4;
+  Opts.UseEmitted = false; // the 4th path is covered once, below.
+  Opts.Sizes = {0, 1, 2, 3, 17, 64};
+  return Opts;
+}
+
+// One representative per Table-1 group (B1, B2, B3, two B4 flavors, and
+// the bag plan) through the 3-path oracle across every adversarial
+// shape. Zero divergences expected.
+class Representative : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Representative, NoDivergenceAcrossAdversarialShapes) {
+  const SerialProgram *P = findBenchmark(GetParam());
+  ASSERT_NE(P, nullptr);
+  grassp::synth::SynthesisResult R = grassp::synth::synthesize(*P);
+  ASSERT_TRUE(R.Success) << R.FailureReason;
+
+  gt::FuzzReport Rep = gt::fuzzBenchmark(*P, R.Plan, smokeOptions());
+  EXPECT_FALSE(Rep.Diverged)
+      << Rep.Shape << " seed " << Rep.Seed << ": " << Rep.Detail
+      << "\n  reproducer: " << gt::DiffOracle::formatInput(Rep.Reproducer);
+  EXPECT_EQ(Rep.PathsCompared, 3u);
+  EXPECT_GT(Rep.Checks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, Representative,
+                         ::testing::Values("sum",            // B1
+                                           "second_max",     // B2
+                                           "is_sorted",      // B3
+                                           "count_102",      // B4
+                                           "max_dist_ones",  // B4 max-acc
+                                           "count_distinct"),// bag
+                         [](const auto &Info) { return Info.param; });
+
+// The emitted-C++ fourth path on one benchmark: compile once, then replay
+// the same shapes through the binary's file-input hook.
+TEST(FuzzSmoke, EmittedPathAgreesOnSum) {
+  if (!gt::DiffOracle::hostCompilerAvailable())
+    GTEST_SKIP() << "no host g++; 3-path oracle already covered";
+  const SerialProgram *P = findBenchmark("sum");
+  ASSERT_NE(P, nullptr);
+  grassp::synth::SynthesisResult R = grassp::synth::synthesize(*P);
+  ASSERT_TRUE(R.Success);
+
+  gt::FuzzOptions Opts = smokeOptions();
+  Opts.UseEmitted = true;
+  Opts.Sizes = {0, 1, 3, 17, 64};
+  gt::FuzzReport Rep = gt::fuzzBenchmark(*P, R.Plan, Opts);
+  EXPECT_FALSE(Rep.Diverged) << Rep.Shape << ": " << Rep.Detail;
+  EXPECT_EQ(Rep.PathsCompared, 4u);
+}
+
+// Plant a bug: sum's merge combines partial sums with subtraction
+// instead of addition. The oracle must catch it on the sweep and shrink
+// the reproducer to a near-minimal segmented input that still diverges.
+TEST(FuzzSmoke, BrokenMergeIsCaughtAndMinimized) {
+  const SerialProgram *P = findBenchmark("sum");
+  ASSERT_NE(P, nullptr);
+  grassp::synth::SynthesisResult R = grassp::synth::synthesize(*P);
+  ASSERT_TRUE(R.Success);
+  ASSERT_EQ(R.Plan.Kind, grassp::synth::Scenario::NoPrefix);
+  ASSERT_EQ(R.Plan.Merge.Combine.size(), 1u);
+
+  grassp::synth::ParallelPlan Broken = R.Plan;
+  const std::string &F = P->State.field(0).Name;
+  Broken.Merge.Combine[0] =
+      grassp::ir::sub(grassp::ir::var("a_" + F, grassp::ir::TypeKind::Int),
+                      grassp::ir::var("b_" + F, grassp::ir::TypeKind::Int));
+
+  gt::FuzzReport Rep = gt::fuzzBenchmark(*P, Broken, smokeOptions());
+  ASSERT_TRUE(Rep.Diverged) << "sabotaged merge was not detected";
+  EXPECT_FALSE(Rep.Detail.empty());
+
+  // The reproducer still diverges under a fresh oracle...
+  gt::OracleConfig OC;
+  OC.UseEmitted = false;
+  gt::DiffOracle Oracle(*P, Broken, OC);
+  EXPECT_TRUE(Oracle.check(Rep.Reproducer).Diverged);
+  // ...and was genuinely shrunk: a - b != a + b needs exactly two
+  // non-empty single-element segments with a nonzero second element.
+  size_t Elems = 0, NonEmpty = 0;
+  for (const std::vector<int64_t> &S : Rep.Reproducer) {
+    Elems += S.size();
+    NonEmpty += S.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(NonEmpty, 2u) << gt::DiffOracle::formatInput(Rep.Reproducer);
+  EXPECT_LE(Elems, 2u) << gt::DiffOracle::formatInput(Rep.Reproducer);
+}
+
+// The shape generator must actually produce the degenerate geometry the
+// verifier's non-empty data model never sees: every shape covers N
+// exactly, and empty and length-1 segments both appear whenever the
+// geometry admits them (including M > N, which forces empties).
+TEST(FuzzSmoke, AdversarialShapesCoverDegenerateGeometry) {
+  using grassp::runtime::SegmentShape;
+  for (size_t N : {0u, 1u, 2u, 5u, 64u}) {
+    for (unsigned M : {1u, 4u, 7u}) {
+      std::vector<SegmentShape> Shapes =
+          grassp::runtime::adversarialShapes(N, M);
+      ASSERT_FALSE(Shapes.empty());
+      bool SawEmptySegment = false, SawSingleton = false;
+      for (const SegmentShape &S : Shapes) {
+        EXPECT_EQ(std::accumulate(S.Lens.begin(), S.Lens.end(), size_t{0}),
+                  N)
+            << S.Name;
+        for (size_t L : S.Lens) {
+          SawEmptySegment |= L == 0;
+          SawSingleton |= L == 1;
+        }
+      }
+      if (M > 1 && N >= 2) {
+        EXPECT_TRUE(SawEmptySegment) << "N=" << N << " M=" << M;
+        EXPECT_TRUE(SawSingleton) << "N=" << N << " M=" << M;
+      }
+      if (N < M) // more segments than elements forces empties.
+        EXPECT_TRUE(SawEmptySegment);
+    }
+  }
+}
+
+// The oracle itself on hand-built degenerate inputs — all-empty input,
+// single element among empties, M > N — for a boundary-sensitive plan.
+TEST(FuzzSmoke, HandPickedDegenerateInputsAgree) {
+  const SerialProgram *P = findBenchmark("is_sorted");
+  ASSERT_NE(P, nullptr);
+  grassp::synth::SynthesisResult R = grassp::synth::synthesize(*P);
+  ASSERT_TRUE(R.Success);
+  gt::OracleConfig OC;
+  OC.UseEmitted = false;
+  gt::DiffOracle Oracle(*P, R.Plan, OC);
+
+  EXPECT_FALSE(Oracle.check({}).Diverged);
+  EXPECT_FALSE(Oracle.check({{}, {}, {}}).Diverged);
+  EXPECT_FALSE(Oracle.check({{}, {7}, {}}).Diverged);
+  EXPECT_FALSE(Oracle.check({{1, 2}, {}, {2, 1}}).Diverged);
+  EXPECT_FALSE(Oracle.check({{3}, {2}, {}, {1}}).Diverged);
+}
+
+} // namespace

@@ -63,6 +63,33 @@ INSTANTIATE_TEST_SUITE_P(Table2, JobBenchmark,
                                            "search"),
                          [](const auto &Info) { return Info.param; });
 
+TEST(ClusterSim, ScheduleTasksSingleNodeSumsLoads) {
+  // Nodes=1: nowhere to migrate, so the makespan is just the serial sum
+  // of task times plus one dispatch charge per task.
+  ClusterConfig Cfg;
+  Cfg.Nodes = 1;
+  Cfg.TaskDispatchSec = 1.5;
+  std::vector<double> TaskSec = {1.0, 2.0, 3.0};
+  std::vector<unsigned> Home = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(scheduleTasks(TaskSec, Home, Cfg),
+                   (1.0 + 2.0 + 3.0) + 3 * Cfg.TaskDispatchSec);
+
+  // No tasks: nothing scheduled, zero makespan.
+  EXPECT_DOUBLE_EQ(scheduleTasks({}, {}, Cfg), 0.0);
+}
+
+TEST(ClusterSim, ScheduleTasksPrefersLocalPlacementWhenEvenlyLoaded) {
+  // Two equal tasks homed on different nodes of a 2-node cluster: both
+  // stay home (no remote-read penalty), so the makespan is one task plus
+  // one dispatch.
+  ClusterConfig Cfg;
+  Cfg.Nodes = 2;
+  Cfg.TaskDispatchSec = 0.5;
+  std::vector<double> TaskSec = {4.0, 4.0};
+  std::vector<unsigned> Home = {0, 1};
+  EXPECT_DOUBLE_EQ(scheduleTasks(TaskSec, Home, Cfg), 4.5);
+}
+
 TEST(ClusterSim, MoreNodesNeverSlower) {
   const lang::SerialProgram *P = lang::findBenchmark("sum");
   synth::SynthesisResult R = synth::synthesize(*P);

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 using namespace grassp;
 using namespace grassp::runtime;
@@ -40,6 +41,26 @@ TEST(Partition, CoversDataContiguously) {
   }
 }
 
+// The precondition is a real runtime check, not an assert: Release
+// builds must also refuse shapes that would yield empty segments.
+TEST(Partition, RejectsDegenerateShapes) {
+  std::vector<int64_t> Data(5, 1);
+  EXPECT_THROW(partition(Data, 0), std::invalid_argument);
+  EXPECT_THROW(partition(Data, 6), std::invalid_argument);
+  EXPECT_THROW(partition({}, 1), std::invalid_argument);
+  EXPECT_NO_THROW(partition(Data, 5));
+}
+
+TEST(Partition, SegmentsFromLengthsAllowsEmptyButChecksTotal) {
+  std::vector<int64_t> Data = {1, 2, 3};
+  std::vector<SegmentView> Segs = segmentsFromLengths(Data, {0, 2, 0, 1});
+  ASSERT_EQ(Segs.size(), 4u);
+  EXPECT_EQ(Segs[0].Size, 0u);
+  EXPECT_EQ(Segs[1].Size, 2u);
+  EXPECT_EQ(Segs[3].Data[0], 3);
+  EXPECT_THROW(segmentsFromLengths(Data, {1, 1}), std::invalid_argument);
+}
+
 TEST(Makespan, LptBasics) {
   // One worker: makespan is the sum.
   EXPECT_DOUBLE_EQ(makespan({1, 2, 3}, 1), 6.0);
@@ -68,8 +89,11 @@ TEST(Makespan, NeverBelowTheoreticalBounds) {
 }
 
 TEST(Workload, GeneratorsMatchBenchmarks) {
+  // With inversions disabled the is_sorted stream is monotone.
   const lang::SerialProgram *Sorted = lang::findBenchmark("is_sorted");
-  std::vector<int64_t> S = generateWorkload(*Sorted, 1000, 3);
+  WorkloadOptions NoInv;
+  NoInv.SortedInversionPerMille = 0;
+  std::vector<int64_t> S = generateWorkload(*Sorted, 1000, 3, NoInv);
   for (size_t I = 1; I != S.size(); ++I)
     EXPECT_LE(S[I - 1], S[I]);
 
@@ -88,6 +112,25 @@ TEST(Workload, GeneratorsMatchBenchmarks) {
   std::vector<int64_t> Dd = generateWorkload(*D, 8000, 3);
   for (size_t I = 4000; I != Dd.size(); ++I)
     EXPECT_GE(Dd[I], 1600);
+}
+
+// At the default inversion rate the is_sorted generator must exercise
+// BOTH benchmark outcomes across seeds — the old always-monotone stream
+// never took the false branch, so a broken false-path merge could pass
+// every workload-driven test.
+TEST(Workload, SortedGeneratorProducesBothOutcomes) {
+  const lang::SerialProgram *Sorted = lang::findBenchmark("is_sorted");
+  unsigned WithInversion = 0, FullySorted = 0;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    std::vector<int64_t> S = generateWorkload(*Sorted, 450, Seed);
+    bool Monotone = true;
+    for (size_t I = 1; I != S.size(); ++I)
+      if (S[I - 1] > S[I])
+        Monotone = false;
+    ++(Monotone ? FullySorted : WithInversion);
+  }
+  EXPECT_GT(WithInversion, 0u);
+  EXPECT_GT(FullySorted, 0u);
 }
 
 TEST(ThreadPoolTest, RunsAllTasks) {
@@ -109,6 +152,33 @@ TEST(Runner, SpeedupModelIsConsistent) {
   R.MergeSeconds = 0.0;
   EXPECT_NEAR(modeledSpeedup(0.4, R, 4), 4.0, 1e-9);
   EXPECT_NEAR(modeledSpeedup(0.4, R, 1), 1.0, 1e-9);
+}
+
+TEST(Makespan, EdgeCases) {
+  // More workers than tasks: extra workers idle, makespan is the max.
+  EXPECT_DOUBLE_EQ(makespan({2.0, 1.0}, 8), 2.0);
+  // All-zero task times and no tasks at all both model as zero.
+  EXPECT_DOUBLE_EQ(makespan({0.0, 0.0, 0.0}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(makespan({}, 3), 0.0);
+}
+
+TEST(Runner, SpeedupModelEdgeCases) {
+  // Zero measured work and zero merge: the model reports 0 rather than
+  // dividing by zero.
+  ParallelRunResult Z;
+  Z.WorkerSeconds = {0.0, 0.0};
+  Z.MergeSeconds = 0.0;
+  EXPECT_DOUBLE_EQ(modeledSpeedup(1.0, Z, 4), 0.0);
+
+  // No worker measurements at all (empty segment list).
+  ParallelRunResult E;
+  EXPECT_DOUBLE_EQ(modeledSpeedup(1.0, E, 2), 0.0);
+
+  // P larger than the segment count still uses only the real work.
+  ParallelRunResult W;
+  W.WorkerSeconds = {0.2, 0.2};
+  W.MergeSeconds = 0.0;
+  EXPECT_NEAR(modeledSpeedup(0.4, W, 16), 2.0, 1e-9);
 }
 
 // One CompiledPlan shared across a multi-worker pool, folded over many

@@ -11,6 +11,7 @@
 //   grassp emit-mr <name>           print the mapper/reducer translation
 //   grassp emit-chc <name>          print the CHC system (SMT-LIB2)
 //   grassp certify <name> [ms]      Spacer certification
+//   grassp fuzz [opts]              differential oracle over all paths
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,14 +19,15 @@
 #include "codegen/CppCodegen.h"
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
+#include "support/Args.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
 #include "synth/ParallelDriver.h"
+#include "testing/Fuzz.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <limits>
 
 using namespace grassp;
 
@@ -37,18 +39,11 @@ int usage(const char *Prog) {
                "[--timeout-ms T] |\n"
                "       run <name> [N] [P] | emit-cpp <name> | emit-mr "
                "<name> | emit-chc <name> "
-               "| certify <name> [timeout-ms]\n",
+               "| certify <name> [timeout-ms] |\n"
+               "       fuzz [--seconds N] [--seed S] [--segments M] "
+               "[--no-emit] [--jobs N] [name...]\n",
                Prog);
   return 2;
-}
-
-bool parseUnsigned(const char *Arg, unsigned *Out) {
-  char *End = nullptr;
-  unsigned long V = std::strtoul(Arg, &End, 10);
-  if (End == Arg || *End != '\0' || V > std::numeric_limits<unsigned>::max())
-    return false;
-  *Out = static_cast<unsigned>(V);
-  return true;
 }
 
 const lang::SerialProgram *lookup(const char *Name) {
@@ -116,6 +111,44 @@ int main(int argc, char **argv) {
     std::printf("solved %u/%zu\n", Solved, Results.size());
     return Solved == Results.size() ? 0 : 1;
   }
+  if (std::strcmp(Cmd, "fuzz") == 0) {
+    testing::FuzzOptions FOpts;
+    synth::DriverOptions DOpts;
+    DOpts.Jobs = 0; // all hardware threads for the synthesis stage.
+    std::vector<std::string> Names;
+    for (int I = 2; I != argc; ++I) {
+      auto numericOpt = [&](const char *Flag, unsigned *Out) {
+        if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
+          return false;
+        if (!parseUnsigned(argv[++I], Out)) {
+          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                       Flag, argv[I]);
+          std::exit(2);
+        }
+        return true;
+      };
+      if (numericOpt("--seconds", &FOpts.Seconds) ||
+          numericOpt("--segments", &FOpts.Segments) ||
+          numericOpt("--jobs", &DOpts.Jobs))
+        continue;
+      if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc) {
+        if (!parseSeed(argv[++I], &FOpts.Seed)) {
+          std::fprintf(stderr, "error: --seed expects a number, got '%s'\n",
+                       argv[I]);
+          return 2;
+        }
+      } else if (std::strcmp(argv[I], "--no-emit") == 0) {
+        FOpts.UseEmitted = false;
+      } else if (argv[I][0] == '-') {
+        return usage(argv[0]);
+      } else {
+        if (!lookup(argv[I]))
+          return 2;
+        Names.push_back(argv[I]);
+      }
+    }
+    return testing::fuzzMain(Names, FOpts, DOpts);
+  }
   if (argc < 3)
     return usage(argv[0]);
   const lang::SerialProgram *P = lookup(argv[2]);
@@ -134,10 +167,20 @@ int main(int argc, char **argv) {
     return 0;
   }
   if (std::strcmp(Cmd, "run") == 0) {
-    size_t N = argc > 3 ? static_cast<size_t>(std::atoll(argv[3]))
-                        : 10000000;
-    unsigned Workers = argc > 4 ? static_cast<unsigned>(std::atoi(argv[4]))
-                                : 8;
+    size_t N = 10000000;
+    unsigned Workers = 8;
+    if (argc > 3 && !parseSize(argv[3], &N)) {
+      std::fprintf(stderr, "error: run expects a numeric element count, "
+                           "got '%s'\n",
+                   argv[3]);
+      return 2;
+    }
+    if (argc > 4 && !parseUnsigned(argv[4], &Workers)) {
+      std::fprintf(stderr, "error: run expects a numeric worker count, "
+                           "got '%s'\n",
+                   argv[4]);
+      return 2;
+    }
     synth::SynthesisResult R = synthOrDie(*P);
     std::vector<int64_t> Data = runtime::generateWorkload(*P, N, 1);
     std::vector<runtime::SegmentView> Segs =
@@ -188,8 +231,12 @@ int main(int argc, char **argv) {
   if (std::strcmp(Cmd, "certify") == 0) {
     synth::SynthesisResult R = synthOrDie(*P);
     chc::CertifyOptions Opts;
-    if (argc > 3)
-      Opts.TimeoutMs = static_cast<unsigned>(std::atoi(argv[3]));
+    if (argc > 3 && !parseUnsigned(argv[3], &Opts.TimeoutMs)) {
+      std::fprintf(stderr, "error: certify expects a numeric timeout in "
+                           "milliseconds, got '%s'\n",
+                   argv[3]);
+      return 2;
+    }
     chc::CertifyOutcome C = chc::certify(*P, R.Plan, Opts);
     std::printf("%s: %s in %s (%u variables)\n", P->Name.c_str(),
                 chc::certStatusName(C.Status),
