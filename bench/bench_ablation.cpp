@@ -11,12 +11,12 @@
 
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
+#include "support/Args.h"
 #include "support/Random.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
 
 #include <cstdio>
-#include <cstdlib>
 
 using namespace grassp;
 using namespace grassp::runtime;
@@ -54,7 +54,12 @@ int64_t boundaryMarker(const synth::ParallelPlan &Plan) {
 } // namespace
 
 int main(int argc, char **argv) {
-  size_t N = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 4000000;
+  size_t N = 4000000;
+  if (argc > 1 && !parseSize(argv[1], &N)) {
+    std::fprintf(stderr, "usage: %s [elements]  (got '%s')\n", argv[0],
+                 argv[1]);
+    return 2;
+  }
   const unsigned M = 8, P = 8;
   const char *Names[] = {"count_102",  "count_123",    "count_10203",
                          "count_run1", "max_dist_ones", "max_sum_zeros"};

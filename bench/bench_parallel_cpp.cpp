@@ -13,17 +13,22 @@
 
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
+#include "support/Args.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
 
 #include <cstdio>
-#include <cstdlib>
 
 using namespace grassp;
 using namespace grassp::runtime;
 
 int main(int argc, char **argv) {
-  size_t N = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 8000000;
+  size_t N = 8000000;
+  if (argc > 1 && !parseSize(argv[1], &N)) {
+    std::fprintf(stderr, "usage: %s [elements-per-benchmark]  (got '%s')\n",
+                 argv[0], argv[1]);
+    return 2;
+  }
   const unsigned P = 8;          // the paper's 8-thread configuration
   const unsigned SegmentsPerRun = 8;
 

@@ -17,11 +17,11 @@
 
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
+#include "support/Args.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
 
 #include <cstdio>
-#include <cstdlib>
 
 using namespace grassp;
 using namespace grassp::runtime;
@@ -54,7 +54,12 @@ void report(const char *Figure, const char *Scheme,
 } // namespace
 
 int main(int argc, char **argv) {
-  size_t N = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 8000000;
+  size_t N = 8000000;
+  if (argc > 1 && !parseSize(argv[1], &N)) {
+    std::fprintf(stderr, "usage: %s [elements]  (got '%s')\n", argv[0],
+                 argv[1]);
+    return 2;
+  }
   std::printf("Figures 5-9: execution schemes over 4 segments "
               "(N=%zu elements)\n\n",
               N);

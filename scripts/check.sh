@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# One-command verification: the tier-1 build + full ctest suite, then a
+# ThreadSanitizer build of the concurrency-heavy targets (runner, thread
+# pool, parallel synthesis driver, chaos/fault-injection tests) so data
+# races in the fault-tolerant paths fail loudly instead of flaking.
+#
+# Usage: scripts/check.sh [build-dir] [tsan-build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+TSAN="${2:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier 1: build + full test suite ($BUILD) =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== tier 2: ThreadSanitizer over the concurrent paths ($TSAN) =="
+cmake -B "$TSAN" -S . -DGRASSP_SANITIZE=thread >/dev/null
+cmake --build "$TSAN" -j "$JOBS" --target \
+    runtime_runner_test support_threadpool_test \
+    synth_paralleldriver_test chaos_smoke
+ctest --test-dir "$TSAN" --output-on-failure -j "$JOBS" \
+    -R 'runtime_runner|support_threadpool|paralleldriver|chaos_smoke'
+
+echo "== all checks passed =="

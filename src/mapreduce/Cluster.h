@@ -15,12 +15,22 @@
 
 #include "mapreduce/Dfs.h"
 #include "runtime/Kernels.h"
+#include "support/FaultInject.h"
 
 #include <string>
 #include <vector>
 
 namespace grassp {
 namespace mapreduce {
+
+/// Fault sites the cluster simulator consults (ClusterConfig::Faults).
+/// cluster.node is keyed by the node id: a firing node is dead for the
+/// whole job, its map tasks are lost and re-executed on survivors.
+/// cluster.straggler is keyed by the map-task index: a firing task runs
+/// DelaySeconds of *modeled* seconds slow (nothing really sleeps), which
+/// Hadoop-style speculative execution may hide with a backup copy.
+inline constexpr const char *FaultSiteClusterNode = "cluster.node";
+inline constexpr const char *FaultSiteClusterStraggler = "cluster.straggler";
 
 /// Cost model of the cluster; defaults loosely follow a small EMR
 /// deployment (job startup dominated by YARN container spin-up).
@@ -35,6 +45,16 @@ struct ClusterConfig {
   /// Multiplier applied to measured compute time to model the target
   /// node's speed relative to this host (1.0 = same speed).
   double ComputeScale = 1.0;
+
+  // Failure model (consulted only when Faults is set).
+  FaultInjector *Faults = nullptr;
+  /// Heartbeat timeout before a dead node's tasks are re-executed.
+  double NodeFailureDetectSec = 10.0;
+  /// Hadoop-style speculative execution for straggling map tasks.
+  bool SpeculativeExecution = true;
+  /// A straggler's backup launches after the task has run for this
+  /// multiple of its normal duration.
+  double SpeculativeSlowFactor = 1.5;
 };
 
 struct JobReport {
@@ -44,6 +64,11 @@ struct JobReport {
   double ParallelJobSec = 0; // modeled N-node MapReduce job.
   double Speedup = 0;
   double MeasuredComputeSec = 0; // actual host compute across all tasks.
+  // Degraded-cluster accounting (all zero on a healthy run).
+  unsigned FailedNodes = 0;
+  unsigned FailedTasks = 0;      // map tasks lost to dead nodes, re-run.
+  unsigned SpeculativeTasks = 0; // backup copies launched for stragglers.
+  double RecoverySec = 0;        // degraded minus healthy map makespan.
 };
 
 /// Locality-aware LPT at node granularity. Map tasks are scan-dominated,
@@ -56,6 +81,28 @@ struct JobReport {
 double scheduleTasks(const std::vector<double> &TaskSec,
                      const std::vector<unsigned> &Home,
                      const ClusterConfig &Cfg);
+
+struct ScheduleStats {
+  unsigned FailedTasks = 0;
+  unsigned SpeculativeTasks = 0;
+};
+
+/// Degraded-cluster variant of scheduleTasks. Nodes with Alive[n] ==
+/// false are dead for the whole job: their tasks are lost, detected
+/// after Cfg.NodeFailureDetectSec, and re-executed on surviving nodes
+/// with the remote-read penalty (Hadoop's map re-execution). Straggling
+/// tasks (ExtraSec[i] > 0 modeled extra seconds; pass {} for none) may
+/// get a speculative backup on another surviving node; the earlier
+/// completion wins. Throws std::runtime_error when no node survives —
+/// a degraded cluster degrades explicitly, it never hangs or silently
+/// drops tasks. Requires every Home entry < Cfg.Nodes and Alive.size()
+/// == Cfg.Nodes.
+double scheduleTasksDegraded(const std::vector<double> &TaskSec,
+                             const std::vector<double> &ExtraSec,
+                             const std::vector<unsigned> &Home,
+                             const std::vector<bool> &Alive,
+                             const ClusterConfig &Cfg,
+                             ScheduleStats *Stats = nullptr);
 
 /// Runs plan \p Plan as a MapReduce job over DFS file \p File.
 JobReport runJob(const lang::SerialProgram &Prog,

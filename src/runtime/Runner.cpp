@@ -5,10 +5,46 @@
 #include "support/Timing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 namespace grassp {
 namespace runtime {
+
+namespace {
+
+int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleepSeconds(double S) {
+  if (S > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(S));
+}
+
+/// Per-segment commit cell. State 0 = pending, 1 = claimed by a winner
+/// that is still copying its output out, 2 = committed and readable.
+/// Primary and speculative backup race on the claim; exactly one wins.
+struct Slot {
+  std::atomic<int> State{0};
+  std::atomic<int64_t> StartNs{-1}; // primary's start; -1 = still queued.
+  std::atomic<int64_t> DurNs{0};
+  std::atomic<bool> BackupLaunched{false};
+};
+
+double medianOf(std::vector<double> V) {
+  if (V.empty())
+    return 0.0;
+  size_t Mid = V.size() / 2;
+  std::nth_element(V.begin(), V.begin() + Mid, V.end());
+  return V[Mid];
+}
+
+} // namespace
 
 int64_t runSerialTimed(const CompiledProgram &Prog,
                        const std::vector<SegmentView> &Segs,
@@ -22,27 +58,170 @@ int64_t runSerialTimed(const CompiledProgram &Prog,
 
 ParallelRunResult runParallel(const CompiledPlan &Plan,
                               const std::vector<SegmentView> &Segs,
-                              ThreadPool *Pool) {
+                              ThreadPool *Pool, const RunPolicy &Policy) {
   ParallelRunResult R;
   Stopwatch Total;
-  std::vector<WorkerOutput> Outputs(Segs.size());
-  R.WorkerSeconds.assign(Segs.size(), 0.0);
+  const size_t N = Segs.size();
+  std::vector<WorkerOutput> Outputs(N);
+  R.WorkerSeconds.assign(N, 0.0);
+  FaultInjector *FI = Policy.Faults;
 
-  if (Pool) {
-    for (size_t I = 0; I != Segs.size(); ++I) {
-      Pool->submit([&, I] {
+  // One fault-injected worker attempt; throws on an injected (or real)
+  // failure.
+  auto attemptOnce = [&](size_t I, unsigned Attempt) {
+    if (FI)
+      FI->maybeThrow(FaultSiteWorker, Attempt * WorkerAttemptKeyStride + I);
+    return Plan.runWorker(Segs[I]);
+  };
+
+  if (!Pool) {
+    // Measured critical-path mode: sequential, per-segment retry loop;
+    // injected straggler stalls are *modeled* (added to the recorded
+    // worker time) rather than slept.
+    for (size_t I = 0; I != N; ++I) {
+      double InjectedStall = FI ? FI->delayFor(FaultSiteStraggler, I) : 0.0;
+      for (unsigned Attempt = 0;; ++Attempt) {
         Stopwatch W;
-        Outputs[I] = Plan.runWorker(Segs[I]);
-        R.WorkerSeconds[I] = W.seconds();
+        try {
+          Outputs[I] = attemptOnce(I, Attempt);
+          R.WorkerSeconds[I] = W.seconds() + InjectedStall;
+          break;
+        } catch (...) {
+          ++R.FailedAttempts;
+          if (Attempt >= Policy.MaxRetries) {
+            // Last resort: refold the segment with no injection.
+            ++R.SerialRefolds;
+            Stopwatch W2;
+            Outputs[I] = Plan.runWorker(Segs[I]);
+            R.WorkerSeconds[I] = W2.seconds();
+            break;
+          }
+          ++R.Retries;
+          sleepSeconds(Policy.BackoffSeconds *
+                       static_cast<double>(uint64_t{1} << Attempt));
+        }
+      }
+    }
+  } else {
+    std::vector<Slot> Slots(N);
+    std::atomic<unsigned> Alive{0};
+    std::atomic<unsigned> FailedAttempts{0}, Retries{0};
+    std::atomic<unsigned> SpecLaunches{0}, SpecWins{0};
+
+    auto tryCommit = [&](size_t I, WorkerOutput &&Out, double Sec) {
+      int Expected = 0;
+      if (!Slots[I].State.compare_exchange_strong(
+              Expected, 1, std::memory_order_acq_rel))
+        return false;
+      Outputs[I] = std::move(Out);
+      R.WorkerSeconds[I] = Sec;
+      Slots[I].DurNs.store(static_cast<int64_t>(Sec * 1e9),
+                           std::memory_order_relaxed);
+      Slots[I].State.store(2, std::memory_order_release);
+      return true;
+    };
+
+    // Primary and backup bodies share the retry loop; backups skip
+    // injection (they model re-execution on a healthy node) and bail as
+    // soon as the other copy has committed.
+    auto runBody = [&](size_t I, bool IsBackup) {
+      double Stall =
+          (!IsBackup && FI) ? FI->delayFor(FaultSiteStraggler, I) : 0.0;
+      if (!IsBackup)
+        Slots[I].StartNs.store(nowNs(), std::memory_order_relaxed);
+      if (Stall > 0) {
+        // Cancellable stall: wake early once a backup commits.
+        int64_t End = nowNs() + static_cast<int64_t>(Stall * 1e9);
+        while (nowNs() < End &&
+               Slots[I].State.load(std::memory_order_acquire) == 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      for (unsigned Attempt = 0;; ++Attempt) {
+        if (Slots[I].State.load(std::memory_order_acquire) != 0)
+          return; // the other copy already won.
+        Stopwatch W;
+        try {
+          WorkerOutput Out =
+              IsBackup ? Plan.runWorker(Segs[I]) : attemptOnce(I, Attempt);
+          if (tryCommit(I, std::move(Out), W.seconds() + Stall) && IsBackup)
+            SpecWins.fetch_add(1, std::memory_order_relaxed);
+          return;
+        } catch (...) {
+          FailedAttempts.fetch_add(1, std::memory_order_relaxed);
+          if (Attempt >= Policy.MaxRetries)
+            return; // permanent failure; serial refold below.
+          Retries.fetch_add(1, std::memory_order_relaxed);
+          sleepSeconds(Policy.BackoffSeconds *
+                       static_cast<double>(uint64_t{1} << Attempt));
+        }
+      }
+    };
+
+    for (size_t I = 0; I != N; ++I) {
+      Alive.fetch_add(1, std::memory_order_relaxed);
+      Pool->submit([&, I] {
+        runBody(I, /*IsBackup=*/false);
+        Alive.fetch_sub(1, std::memory_order_release);
       });
     }
+
+    if (Policy.Speculate) {
+      // Straggler monitor: once enough workers finished, re-execute any
+      // still-running worker that exceeds the median by the configured
+      // factor. First finisher wins the commit; the loser's result is
+      // discarded, so the merged output cannot change.
+      while (Alive.load(std::memory_order_acquire) != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+        std::vector<double> DoneSec;
+        for (Slot &S : Slots)
+          if (S.State.load(std::memory_order_acquire) == 2)
+            DoneSec.push_back(
+                S.DurNs.load(std::memory_order_relaxed) / 1e9);
+        size_t NeedDone = std::max<size_t>(
+            1, static_cast<size_t>(Policy.SpeculationMinCompletedFraction *
+                                   static_cast<double>(N)));
+        if (DoneSec.size() < NeedDone)
+          continue;
+        double Threshold =
+            std::max(Policy.SpeculationMinSeconds,
+                     Policy.SpeculationDelayFactor * medianOf(DoneSec));
+        int64_t Now = nowNs();
+        for (size_t I = 0; I != N; ++I) {
+          Slot &S = Slots[I];
+          if (S.State.load(std::memory_order_acquire) != 0)
+            continue;
+          int64_t St = S.StartNs.load(std::memory_order_relaxed);
+          if (St < 0 || (Now - St) / 1e9 < Threshold)
+            continue;
+          bool Expected = false;
+          if (!S.BackupLaunched.compare_exchange_strong(Expected, true))
+            continue;
+          SpecLaunches.fetch_add(1, std::memory_order_relaxed);
+          Alive.fetch_add(1, std::memory_order_relaxed);
+          Pool->submit([&, I] {
+            runBody(I, /*IsBackup=*/true);
+            Alive.fetch_sub(1, std::memory_order_release);
+          });
+        }
+      }
+    }
     Pool->wait();
-  } else {
-    for (size_t I = 0; I != Segs.size(); ++I) {
+
+    // Guaranteed path: segments whose every attempt failed are refolded
+    // serially on this thread, injection-free. Real (non-injected)
+    // kernel errors propagate from here.
+    for (size_t I = 0; I != N; ++I) {
+      if (Slots[I].State.load(std::memory_order_acquire) == 2)
+        continue;
+      ++R.SerialRefolds;
       Stopwatch W;
       Outputs[I] = Plan.runWorker(Segs[I]);
       R.WorkerSeconds[I] = W.seconds();
     }
+    R.FailedAttempts = FailedAttempts.load(std::memory_order_relaxed);
+    R.Retries = Retries.load(std::memory_order_relaxed);
+    R.SpeculativeLaunches = SpecLaunches.load(std::memory_order_relaxed);
+    R.SpeculativeWins = SpecWins.load(std::memory_order_relaxed);
   }
 
   Stopwatch MergeTimer;

@@ -11,12 +11,22 @@
 //    of the paper's Table-1 speedups on hosts without 8 hardware threads
 //    (see DESIGN.md, substitutions).
 //
+// Fault tolerance: a RunPolicy arms runParallel against failing and
+// straggling segment workers. Failed attempts (injected via
+// support/FaultInject or real exceptions) are retried with bounded
+// exponential backoff; stragglers get a speculative backup copy whose
+// first finisher wins; a segment whose every attempt failed is refolded
+// serially on the calling thread as a guaranteed last resort. The merged
+// output is bit-identical to the fault-free run in every case — workers
+// are pure functions of their segment.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef GRASSP_RUNTIME_RUNNER_H
 #define GRASSP_RUNTIME_RUNNER_H
 
 #include "runtime/Kernels.h"
+#include "support/FaultInject.h"
 #include "support/ThreadPool.h"
 
 #include <vector>
@@ -24,11 +34,52 @@
 namespace grassp {
 namespace runtime {
 
+/// Fault sites runParallel consults. The worker site is keyed by
+/// Attempt * WorkerAttemptKeyStride + SegmentIndex, so a test can plant
+/// "segment 3's first attempt fails" exactly; the straggler site is
+/// keyed by the segment index alone (a slow node stays slow). Backup
+/// copies and serial refolds never consult the injector — they model
+/// re-execution on a healthy node and are the guaranteed path.
+inline constexpr const char *FaultSiteWorker = "runner.worker";
+inline constexpr const char *FaultSiteStraggler = "runner.straggler";
+inline constexpr uint64_t WorkerAttemptKeyStride = 1000003;
+
+/// Fault-tolerance policy for runParallel. The default policy retries
+/// but injects nothing, so existing callers behave exactly as before
+/// (a worker that never throws never retries).
+struct RunPolicy {
+  /// Extra attempts granted to a failed segment worker before the
+  /// serial-refold fallback.
+  unsigned MaxRetries = 2;
+  /// Sleep before retry k is Backoff * 2^(k-1) seconds (0 = immediate).
+  /// Kept tiny by default: the simulated cluster pays modeled time, the
+  /// real thread pool should not stall tests.
+  double BackoffSeconds = 0.0;
+  /// Launch a backup copy of straggling workers (ThreadPool mode only).
+  bool Speculate = false;
+  /// A running worker is a straggler once the batch is
+  /// SpeculationMinCompletedFraction done and the worker has been
+  /// running longer than SpeculationDelayFactor times the median
+  /// completed-worker time (floored at SpeculationMinSeconds).
+  double SpeculationDelayFactor = 4.0;
+  double SpeculationMinCompletedFraction = 0.5;
+  double SpeculationMinSeconds = 0.002;
+  /// Fault injector consulted at the runner.worker / runner.straggler
+  /// sites; null = no injection.
+  FaultInjector *Faults = nullptr;
+};
+
 struct ParallelRunResult {
   int64_t Output = 0;
   double WallSeconds = 0;               // end-to-end wall time.
   std::vector<double> WorkerSeconds;    // per-segment compute time.
   double MergeSeconds = 0;
+  // Fault-tolerance accounting.
+  unsigned FailedAttempts = 0;     // worker attempts that threw.
+  unsigned Retries = 0;            // re-attempts scheduled after failures.
+  unsigned SpeculativeLaunches = 0;// backup copies launched.
+  unsigned SpeculativeWins = 0;    // backups that beat their primary.
+  unsigned SerialRefolds = 0;      // segments recovered on the caller.
 };
 
 /// Serial run over \p Segs; wall time in \p Seconds (optional).
@@ -38,9 +89,11 @@ int64_t runSerialTimed(const CompiledProgram &Prog,
 
 /// Parallel run. With \p Pool the workers execute concurrently; without,
 /// they run sequentially but are timed individually (critical-path mode).
+/// \p Policy governs retries, speculation, and fault injection.
 ParallelRunResult runParallel(const CompiledPlan &Plan,
                               const std::vector<SegmentView> &Segs,
-                              ThreadPool *Pool = nullptr);
+                              ThreadPool *Pool = nullptr,
+                              const RunPolicy &Policy = RunPolicy());
 
 /// LPT makespan of \p WorkerSeconds on \p P identical workers.
 double makespan(const std::vector<double> &WorkerSeconds, unsigned P);

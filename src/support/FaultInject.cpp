@@ -1,0 +1,147 @@
+//===- support/FaultInject.cpp --------------------------------------------==//
+
+#include "support/FaultInject.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace grassp {
+
+namespace {
+
+/// FNV-1a over the site name; folded into the decision hash so distinct
+/// sites draw from decorrelated streams of the same seed.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// SplitMix64 finalizer: the stateless mixing step of support/Random.h,
+/// applied to a combined (seed, site, index) word. Pure, so the same
+/// (seed, site, index) always lands on the same verdict.
+uint64_t mix(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+bool probabilityFires(double P, uint64_t Seed, uint64_t SiteHash,
+                      uint64_t Index) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  uint64_t Draw = mix(Seed + 0x9e3779b97f4a7c15ULL * (SiteHash ^ Index));
+  // Compare in double space; 2^64 as a double is exact.
+  return static_cast<double>(Draw) < P * 18446744073709551616.0;
+}
+
+} // namespace
+
+FaultInjectedError::FaultInjectedError(const std::string &Site, uint64_t Key)
+    : std::runtime_error("injected fault at site '" + Site + "' (key " +
+                         std::to_string(Key) + ")"),
+      SiteName(Site), Key(Key) {}
+
+void FaultInjector::arm(const std::string &Name, const FaultSpec &Spec) {
+  std::unique_ptr<Site> &S = Sites[Name];
+  if (!S)
+    S = std::make_unique<Site>();
+  S->Spec = Spec;
+  S->Hits.store(0, std::memory_order_relaxed);
+  S->Fires.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string &Name) { Sites.erase(Name); }
+
+bool FaultInjector::armed(const std::string &Name) const {
+  return Sites.count(Name) != 0;
+}
+
+FaultInjector::Site *FaultInjector::find(const std::string &Name) const {
+  auto It = Sites.find(Name);
+  return It == Sites.end() ? nullptr : It->second.get();
+}
+
+bool FaultInjector::decide(const std::string &Name, bool Keyed,
+                           uint64_t Key) {
+  Site *S = find(Name);
+  if (!S)
+    return false;
+  // Claim a hit index; for unkeyed sites it doubles as the decision index.
+  uint64_t Hit = S->Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const FaultSpec &Spec = S->Spec;
+
+  bool Fire = false;
+  if (Spec.EveryNth != 0 && Hit % Spec.EveryNth == 0)
+    Fire = true;
+  if (!Fire && Keyed && Spec.KeyModulo != 0 &&
+      Key % Spec.KeyModulo == Spec.KeyResidue)
+    Fire = true;
+  if (!Fire && Keyed && !Spec.Keys.empty())
+    Fire = std::find(Spec.Keys.begin(), Spec.Keys.end(), Key) !=
+           Spec.Keys.end();
+  if (!Fire)
+    Fire = probabilityFires(Spec.Probability, Seed, fnv1a(Name),
+                            Keyed ? Key : Hit);
+  if (!Fire)
+    return false;
+
+  // Respect the fire cap; back out when this fire would exceed it.
+  uint64_t Fired = S->Fires.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Fired > Spec.MaxFires) {
+    S->Fires.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void FaultInjector::maybeThrow(const std::string &Site, uint64_t Key) {
+  if (shouldFailKeyed(Site, Key))
+    throw FaultInjectedError(Site, Key);
+}
+
+double FaultInjector::delayFor(const std::string &Site, uint64_t Key) {
+  const FaultInjector::Site *S = find(Site);
+  if (!S || S->Spec.DelaySeconds <= 0.0)
+    return 0.0;
+  return shouldFailKeyed(Site, Key) ? S->Spec.DelaySeconds : 0.0;
+}
+
+FaultInjector::SiteStats
+FaultInjector::stats(const std::string &Name) const {
+  SiteStats St;
+  if (const Site *S = find(Name)) {
+    St.Hits = S->Hits.load(std::memory_order_relaxed);
+    St.Fires = S->Fires.load(std::memory_order_relaxed);
+  }
+  return St;
+}
+
+uint64_t FaultInjector::totalFires() const {
+  uint64_t Total = 0;
+  for (const auto &KV : Sites)
+    Total += KV.second->Fires.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::string FaultInjector::describe() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &KV : Sites) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << KV.first << ": "
+       << KV.second->Fires.load(std::memory_order_relaxed) << "/"
+       << KV.second->Hits.load(std::memory_order_relaxed) << " fired";
+  }
+  return OS.str();
+}
+
+} // namespace grassp

@@ -21,6 +21,10 @@ ThreadPool::~ThreadPool() {
   QueueCv.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  // An error that was never collected by wait() is dropped here; count
+  // it so a post-mortem (or a leak-hunting test) can still see it.
+  if (FirstError)
+    DroppedTotal += 1 + DroppedSinceWait;
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
@@ -37,9 +41,27 @@ void ThreadPool::wait() {
   if (FirstError) {
     std::exception_ptr E = std::move(FirstError);
     FirstError = nullptr;
+    uint64_t Dropped = DroppedSinceWait;
+    DroppedSinceWait = 0;
+    DroppedTotal += Dropped;
     Lock.unlock();
-    std::rethrow_exception(E);
+    if (Dropped == 0)
+      std::rethrow_exception(E);
+    // Surface the aggregate loss in the message when the type allows;
+    // non-std::exception payloads are rethrown untouched.
+    try {
+      std::rethrow_exception(E);
+    } catch (const std::exception &Ex) {
+      throw std::runtime_error(std::string(Ex.what()) + " [+" +
+                               std::to_string(Dropped) +
+                               " more task exception(s) dropped]");
+    }
   }
+}
+
+uint64_t ThreadPool::droppedExceptions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return DroppedTotal + DroppedSinceWait;
 }
 
 void ThreadPool::workerLoop() {
@@ -60,6 +82,8 @@ void ThreadPool::workerLoop() {
       std::lock_guard<std::mutex> Lock(Mutex);
       if (!FirstError)
         FirstError = std::current_exception();
+      else
+        ++DroppedSinceWait;
     }
     {
       std::lock_guard<std::mutex> Lock(Mutex);

@@ -7,8 +7,12 @@
 // constrained machines.
 //
 // Tasks may throw: the first exception is captured and rethrown from the
-// next \c wait(); later exceptions (and exceptions pending when the pool
-// is destroyed without a wait) are discarded.
+// next \c wait(). Later exceptions are not silently lost — the pool
+// counts them, \c droppedExceptions() exposes the running total, and
+// when the first error is a std::exception the rethrow carries the
+// count in its message ("... [+N more task exception(s) dropped]").
+// An error pending when the pool is destroyed without a wait is counted
+// as dropped too (a destructor cannot throw).
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +20,7 @@
 #define GRASSP_SUPPORT_THREADPOOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -39,23 +44,32 @@ public:
 
   /// Blocks until every submitted task has finished. If any task threw
   /// since the last wait(), rethrows the first captured exception (the
-  /// pool itself stays usable).
+  /// pool itself stays usable); when more than one task threw, the
+  /// rethrown std::exception's message ends in
+  /// "[+N more task exception(s) dropped]".
   void wait();
 
   /// Number of worker threads.
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Cumulative count of task exceptions that were discarded because an
+  /// earlier one was already captured (the destructor also counts an
+  /// uncollected pending error). Never reset.
+  uint64_t droppedExceptions() const;
 
 private:
   void workerLoop();
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable QueueCv;
   std::condition_variable IdleCv;
   unsigned Active = 0;
   bool ShuttingDown = false;
   std::exception_ptr FirstError;
+  uint64_t DroppedSinceWait = 0;  // dropped behind the pending FirstError.
+  uint64_t DroppedTotal = 0;      // cumulative, exposed to callers.
 };
 
 } // namespace grassp

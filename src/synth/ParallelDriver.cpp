@@ -4,8 +4,15 @@
 
 #include "lang/Benchmarks.h"
 #include "support/ThreadPool.h"
+#include "support/Timing.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
 #include <thread>
 
 namespace grassp {
@@ -19,38 +26,202 @@ const char *taskStatusName(TaskStatus S) {
     return "unknown";
   case TaskStatus::Failed:
     return "failed";
+  case TaskStatus::TimedOut:
+    return "timeout";
+  case TaskStatus::Crashed:
+    return "crashed";
   }
   return "?";
+}
+
+bool taskStatusFromName(const std::string &Name, TaskStatus *Out) {
+  for (TaskStatus S :
+       {TaskStatus::Solved, TaskStatus::Unknown, TaskStatus::Failed,
+        TaskStatus::TimedOut, TaskStatus::Crashed})
+    if (Name == taskStatusName(S)) {
+      *Out = S;
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+/// Escapes the characters that can appear in benchmark/group names for
+/// a JSON string literal (names are ASCII identifiers, but stay safe).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20)
+      continue;
+    Out += C;
+  }
+  return Out;
+}
+
+/// Extracts "Key":"value" (string) from a JSON-lines record.
+bool jsonString(const std::string &Line, const std::string &Key,
+                std::string *Out) {
+  std::string Needle = "\"" + Key + "\":\"";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  size_t Start = At + Needle.size();
+  size_t End = Line.find('"', Start);
+  if (End == std::string::npos)
+    return false;
+  *Out = Line.substr(Start, End - Start);
+  return true;
+}
+
+/// Extracts "Key":number from a JSON-lines record.
+bool jsonNumber(const std::string &Line, const std::string &Key,
+                double *Out) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  const char *Start = Line.c_str() + At + Needle.size();
+  char *End = nullptr;
+  double V = std::strtod(Start, &End);
+  if (End == Start)
+    return false;
+  *Out = V;
+  return true;
+}
+
+} // namespace
+
+std::string journalLine(const TaskResult &T) {
+  std::ostringstream OS;
+  OS << "{\"task\":\"" << jsonEscape(T.Name) << "\",\"status\":\""
+     << taskStatusName(T.Status) << "\",\"group\":\""
+     << jsonEscape(T.Result.Group) << "\",\"attempts\":" << T.Attempts
+     << ",\"budget_ms\":" << T.BudgetMs << ",\"seconds\":"
+     << T.Result.SynthSeconds << "}";
+  return OS.str();
+}
+
+bool parseJournalLine(const std::string &Line, JournalEntry *Out) {
+  // A torn line (the write a crash interrupted) is cut before its
+  // closing brace; reject it outright rather than half-parsing it.
+  if (Line.size() < 2 || Line.front() != '{' || Line.back() != '}')
+    return false;
+  JournalEntry E;
+  std::string Status;
+  if (!jsonString(Line, "task", &E.Name) ||
+      !jsonString(Line, "status", &Status) ||
+      !taskStatusFromName(Status, &E.Status))
+    return false;
+  jsonString(Line, "group", &E.Group);
+  double V = 0;
+  if (jsonNumber(Line, "attempts", &V))
+    E.Attempts = static_cast<unsigned>(V);
+  if (jsonNumber(Line, "budget_ms", &V))
+    E.BudgetMs = static_cast<unsigned>(V);
+  if (jsonNumber(Line, "seconds", &V))
+    E.Seconds = V;
+  *Out = E;
+  return true;
+}
+
+std::vector<JournalEntry> loadJournal(const std::string &Path) {
+  std::vector<JournalEntry> Entries;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    JournalEntry E;
+    if (!parseJournalLine(Line, &E))
+      continue; // a torn final line from a crash is expected; skip it.
+    // Later lines win: a re-run of the same task supersedes the old row.
+    auto It = std::find_if(Entries.begin(), Entries.end(),
+                           [&](const JournalEntry &X) {
+                             return X.Name == E.Name;
+                           });
+    if (It != Entries.end())
+      *It = E;
+    else
+      Entries.push_back(E);
+  }
+  return Entries;
 }
 
 ParallelDriver::ParallelDriver(DriverOptions Opts) : Opts(std::move(Opts)) {}
 
 TaskResult ParallelDriver::synthesizeOne(const lang::SerialProgram &Prog,
-                                         const DriverOptions &Opts) {
+                                         const DriverOptions &Opts,
+                                         uint64_t TaskIndex) {
   TaskResult T;
   T.Name = Prog.Name;
-  unsigned Budget = Opts.SmtTimeoutMs;
-  for (unsigned Attempt = 0;; ++Attempt) {
-    SynthOptions SO = Opts.Synth;
-    SO.Bounds.SmtTimeoutMs = Budget;
-    ++T.Attempts;
-    T.BudgetMs = Budget;
-    SynthesisResult R = synthesize(Prog, SO);
-    bool SawUnknown = R.UnknownVerdicts != 0;
-    if (Attempt > 0) {
-      // Merge this attempt into the accumulated result: times and counts
-      // add up, stage logs concatenate around a retry marker.
+  Stopwatch Wall;
+  double Budget = Opts.SmtTimeoutMs;
+  unsigned CrashBudget = Opts.MaxCrashRetries;
+
+  auto capped = [&](double B) {
+    if (Opts.MaxBudgetMs != 0)
+      B = std::min(B, static_cast<double>(Opts.MaxBudgetMs));
+    return std::max(1u, static_cast<unsigned>(B));
+  };
+  auto mergeAttempt = [&](SynthesisResult R, const std::string &Marker) {
+    if (T.Attempts > 1) {
       R.SynthSeconds += T.Result.SynthSeconds;
       R.CandidatesTried += T.Result.CandidatesTried;
       R.SmtChecks += T.Result.SmtChecks;
       R.UnknownVerdicts += T.Result.UnknownVerdicts;
       std::vector<std::string> Log = std::move(T.Result.StageLog);
-      Log.push_back("driver: retry with SMT budget " +
-                    std::to_string(Budget) + "ms");
+      Log.push_back(Marker);
       Log.insert(Log.end(), R.StageLog.begin(), R.StageLog.end());
       R.StageLog = std::move(Log);
     }
     T.Result = std::move(R);
+  };
+
+  for (unsigned Rung = 0;; ++Rung) {
+    unsigned BudgetMs = capped(Budget);
+    SynthOptions SO = Opts.Synth;
+    SO.Bounds.SmtTimeoutMs = BudgetMs;
+    ++T.Attempts;
+    T.BudgetMs = BudgetMs;
+
+    SynthesisResult R;
+    bool Crashed = false;
+    std::string CrashWhat;
+    try {
+      if (Opts.Faults)
+        Opts.Faults->maybeThrow(
+            FaultSiteSynthTask,
+            (T.Attempts - 1) * SynthAttemptKeyStride + TaskIndex);
+      R = synthesize(Prog, SO);
+    } catch (const std::exception &E) {
+      Crashed = true;
+      CrashWhat = E.what();
+    }
+
+    if (Crashed) {
+      // A crashed attempt contributes no counts; just log it in place.
+      T.Result.StageLog.push_back("driver: attempt " +
+                                  std::to_string(T.Attempts) +
+                                  " crashed (" + CrashWhat + ")");
+      if (CrashBudget == 0) {
+        T.Status = TaskStatus::Crashed;
+        T.Result.FailureReason = "crashed: " + CrashWhat;
+        T.Result.StageLog.push_back(
+            "driver: crash-retry budget exhausted, giving up");
+        return T;
+      }
+      --CrashBudget;
+      ++T.CrashRetries;
+      --Rung; // a crash re-runs the same ladder rung.
+      T.Result.StageLog.push_back("driver: re-running attempt at " +
+                                  std::to_string(BudgetMs) + "ms budget");
+      continue;
+    }
+
+    bool SawUnknown = R.UnknownVerdicts != 0;
+    mergeAttempt(std::move(R), "driver: retry with SMT budget " +
+                                   std::to_string(BudgetMs) + "ms");
     if (T.Result.Success) {
       T.Status = TaskStatus::Solved;
       return T;
@@ -59,14 +230,21 @@ TaskResult ParallelDriver::synthesizeOne(const lang::SerialProgram &Prog,
       T.Status = TaskStatus::Failed;
       return T;
     }
-    if (Attempt >= Opts.MaxRetries) {
+    if (Opts.TaskDeadlineSec > 0 && Wall.seconds() >= Opts.TaskDeadlineSec) {
+      T.Status = TaskStatus::TimedOut;
+      T.Result.StageLog.push_back(
+          "driver: watchdog deadline hit after " +
+          std::to_string(Wall.seconds()) + "s, giving up");
+      return T;
+    }
+    if (Rung >= Opts.MaxRetries) {
       T.Status = TaskStatus::Unknown;
       T.Result.StageLog.push_back(
-          "driver: still unknown at " + std::to_string(Budget) +
+          "driver: still unknown at " + std::to_string(BudgetMs) +
           "ms SMT budget, giving up");
       return T;
     }
-    Budget *= 2;
+    Budget *= Opts.BudgetMultiplier > 1.0 ? Opts.BudgetMultiplier : 2.0;
   }
 }
 
@@ -74,19 +252,65 @@ std::vector<TaskResult>
 ParallelDriver::run(const std::vector<const lang::SerialProgram *> &Progs)
     const {
   std::vector<TaskResult> Results(Progs.size());
+
+  // Resume: anything the journal already solved is restored, not re-run.
+  std::map<std::string, JournalEntry> Done;
+  if (Opts.Resume && !Opts.JournalPath.empty())
+    for (const JournalEntry &E : loadJournal(Opts.JournalPath))
+      if (E.Status == TaskStatus::Solved)
+        Done[E.Name] = E;
+
+  std::ofstream Journal;
+  std::mutex JournalMutex;
+  if (!Opts.JournalPath.empty()) {
+    Journal.open(Opts.JournalPath, std::ios::app);
+    if (!Journal)
+      std::fprintf(stderr,
+                   "warning: cannot open journal '%s'; running without\n",
+                   Opts.JournalPath.c_str());
+  }
+  auto record = [&](const TaskResult &T) {
+    if (!Journal.is_open() || !Journal)
+      return;
+    std::lock_guard<std::mutex> Lock(JournalMutex);
+    Journal << journalLine(T) << '\n';
+    Journal.flush(); // one task, one durable line: crash-safe resume.
+  };
+
+  std::vector<size_t> Pending;
+  for (size_t I = 0; I != Progs.size(); ++I) {
+    auto It = Done.find(Progs[I]->Name);
+    if (It == Done.end()) {
+      Pending.push_back(I);
+      continue;
+    }
+    TaskResult &T = Results[I];
+    T.Name = It->second.Name;
+    T.Status = It->second.Status;
+    T.Attempts = It->second.Attempts;
+    T.BudgetMs = It->second.BudgetMs;
+    T.FromJournal = true;
+    T.Result.Group = It->second.Group;
+    T.Result.SynthSeconds = It->second.Seconds;
+    T.Result.StageLog.push_back("driver: restored from journal, not re-run");
+  }
+
   unsigned Jobs = Opts.Jobs != 0
                       ? Opts.Jobs
                       : std::max(1u, std::thread::hardware_concurrency());
-  Jobs = std::min<unsigned>(Jobs, std::max<size_t>(Progs.size(), 1));
+  Jobs = std::min<unsigned>(Jobs, std::max<size_t>(Pending.size(), 1));
   if (Jobs <= 1) {
-    for (size_t I = 0; I != Progs.size(); ++I)
-      Results[I] = synthesizeOne(*Progs[I], Opts);
+    for (size_t I : Pending) {
+      Results[I] = synthesizeOne(*Progs[I], Opts, I);
+      record(Results[I]);
+    }
     return Results;
   }
   ThreadPool Pool(Jobs);
-  for (size_t I = 0; I != Progs.size(); ++I)
-    Pool.submit([this, &Results, &Progs, I] {
-      Results[I] = synthesizeOne(*Progs[I], Opts);
+  for (size_t I : Pending)
+    Pool.submit([this, &Results, &Progs, &record, I] {
+      Results[I] = synthesizeOne(*Progs[I], Opts, I);
+      record(Results[I]);
     });
   Pool.wait();
   return Results;

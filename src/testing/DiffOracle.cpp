@@ -32,7 +32,7 @@ DiffOracle::DiffOracle(const lang::SerialProgram &P,
                        const synth::ParallelPlan &PlanIn,
                        const OracleConfig &Cfg)
     : Prog(P), Plan(PlanIn), Compiled(P), CompiledPlanImpl(P, Plan),
-      Pool(Cfg.Threads ? Cfg.Threads : 1) {
+      Pool(Cfg.Threads ? Cfg.Threads : 1), Policy(Cfg.Policy) {
   if (!Cfg.UseEmitted || !hostCompilerAvailable())
     return;
   codegen::CppEmitOptions EOpts;
@@ -108,7 +108,14 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
   std::vector<runtime::SegmentView> Views =
       runtime::segmentsFromLengths(Flat, Lens);
   int64_t Vm = Compiled.runSerial(Views);
-  int64_t Par = runtime::runParallel(CompiledPlanImpl, Views, &Pool).Output;
+  runtime::ParallelRunResult PR =
+      runtime::runParallel(CompiledPlanImpl, Views, &Pool, Policy);
+  int64_t Par = PR.Output;
+  Faults.FailedAttempts += PR.FailedAttempts;
+  Faults.Retries += PR.Retries;
+  Faults.SpeculativeLaunches += PR.SpeculativeLaunches;
+  Faults.SpeculativeWins += PR.SpeculativeWins;
+  Faults.SerialRefolds += PR.SerialRefolds;
 
   bool EmittedOk = true;
   int64_t EmSerial = 0, EmParallel = 0;

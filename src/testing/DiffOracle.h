@@ -25,6 +25,7 @@
 
 #include "lang/Program.h"
 #include "runtime/Kernels.h"
+#include "runtime/Runner.h"
 #include "support/ThreadPool.h"
 #include "synth/ParallelPlan.h"
 
@@ -45,6 +46,10 @@ struct OracleConfig {
   bool UseEmitted = true;
   /// Worker threads for the ThreadPool path and the emitted binary.
   unsigned Threads = 4;
+  /// Fault-tolerance policy for the plan+pool path. Chaos mode points
+  /// Policy.Faults at a seeded injector: the oracle then checks that
+  /// the fault-tolerant run is still bit-identical to the other paths.
+  runtime::RunPolicy Policy;
 };
 
 struct OracleVerdict {
@@ -81,6 +86,17 @@ public:
   /// Total oracle checks run (fuzzing + minimization).
   unsigned long checksRun() const { return Checks; }
 
+  /// Fault-tolerance activity accumulated over every check (all zero
+  /// unless the config armed a fault injector).
+  struct FaultStats {
+    unsigned long FailedAttempts = 0;
+    unsigned long Retries = 0;
+    unsigned long SpeculativeLaunches = 0;
+    unsigned long SpeculativeWins = 0;
+    unsigned long SerialRefolds = 0;
+  };
+  const FaultStats &faultStats() const { return Faults; }
+
   /// "file.cpp:3 segments [1 2 | | 7]" — reproducer pretty-printer.
   static std::string formatInput(const SegmentedInput &Segs);
 
@@ -96,7 +112,9 @@ private:
   runtime::CompiledProgram Compiled;
   runtime::CompiledPlan CompiledPlanImpl;
   ThreadPool Pool;
+  runtime::RunPolicy Policy;
   unsigned long Checks = 0;
+  FaultStats Faults;
 
   // Emitted-path state: a temp dir holding the compiled binary plus the
   // per-check workload/output files.

@@ -3,7 +3,9 @@
 #include "testing/Fuzz.h"
 
 #include "lang/Benchmarks.h"
+#include "runtime/Runner.h"
 #include "runtime/Workload.h"
+#include "support/FaultInject.h"
 #include "support/Timing.h"
 
 #include <algorithm>
@@ -41,6 +43,19 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
 
   OracleConfig OC;
   OC.UseEmitted = Opts.UseEmitted;
+  FaultInjector Injector(Opts.ChaosSeed);
+  if (Opts.Chaos) {
+    FaultSpec Worker;
+    Worker.Probability = Opts.ChaosFailPermille / 1000.0;
+    Injector.arm(runtime::FaultSiteWorker, Worker);
+    FaultSpec Straggler;
+    Straggler.Probability = Opts.ChaosStragglerPermille / 1000.0;
+    Straggler.DelaySeconds = Opts.ChaosStragglerSec;
+    Injector.arm(runtime::FaultSiteStraggler, Straggler);
+    OC.Policy.MaxRetries = 3;
+    OC.Policy.Speculate = true;
+    OC.Policy.Faults = &Injector;
+  }
   DiffOracle Oracle(Prog, Plan, OC);
   R.PathsCompared = Oracle.numPaths();
 
@@ -116,6 +131,8 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
     Found = sweep(Opts.Seed + Round * kSeedStride);
 
   R.Checks = Oracle.checksRun();
+  R.FaultFires = Injector.totalFires();
+  R.Faults = Oracle.faultStats();
   return R;
 }
 
@@ -140,6 +157,11 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
               Opts.UseEmitted && DiffOracle::hostCompilerAvailable()
                   ? ", 4-path oracle (emitted C++ enabled)"
                   : ", 3-path oracle");
+  if (Opts.Chaos)
+    std::printf("fuzz: chaos mode armed (seed %llu, worker-fail %u/1000, "
+                "straggler %u/1000 @ %.1fms)\n",
+                (unsigned long long)Opts.ChaosSeed, Opts.ChaosFailPermille,
+                Opts.ChaosStragglerPermille, Opts.ChaosStragglerSec * 1e3);
   synth::ParallelDriver Driver(DriverOpts);
   std::vector<synth::TaskResult> Results = Driver.run(Progs);
 
@@ -154,6 +176,8 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
               "checks", "verdict");
   bool AnyDivergence = false;
   unsigned Fuzzed = 0;
+  uint64_t TotalFires = 0;
+  unsigned long TotalRetries = 0, TotalRefolds = 0, TotalSpec = 0;
   for (size_t I = 0; I != Progs.size(); ++I) {
     if (!Results[I].Result.Success) {
       std::printf("%-22s %-6s synthesis failed: %s\n",
@@ -163,10 +187,22 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
     }
     FuzzReport R = fuzzBenchmark(*Progs[I], Results[I].Result.Plan, PerBench);
     ++Fuzzed;
+    TotalFires += R.FaultFires;
+    TotalRetries += R.Faults.Retries;
+    TotalRefolds += R.Faults.SerialRefolds;
+    TotalSpec += R.Faults.SpeculativeLaunches;
     if (!R.Diverged) {
-      std::printf("%-22s %-6s %-7u %-8lu ok\n", R.Benchmark.c_str(),
-                  Results[I].Result.Group.c_str(), R.PathsCompared,
-                  R.Checks);
+      if (Opts.Chaos)
+        std::printf("%-22s %-6s %-7u %-8lu ok (faults=%llu retries=%lu "
+                    "refolds=%lu spec=%lu)\n",
+                    R.Benchmark.c_str(), Results[I].Result.Group.c_str(),
+                    R.PathsCompared, R.Checks,
+                    (unsigned long long)R.FaultFires, R.Faults.Retries,
+                    R.Faults.SerialRefolds, R.Faults.SpeculativeLaunches);
+      else
+        std::printf("%-22s %-6s %-7u %-8lu ok\n", R.Benchmark.c_str(),
+                    Results[I].Result.Group.c_str(), R.PathsCompared,
+                    R.Checks);
       continue;
     }
     AnyDivergence = true;
@@ -179,6 +215,12 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
   }
   std::printf("fuzzed %u/%zu benchmark(s): %s\n", Fuzzed, Progs.size(),
               AnyDivergence ? "DIVERGENCE FOUND" : "no divergences");
+  if (Opts.Chaos)
+    std::printf("chaos: %llu fault(s) injected, %lu retried, %lu refolded "
+                "serially, %lu speculative backup(s); outputs stayed "
+                "bit-identical\n",
+                (unsigned long long)TotalFires, TotalRetries, TotalRefolds,
+                TotalSpec);
   if (AnyDivergence)
     return 1;
   return Fuzzed == Progs.size() ? 0 : 1;

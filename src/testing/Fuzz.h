@@ -43,6 +43,19 @@ struct FuzzOptions {
   std::vector<size_t> Sizes;
   /// Oracle re-check budget for reproducer minimization.
   unsigned MaxMinimizeChecks = 200;
+  /// Chaos mode: arm a seeded fault injector on the plan+pool path
+  /// (worker failures + stragglers) and check the fault-tolerant run is
+  /// still bit-identical to every other path.
+  bool Chaos = false;
+  /// Seed for the chaos injector (independent of the workload Seed so
+  /// the same workloads can be replayed with different fault patterns).
+  uint64_t ChaosSeed = 7;
+  /// Chance in permille that one worker attempt fails (runner.worker).
+  unsigned ChaosFailPermille = 200;
+  /// Chance in permille that a segment straggles (runner.straggler),
+  /// and the modeled stall it suffers.
+  unsigned ChaosStragglerPermille = 60;
+  double ChaosStragglerSec = 0.004;
 };
 
 struct FuzzReport {
@@ -54,6 +67,10 @@ struct FuzzReport {
   uint64_t Seed = 0;  // workload seed of the diverging round.
   unsigned long Checks = 0;
   unsigned PathsCompared = 0;
+  /// Chaos mode only: faults actually fired and the recovery activity
+  /// the runner reported while every check stayed bit-identical.
+  uint64_t FaultFires = 0;
+  DiffOracle::FaultStats Faults;
 };
 
 /// Fuzzes one benchmark/plan pair; stops at the first divergence.

@@ -90,6 +90,55 @@ TEST(ClusterSim, ScheduleTasksPrefersLocalPlacementWhenEvenlyLoaded) {
   EXPECT_DOUBLE_EQ(scheduleTasks(TaskSec, Home, Cfg), 4.5);
 }
 
+TEST(ClusterSim, DegradedMatchesHealthyWhenEveryNodeSurvives) {
+  // With all nodes alive and no stragglers the degraded scheduler is the
+  // healthy one: same placement policy, same tie-breaking, same makespan.
+  ClusterConfig Cfg;
+  Cfg.Nodes = 3;
+  std::vector<double> TaskSec = {4.0, 2.5, 1.0, 3.0, 0.5};
+  std::vector<unsigned> Home = {0, 1, 2, 0, 1};
+  ScheduleStats Stats;
+  EXPECT_DOUBLE_EQ(
+      scheduleTasksDegraded(TaskSec, {}, Home, {true, true, true}, Cfg,
+                            &Stats),
+      scheduleTasks(TaskSec, Home, Cfg));
+  EXPECT_EQ(Stats.FailedTasks, 0u);
+  EXPECT_EQ(Stats.SpeculativeTasks, 0u);
+}
+
+TEST(ClusterSim, SingleNodeClusterWithDeadNodeErrorsNotHangs) {
+  // Nodes=1 and the one node dead: there is no survivor to reschedule
+  // onto, so the scheduler must refuse explicitly rather than hang or
+  // silently drop the tasks.
+  ClusterConfig Cfg;
+  Cfg.Nodes = 1;
+  EXPECT_THROW(scheduleTasksDegraded({1.0, 2.0}, {}, {0, 0}, {false}, Cfg),
+               std::runtime_error);
+  // ...but a dead node with nothing to run is a trivial no-op job.
+  EXPECT_DOUBLE_EQ(scheduleTasksDegraded({}, {}, {}, {false}, Cfg), 0.0);
+}
+
+TEST(ClusterSim, AllTasksOnFailedNodeAreRescheduledOntoSurvivor) {
+  // Every task homed on dead node 0 of a 2-node cluster: all are lost,
+  // detected after the heartbeat timeout, and re-run serially on node 1
+  // with the remote-read penalty.
+  ClusterConfig Cfg;
+  Cfg.Nodes = 2;
+  Cfg.NodeFailureDetectSec = 10.0;
+  Cfg.TaskDispatchSec = 1.5;
+  Cfg.RemoteReadPenalty = 1.15;
+  std::vector<double> TaskSec = {1.0, 2.0, 3.0};
+  ScheduleStats Stats;
+  double M = scheduleTasksDegraded(TaskSec, {}, {0, 0, 0}, {false, true},
+                                   Cfg, &Stats);
+  EXPECT_EQ(Stats.FailedTasks, 3u);
+  // Recovery starts no earlier than failure detection, and the lone
+  // survivor serializes the re-runs:
+  //   10 + (3 + 2 + 1) * 1.15 + 3 * 1.5 = 21.4
+  EXPECT_NEAR(M, 21.4, 1e-9);
+  EXPECT_GE(M, Cfg.NodeFailureDetectSec);
+}
+
 TEST(ClusterSim, MoreNodesNeverSlower) {
   const lang::SerialProgram *P = lang::findBenchmark("sum");
   synth::SynthesisResult R = synth::synthesize(*P);

@@ -43,6 +43,48 @@ TEST(ThreadPool, ManyThrowingTasksDeliverOneError) {
   EXPECT_NO_THROW(Pool.wait());
 }
 
+// Exceptions beyond the first are not lost silently: wait() reports the
+// aggregate loss in the rethrown message and droppedExceptions() keeps a
+// running total across bursts.
+TEST(ThreadPool, DroppedExceptionsAreCountedAndSurfaced) {
+  ThreadPool Pool(4);
+  for (int I = 0; I != 50; ++I)
+    Pool.submit([] { throw std::runtime_error("boom"); });
+  try {
+    Pool.wait();
+    FAIL() << "wait() must rethrow the first error";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what())
+                  .find("[+49 more task exception(s) dropped]"),
+              std::string::npos)
+        << E.what();
+  }
+  EXPECT_EQ(Pool.droppedExceptions(), 49u);
+
+  // A clean burst leaves the total untouched; another lossy one adds.
+  Pool.submit([] {});
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Pool.droppedExceptions(), 49u);
+  for (int I = 0; I != 3; ++I)
+    Pool.submit([] { throw std::runtime_error("again"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Pool.droppedExceptions(), 51u);
+}
+
+// A lone failure keeps its original message: the aggregate suffix only
+// appears when something was actually dropped.
+TEST(ThreadPool, SingleErrorIsRethrownVerbatim) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("solo"); });
+  try {
+    Pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "solo");
+  }
+  EXPECT_EQ(Pool.droppedExceptions(), 0u);
+}
+
 TEST(ThreadPool, DestructionWithPendingErrorIsClean) {
   // A stashed exception that is never collected by wait() must not
   // escape the destructor.

@@ -12,6 +12,7 @@
 //   grassp emit-chc <name>          print the CHC system (SMT-LIB2)
 //   grassp certify <name> [ms]      Spacer certification
 //   grassp fuzz [opts]              differential oracle over all paths
+//   grassp chaos [opts]             fuzz under seeded fault injection
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,13 +36,17 @@ namespace {
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s list | synth <name> | synth-all [--jobs N] "
-               "[--timeout-ms T] |\n"
+               "usage: %s list | synth <name> |\n"
+               "       synth-all [--jobs N] [--timeout-ms T] [--retries K] "
+               "[--max-budget-ms M] [--deadline-sec D]\n"
+               "                 [--journal FILE] [--resume] |\n"
                "       run <name> [N] [P] | emit-cpp <name> | emit-mr "
                "<name> | emit-chc <name> "
                "| certify <name> [timeout-ms] |\n"
                "       fuzz [--seconds N] [--seed S] [--segments M] "
-               "[--no-emit] [--jobs N] [name...]\n",
+               "[--no-emit] [--jobs N] [--faults] [--fault-seed S] "
+               "[name...] |\n"
+               "       chaos [same options as fuzz; --faults implied]\n",
                Prog);
   return 2;
 }
@@ -79,42 +84,63 @@ int main(int argc, char **argv) {
   }
   if (std::strcmp(Cmd, "synth-all") == 0) {
     synth::DriverOptions Opts;
+    unsigned DeadlineSec = 0;
     for (int I = 2; I != argc; ++I) {
-      if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc) {
-        if (!parseUnsigned(argv[++I], &Opts.Jobs)) {
-          std::fprintf(stderr, "error: --jobs expects a number, got '%s'\n",
-                       argv[I]);
-          return 2;
+      auto numericOpt = [&](const char *Flag, unsigned *Out) {
+        if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
+          return false;
+        if (!parseUnsigned(argv[++I], Out)) {
+          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                       Flag, argv[I]);
+          std::exit(2);
         }
-      } else if (std::strcmp(argv[I], "--timeout-ms") == 0 && I + 1 < argc) {
-        if (!parseUnsigned(argv[++I], &Opts.SmtTimeoutMs)) {
-          std::fprintf(stderr,
-                       "error: --timeout-ms expects a number, got '%s'\n",
-                       argv[I]);
-          return 2;
-        }
+        return true;
+      };
+      if (numericOpt("--jobs", &Opts.Jobs) ||
+          numericOpt("--timeout-ms", &Opts.SmtTimeoutMs) ||
+          numericOpt("--retries", &Opts.MaxRetries) ||
+          numericOpt("--max-budget-ms", &Opts.MaxBudgetMs) ||
+          numericOpt("--deadline-sec", &DeadlineSec))
+        continue;
+      if (std::strcmp(argv[I], "--journal") == 0 && I + 1 < argc) {
+        Opts.JournalPath = argv[++I];
+      } else if (std::strcmp(argv[I], "--resume") == 0) {
+        Opts.Resume = true;
       } else {
         return usage(argv[0]);
       }
     }
+    Opts.TaskDeadlineSec = DeadlineSec;
+    if (Opts.Resume && Opts.JournalPath.empty()) {
+      std::fprintf(stderr, "error: --resume needs --journal FILE\n");
+      return 2;
+    }
     synth::ParallelDriver Driver(Opts);
     std::vector<synth::TaskResult> Results = Driver.runAll();
-    unsigned Solved = 0;
+    unsigned Solved = 0, Restored = 0;
     for (const synth::TaskResult &T : Results) {
-      std::printf("%-22s %-8s %-4s %s  (%u attempt%s)\n", T.Name.c_str(),
+      std::printf("%-22s %-8s %-4s %s  (%u attempt%s%s)\n", T.Name.c_str(),
                   taskStatusName(T.Status),
-                  T.Result.Success ? T.Result.Group.c_str() : "-",
+                  T.Status == synth::TaskStatus::Solved
+                      ? T.Result.Group.c_str()
+                      : "-",
                   formatSeconds(T.Result.SynthSeconds).c_str(), T.Attempts,
-                  T.Attempts == 1 ? "" : "s");
-      Solved += T.Result.Success ? 1 : 0;
+                  T.Attempts == 1 ? "" : "s",
+                  T.FromJournal ? ", from journal" : "");
+      Solved += T.Status == synth::TaskStatus::Solved ? 1 : 0;
+      Restored += T.FromJournal ? 1 : 0;
     }
-    std::printf("solved %u/%zu\n", Solved, Results.size());
+    std::printf("solved %u/%zu", Solved, Results.size());
+    if (Restored)
+      std::printf(" (%u restored from journal, not re-run)", Restored);
+    std::printf("\n");
     return Solved == Results.size() ? 0 : 1;
   }
-  if (std::strcmp(Cmd, "fuzz") == 0) {
+  if (std::strcmp(Cmd, "fuzz") == 0 || std::strcmp(Cmd, "chaos") == 0) {
     testing::FuzzOptions FOpts;
     synth::DriverOptions DOpts;
     DOpts.Jobs = 0; // all hardware threads for the synthesis stage.
+    FOpts.Chaos = std::strcmp(Cmd, "chaos") == 0;
     std::vector<std::string> Names;
     for (int I = 2; I != argc; ++I) {
       auto numericOpt = [&](const char *Flag, unsigned *Out) {
@@ -127,16 +153,25 @@ int main(int argc, char **argv) {
         }
         return true;
       };
+      auto seedOpt = [&](const char *Flag, uint64_t *Out) {
+        if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
+          return false;
+        if (!parseSeed(argv[++I], Out)) {
+          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                       Flag, argv[I]);
+          std::exit(2);
+        }
+        return true;
+      };
       if (numericOpt("--seconds", &FOpts.Seconds) ||
           numericOpt("--segments", &FOpts.Segments) ||
-          numericOpt("--jobs", &DOpts.Jobs))
+          numericOpt("--jobs", &DOpts.Jobs) ||
+          numericOpt("--fail-permille", &FOpts.ChaosFailPermille) ||
+          seedOpt("--seed", &FOpts.Seed) ||
+          seedOpt("--fault-seed", &FOpts.ChaosSeed))
         continue;
-      if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc) {
-        if (!parseSeed(argv[++I], &FOpts.Seed)) {
-          std::fprintf(stderr, "error: --seed expects a number, got '%s'\n",
-                       argv[I]);
-          return 2;
-        }
+      if (std::strcmp(argv[I], "--faults") == 0) {
+        FOpts.Chaos = true;
       } else if (std::strcmp(argv[I], "--no-emit") == 0) {
         FOpts.UseEmitted = false;
       } else if (argv[I][0] == '-') {
