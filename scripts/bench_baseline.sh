@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Records the repo's performance baseline at fixed sizes and seeds:
+#
+#  1. bench_kernels --json  ->  BENCH_kernels.json at the repo root
+#     (per-tier fold throughput for every Table-1 benchmark, the tier
+#     speedups over the per-element VM, and the distinct kernel's
+#     time(2N)/time(N) scaling ratio — ~2 is linear, ~4 was the old
+#     O(n*k) membership scan);
+#  2. bench_parallel_cpp    ->  printed to stdout (the Table-2 style
+#     serial-vs-parallel comparison on emitted C++).
+#
+# Deterministic inputs (fixed N and seed) keep runs comparable across
+# commits; see EXPERIMENTS.md for how to read the numbers.
+#
+# Usage: scripts/bench_baseline.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+N=1048576
+SEED=99
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS" --target bench_kernels bench_parallel_cpp
+
+echo "== kernel tier throughput (N=$N seed=$SEED) -> BENCH_kernels.json =="
+"$BUILD"/bench/bench_kernels --json --n "$N" --seed "$SEED" \
+    > BENCH_kernels.json
+"$BUILD"/bench/bench_kernels --n "$N" --seed "$SEED"
+
+echo
+echo "== ablation: same workload with the fused kernels disabled =="
+"$BUILD"/bench/bench_kernels --no-specialize --n "$N" --seed "$SEED"
+
+echo
+echo "== emitted parallel C++ (bench_parallel_cpp) =="
+"$BUILD"/bench/bench_parallel_cpp
+
+echo
+echo "baseline written to BENCH_kernels.json"

@@ -17,6 +17,10 @@ cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+echo "== execution tiers selected per benchmark =="
+cmake --build "$BUILD" -j "$JOBS" --target bench_kernels >/dev/null
+"$BUILD"/bench/bench_kernels --tiers
+
 echo "== tier 2: ThreadSanitizer over the concurrent paths ($TSAN) =="
 cmake -B "$TSAN" -S . -DGRASSP_SANITIZE=thread >/dev/null
 cmake --build "$TSAN" -j "$JOBS" --target \

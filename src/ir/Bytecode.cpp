@@ -5,8 +5,90 @@
 #include <cassert>
 #include <unordered_map>
 
+// Threaded (computed-goto) dispatch for the loop-resident VM. Both GCC
+// and Clang support the labels-as-values extension regardless of the
+// -std= dialect; any other compiler falls back to switch dispatch.
+#if defined(__GNUC__) || defined(__clang__)
+#define GRASSP_BC_THREADED 1
+#else
+#define GRASSP_BC_THREADED 0
+#endif
+
 namespace grassp {
 namespace ir {
+
+unsigned bcNumOperands(BcOp O) {
+  switch (O) {
+  case BcOp::Const:
+    return 0;
+  case BcOp::Copy:
+  case BcOp::Neg:
+  case BcOp::Not:
+    return 1;
+  case BcOp::Select:
+    return 3;
+  default:
+    return 2;
+  }
+}
+
+int64_t evalBcOp(BcOp O, int64_t A, int64_t B, int64_t C) {
+  switch (O) {
+  case BcOp::Add:
+    return A + B;
+  case BcOp::Sub:
+    return A - B;
+  case BcOp::Mul:
+    return A * B;
+  case BcOp::Div: {
+    if (B == 0)
+      return 0;
+    int64_t Q = A / B;
+    if (A % B != 0 && ((A < 0) != (B < 0)))
+      --Q;
+    return Q;
+  }
+  case BcOp::Mod: {
+    if (B == 0)
+      return 0;
+    int64_t M = A % B;
+    if (M < 0)
+      M += (B < 0 ? -B : B);
+    return M;
+  }
+  case BcOp::Neg:
+    return -A;
+  case BcOp::Min:
+    return A < B ? A : B;
+  case BcOp::Max:
+    return A > B ? A : B;
+  case BcOp::Eq:
+    return A == B;
+  case BcOp::Ne:
+    return A != B;
+  case BcOp::Lt:
+    return A < B;
+  case BcOp::Le:
+    return A <= B;
+  case BcOp::Gt:
+    return A > B;
+  case BcOp::Ge:
+    return A >= B;
+  case BcOp::And:
+    return (A != 0) & (B != 0);
+  case BcOp::Or:
+    return (A != 0) | (B != 0);
+  case BcOp::Not:
+    return A == 0;
+  case BcOp::Select:
+    return A != 0 ? B : C;
+  case BcOp::Const:
+  case BcOp::Copy:
+    break;
+  }
+  assert(false && "evalBcOp: Const/Copy have no operand semantics");
+  return 0;
+}
 
 namespace {
 
@@ -149,6 +231,29 @@ BytecodeFunction::compile(const std::vector<ExprRef> &Roots,
   return F;
 }
 
+BytecodeFunction
+BytecodeFunction::fromInstrs(std::vector<BcInstr> Instrs, unsigned NumInputs,
+                             unsigned NumRegs,
+                             std::vector<uint16_t> OutputRegs) {
+  assert(NumInputs <= NumRegs && "inputs must fit in the register file");
+#ifndef NDEBUG
+  for (const BcInstr &I : Instrs) {
+    assert(I.Dst < NumRegs && "destination outside the register file");
+    unsigned Ops = bcNumOperands(I.Opcode);
+    assert((Ops < 1 || I.A < NumRegs) && (Ops < 2 || I.B < NumRegs) &&
+           (Ops < 3 || I.C < NumRegs) && "operand outside the register file");
+  }
+  for (uint16_t R : OutputRegs)
+    assert(R < NumRegs && "output register outside the register file");
+#endif
+  BytecodeFunction F;
+  F.Instrs = std::move(Instrs);
+  F.OutputRegs = std::move(OutputRegs);
+  F.NumInputs = NumInputs;
+  F.NumRegs = NumRegs;
+  return F;
+}
+
 void BytecodeFunction::run(int64_t *R, int64_t *Out) const {
   for (const BcInstr &I : Instrs) {
     switch (I.Opcode) {
@@ -158,82 +263,155 @@ void BytecodeFunction::run(int64_t *R, int64_t *Out) const {
     case BcOp::Copy:
       R[I.Dst] = R[I.A];
       break;
-    case BcOp::Add:
-      R[I.Dst] = R[I.A] + R[I.B];
-      break;
-    case BcOp::Sub:
-      R[I.Dst] = R[I.A] - R[I.B];
-      break;
-    case BcOp::Mul:
-      R[I.Dst] = R[I.A] * R[I.B];
-      break;
-    case BcOp::Div: {
-      int64_t A = R[I.A], B = R[I.B];
-      if (B == 0) {
-        R[I.Dst] = 0;
-      } else {
-        int64_t Q = A / B;
-        if (A % B != 0 && ((A < 0) != (B < 0)))
-          --Q;
-        R[I.Dst] = Q;
-      }
-      break;
-    }
-    case BcOp::Mod: {
-      int64_t A = R[I.A], B = R[I.B];
-      if (B == 0) {
-        R[I.Dst] = 0;
-      } else {
-        int64_t M = A % B;
-        if (M < 0)
-          M += (B < 0 ? -B : B);
-        R[I.Dst] = M;
-      }
-      break;
-    }
-    case BcOp::Neg:
-      R[I.Dst] = -R[I.A];
-      break;
-    case BcOp::Min:
-      R[I.Dst] = R[I.A] < R[I.B] ? R[I.A] : R[I.B];
-      break;
-    case BcOp::Max:
-      R[I.Dst] = R[I.A] > R[I.B] ? R[I.A] : R[I.B];
-      break;
-    case BcOp::Eq:
-      R[I.Dst] = R[I.A] == R[I.B];
-      break;
-    case BcOp::Ne:
-      R[I.Dst] = R[I.A] != R[I.B];
-      break;
-    case BcOp::Lt:
-      R[I.Dst] = R[I.A] < R[I.B];
-      break;
-    case BcOp::Le:
-      R[I.Dst] = R[I.A] <= R[I.B];
-      break;
-    case BcOp::Gt:
-      R[I.Dst] = R[I.A] > R[I.B];
-      break;
-    case BcOp::Ge:
-      R[I.Dst] = R[I.A] >= R[I.B];
-      break;
-    case BcOp::And:
-      R[I.Dst] = (R[I.A] != 0) & (R[I.B] != 0);
-      break;
-    case BcOp::Or:
-      R[I.Dst] = (R[I.A] != 0) | (R[I.B] != 0);
-      break;
-    case BcOp::Not:
-      R[I.Dst] = R[I.A] == 0;
-      break;
-    case BcOp::Select:
-      R[I.Dst] = R[I.A] != 0 ? R[I.B] : R[I.C];
+    default:
+      R[I.Dst] = evalBcOp(I.Opcode, R[I.A], R[I.B], R[I.C]);
       break;
     }
   }
   for (size_t I = 0, N = OutputRegs.size(); I != N; ++I)
     Out[I] = R[OutputRegs[I]];
+}
+
+void BytecodeFunction::foldLoop(const int64_t *Data, size_t N,
+                                int64_t *State, int64_t *Scratch) const {
+  assert(numOutputs() + 1 == NumInputs &&
+         "foldLoop expects inputs = state fields followed by the element");
+  const unsigned NF = numOutputs();
+  int64_t *const R = Scratch;            // the register file.
+  int64_t *const Stage = Scratch + NumRegs; // simultaneous-writeback area.
+  for (unsigned K = 0; K != NF; ++K)
+    R[K] = State[K];
+  const BcInstr *const Base = Instrs.data();
+  const BcInstr *const EndI = Base + Instrs.size();
+  const uint16_t *const ORegs = OutputRegs.data();
+
+#if GRASSP_BC_THREADED
+  // One label per opcode; table order must match the BcOp enum. Dispatch
+  // jumps directly from the end of one handler to the start of the next,
+  // so the element loop never leaves this frame.
+  static const void *const Tbl[] = {
+      &&L_Const, &&L_Copy, &&L_Add, &&L_Sub, &&L_Mul, &&L_Div, &&L_Mod,
+      &&L_Neg,   &&L_Min,  &&L_Max, &&L_Eq,  &&L_Ne,  &&L_Lt,  &&L_Le,
+      &&L_Gt,    &&L_Ge,   &&L_And, &&L_Or,  &&L_Not, &&L_Select};
+  static_assert(sizeof(Tbl) / sizeof(Tbl[0]) ==
+                    static_cast<size_t>(BcOp::Select) + 1,
+                "dispatch table out of sync with BcOp");
+  const BcInstr *IP = Base;
+  size_t I = 0;
+
+#define GRASSP_BC_NEXT                                                        \
+  do {                                                                        \
+    if (++IP == EndI)                                                         \
+      goto L_IterDone;                                                        \
+    goto *Tbl[static_cast<unsigned>(IP->Opcode)];                             \
+  } while (0)
+
+L_IterBegin:
+  if (I == N)
+    goto L_AllDone;
+  R[NF] = Data[I];
+  IP = Base;
+  if (IP == EndI)
+    goto L_IterDone;
+  goto *Tbl[static_cast<unsigned>(IP->Opcode)];
+
+L_Const:
+  R[IP->Dst] = IP->Imm;
+  GRASSP_BC_NEXT;
+L_Copy:
+  R[IP->Dst] = R[IP->A];
+  GRASSP_BC_NEXT;
+L_Add:
+  R[IP->Dst] = R[IP->A] + R[IP->B];
+  GRASSP_BC_NEXT;
+L_Sub:
+  R[IP->Dst] = R[IP->A] - R[IP->B];
+  GRASSP_BC_NEXT;
+L_Mul:
+  R[IP->Dst] = R[IP->A] * R[IP->B];
+  GRASSP_BC_NEXT;
+L_Div:
+  R[IP->Dst] = evalBcOp(BcOp::Div, R[IP->A], R[IP->B], 0);
+  GRASSP_BC_NEXT;
+L_Mod:
+  R[IP->Dst] = evalBcOp(BcOp::Mod, R[IP->A], R[IP->B], 0);
+  GRASSP_BC_NEXT;
+L_Neg:
+  R[IP->Dst] = -R[IP->A];
+  GRASSP_BC_NEXT;
+L_Min:
+  R[IP->Dst] = R[IP->A] < R[IP->B] ? R[IP->A] : R[IP->B];
+  GRASSP_BC_NEXT;
+L_Max:
+  R[IP->Dst] = R[IP->A] > R[IP->B] ? R[IP->A] : R[IP->B];
+  GRASSP_BC_NEXT;
+L_Eq:
+  R[IP->Dst] = R[IP->A] == R[IP->B];
+  GRASSP_BC_NEXT;
+L_Ne:
+  R[IP->Dst] = R[IP->A] != R[IP->B];
+  GRASSP_BC_NEXT;
+L_Lt:
+  R[IP->Dst] = R[IP->A] < R[IP->B];
+  GRASSP_BC_NEXT;
+L_Le:
+  R[IP->Dst] = R[IP->A] <= R[IP->B];
+  GRASSP_BC_NEXT;
+L_Gt:
+  R[IP->Dst] = R[IP->A] > R[IP->B];
+  GRASSP_BC_NEXT;
+L_Ge:
+  R[IP->Dst] = R[IP->A] >= R[IP->B];
+  GRASSP_BC_NEXT;
+L_And:
+  R[IP->Dst] = (R[IP->A] != 0) & (R[IP->B] != 0);
+  GRASSP_BC_NEXT;
+L_Or:
+  R[IP->Dst] = (R[IP->A] != 0) | (R[IP->B] != 0);
+  GRASSP_BC_NEXT;
+L_Not:
+  R[IP->Dst] = R[IP->A] == 0;
+  GRASSP_BC_NEXT;
+L_Select:
+  R[IP->Dst] = R[IP->A] != 0 ? R[IP->B] : R[IP->C];
+  GRASSP_BC_NEXT;
+
+L_IterDone:
+  // Simultaneous assignment: read every output before writing any state
+  // slot (an output may name another field's input register).
+  for (unsigned K = 0; K != NF; ++K)
+    Stage[K] = R[ORegs[K]];
+  for (unsigned K = 0; K != NF; ++K)
+    R[K] = Stage[K];
+  ++I;
+  goto L_IterBegin;
+
+L_AllDone:;
+#undef GRASSP_BC_NEXT
+#else
+  for (size_t I = 0; I != N; ++I) {
+    R[NF] = Data[I];
+    for (const BcInstr *IP = Base; IP != EndI; ++IP) {
+      switch (IP->Opcode) {
+      case BcOp::Const:
+        R[IP->Dst] = IP->Imm;
+        break;
+      case BcOp::Copy:
+        R[IP->Dst] = R[IP->A];
+        break;
+      default:
+        R[IP->Dst] = evalBcOp(IP->Opcode, R[IP->A], R[IP->B], R[IP->C]);
+        break;
+      }
+    }
+    for (unsigned K = 0; K != NF; ++K)
+      Stage[K] = R[ORegs[K]];
+    for (unsigned K = 0; K != NF; ++K)
+      R[K] = Stage[K];
+  }
+#endif
+  for (unsigned K = 0; K != NF; ++K)
+    State[K] = R[K];
 }
 
 } // namespace ir

@@ -1,0 +1,290 @@
+//===- ir/BytecodeOpt.cpp - Peephole optimizer over register bytecode -----==//
+//
+// A single forward rewrite pass (constant folding, copy propagation,
+// exact algebraic simplification) followed by backward dead-instruction
+// elimination and register-file compaction. Straight-line three-address
+// code with single forward control flow makes all of this a simple
+// dataflow walk; no CFG is needed.
+//
+// Soundness note: every rewrite must hold for *arbitrary* int64 register
+// contents, not just type-correct ones — the optimizer is certified by a
+// differential test that runs optimized and unoptimized code on random
+// register states. Transforms that rely on 0/1 booleans (e.g.
+// or(x, false) -> x, which normalizes x to 0/1 in the original) are
+// deliberately omitted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Bytecode.h"
+
+#include <cassert>
+
+namespace grassp {
+namespace ir {
+
+namespace {
+
+/// What is currently known about a register's value at the rewrite
+/// cursor. CopyOf sources are always fully-resolved roots (never
+/// themselves CopyOf) and are invalidated when the root is redefined.
+struct Fact {
+  enum Kind { Unknown, ConstVal, CopyOf } K = Unknown;
+  int64_t C = 0;
+  uint16_t Src = 0;
+};
+
+class Peephole {
+public:
+  Peephole(const std::vector<BcInstr> &In, unsigned NumInputs,
+           unsigned NumRegs, const std::vector<uint16_t> &Outputs)
+      : NumInputs(NumInputs), NumRegs(NumRegs), Facts(NumRegs),
+        OutputRegs(Outputs) {
+    Instrs.reserve(In.size());
+    for (const BcInstr &I : In)
+      rewrite(I);
+    for (uint16_t &R : OutputRegs)
+      R = root(R);
+    eliminateDead();
+    compact();
+  }
+
+  std::vector<BcInstr> takeInstrs() { return std::move(Instrs); }
+  std::vector<uint16_t> takeOutputs() { return std::move(OutputRegs); }
+  unsigned numRegs() const { return NumRegs; }
+
+private:
+  uint16_t root(uint16_t R) const {
+    return Facts[R].K == Fact::CopyOf ? Facts[R].Src : R;
+  }
+  bool isConst(uint16_t R) const { return Facts[R].K == Fact::ConstVal; }
+  int64_t constOf(uint16_t R) const { return Facts[R].C; }
+
+  /// Registers \p I as the new definition of its Dst: stale facts rooted
+  /// at Dst die, then Dst's own fact is refreshed.
+  void define(BcInstr I) {
+    for (Fact &F : Facts)
+      if (F.K == Fact::CopyOf && F.Src == I.Dst)
+        F.K = Fact::Unknown;
+    Fact &D = Facts[I.Dst];
+    if (I.Opcode == BcOp::Const)
+      D = {Fact::ConstVal, I.Imm, 0};
+    else if (I.Opcode == BcOp::Copy)
+      D = {Fact::CopyOf, 0, I.A}; // I.A is a root by construction.
+    else
+      D = {Fact::Unknown, 0, 0};
+    Instrs.push_back(I);
+  }
+
+  void rewrite(BcInstr I) {
+    // Copy-propagate the register operands first.
+    unsigned Ops = bcNumOperands(I.Opcode);
+    if (Ops >= 1)
+      I.A = root(I.A);
+    if (Ops >= 2)
+      I.B = root(I.B);
+    if (Ops >= 3)
+      I.C = root(I.C);
+
+    if (I.Opcode == BcOp::Copy && isConst(I.A))
+      I = {BcOp::Const, I.Dst, 0, 0, 0, constOf(I.A)};
+    if (I.Opcode == BcOp::Const || I.Opcode == BcOp::Copy) {
+      define(I);
+      return;
+    }
+
+    // Full constant folding through the VM's own evaluator.
+    bool CA = isConst(I.A), CB = Ops >= 2 && isConst(I.B),
+         CC = Ops >= 3 && isConst(I.C);
+    if (CA && (Ops < 2 || CB) && (Ops < 3 || CC)) {
+      define({BcOp::Const, I.Dst, 0, 0, 0,
+              evalBcOp(I.Opcode, constOf(I.A), CB ? constOf(I.B) : 0,
+                       CC ? constOf(I.C) : 0)});
+      return;
+    }
+
+    // Exact algebraic simplifications (valid on arbitrary int64 values).
+    switch (I.Opcode) {
+    case BcOp::Select:
+      if (CA) {
+        define({BcOp::Copy, I.Dst, constOf(I.A) != 0 ? I.B : I.C, 0, 0, 0});
+        return;
+      }
+      if (I.B == I.C) {
+        define({BcOp::Copy, I.Dst, I.B, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Add:
+      if (CA && constOf(I.A) == 0) {
+        define({BcOp::Copy, I.Dst, I.B, 0, 0, 0});
+        return;
+      }
+      if (CB && constOf(I.B) == 0) {
+        define({BcOp::Copy, I.Dst, I.A, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Sub:
+      if (CB && constOf(I.B) == 0) {
+        define({BcOp::Copy, I.Dst, I.A, 0, 0, 0});
+        return;
+      }
+      if (I.A == I.B) {
+        define({BcOp::Const, I.Dst, 0, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Mul:
+      if ((CA && constOf(I.A) == 0) || (CB && constOf(I.B) == 0)) {
+        define({BcOp::Const, I.Dst, 0, 0, 0, 0});
+        return;
+      }
+      if (CA && constOf(I.A) == 1) {
+        define({BcOp::Copy, I.Dst, I.B, 0, 0, 0});
+        return;
+      }
+      if (CB && constOf(I.B) == 1) {
+        define({BcOp::Copy, I.Dst, I.A, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Div:
+      if (CB && constOf(I.B) == 1) {
+        define({BcOp::Copy, I.Dst, I.A, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Mod:
+      if (CB && (constOf(I.B) == 1 || constOf(I.B) == -1)) {
+        define({BcOp::Const, I.Dst, 0, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Min:
+    case BcOp::Max:
+      if (I.A == I.B) {
+        define({BcOp::Copy, I.Dst, I.A, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Eq:
+    case BcOp::Le:
+    case BcOp::Ge:
+      if (I.A == I.B) {
+        define({BcOp::Const, I.Dst, 0, 0, 0, 1});
+        return;
+      }
+      break;
+    case BcOp::Ne:
+    case BcOp::Lt:
+    case BcOp::Gt:
+      if (I.A == I.B) {
+        define({BcOp::Const, I.Dst, 0, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::And:
+      // and(x, 0) == 0 regardless of x; and(x, c!=0) normalizes x, so it
+      // must NOT become a copy.
+      if ((CA && constOf(I.A) == 0) || (CB && constOf(I.B) == 0)) {
+        define({BcOp::Const, I.Dst, 0, 0, 0, 0});
+        return;
+      }
+      break;
+    case BcOp::Or:
+      if ((CA && constOf(I.A) != 0) || (CB && constOf(I.B) != 0)) {
+        define({BcOp::Const, I.Dst, 0, 0, 0, 1});
+        return;
+      }
+      break;
+    default:
+      break;
+    }
+    define(I);
+  }
+
+  /// Backward liveness: an instruction survives only if its destination
+  /// is read later (or is an output register).
+  void eliminateDead() {
+    std::vector<bool> Live(NumRegs, false);
+    for (uint16_t R : OutputRegs)
+      Live[R] = true;
+    std::vector<BcInstr> Kept;
+    Kept.reserve(Instrs.size());
+    for (size_t I = Instrs.size(); I != 0; --I) {
+      const BcInstr &In = Instrs[I - 1];
+      if (!Live[In.Dst])
+        continue;
+      Live[In.Dst] = false;
+      unsigned Ops = bcNumOperands(In.Opcode);
+      if (Ops >= 1)
+        Live[In.A] = true;
+      if (Ops >= 2)
+        Live[In.B] = true;
+      if (Ops >= 3)
+        Live[In.C] = true;
+      Kept.push_back(In);
+    }
+    Instrs.assign(Kept.rbegin(), Kept.rend());
+  }
+
+  /// Renumbers surviving temporaries densely after the input slots, so
+  /// the loop-resident VM touches the smallest possible register file.
+  void compact() {
+    std::vector<uint16_t> Map(NumRegs, 0xffff);
+    for (unsigned R = 0; R != NumInputs; ++R)
+      Map[R] = static_cast<uint16_t>(R);
+    unsigned Next = NumInputs;
+    auto mapReg = [&](uint16_t R) {
+      if (Map[R] == 0xffff)
+        Map[R] = static_cast<uint16_t>(Next++);
+      return Map[R];
+    };
+    for (BcInstr &I : Instrs) {
+      unsigned Ops = bcNumOperands(I.Opcode);
+      // Operands of well-formed code are always already defined; map
+      // them before the destination so self-references read the old slot.
+      if (Ops >= 1)
+        I.A = mapReg(I.A);
+      if (Ops >= 2)
+        I.B = mapReg(I.B);
+      if (Ops >= 3)
+        I.C = mapReg(I.C);
+      I.Dst = mapReg(I.Dst);
+    }
+    for (uint16_t &R : OutputRegs)
+      R = mapReg(R);
+    NumRegs = Next;
+  }
+
+  unsigned NumInputs;
+  unsigned NumRegs;
+  std::vector<Fact> Facts;
+  std::vector<BcInstr> Instrs;
+  std::vector<uint16_t> OutputRegs;
+};
+
+} // namespace
+
+BytecodeFunction BytecodeFunction::optimized() const {
+  // One forward pass can expose work for the next (a rewrite introduces
+  // a copy whose uses were already visited, DCE uncovers a now-dead
+  // chain), so iterate to a fixed point. Each productive pass strictly
+  // shrinks the instruction list, which bounds the loop; the cap is a
+  // belt-and-braces guard.
+  BytecodeFunction Cur = *this;
+  for (unsigned Pass = 0; Pass != 8; ++Pass) {
+    Peephole P(Cur.Instrs, Cur.NumInputs, Cur.NumRegs, Cur.OutputRegs);
+    unsigned Regs = P.numRegs();
+    BytecodeFunction Next =
+        fromInstrs(P.takeInstrs(), Cur.NumInputs, Regs, P.takeOutputs());
+    bool Fixed = Next.Instrs.size() == Cur.Instrs.size();
+    Cur = std::move(Next);
+    if (Fixed)
+      break;
+  }
+  return Cur;
+}
+
+} // namespace ir
+} // namespace grassp

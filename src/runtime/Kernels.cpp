@@ -4,6 +4,7 @@
 
 #include "ir/DomainEval.h"
 #include "lang/Interp.h"
+#include "runtime/DistinctSet.h"
 
 #include <cassert>
 
@@ -22,13 +23,15 @@ std::vector<std::string> fieldNames(const lang::SerialProgram &Prog,
   return Names;
 }
 
-/// Linear-search membership insert, mirroring the paper's serial
-/// "counting distinct elements" implementation.
-void insertDistinctLinear(std::vector<int64_t> &Seen, int64_t V) {
-  for (int64_t X : Seen)
-    if (X == V)
-      return;
-  Seen.push_back(V);
+/// Per-thread scratch for the fold/output entry points. Grows
+/// monotonically and is reused across calls, so a shared CompiledProgram
+/// does no per-call heap allocation and stays const-callable from
+/// concurrent ThreadPool workers.
+int64_t *tlScratch(size_t N) {
+  thread_local std::vector<int64_t> S;
+  if (S.size() < N)
+    S.resize(N);
+  return S.data();
 }
 
 /// Runs a single-input bytecode function on one element.
@@ -43,19 +46,50 @@ int64_t run1(const ir::BytecodeFunction &Fn, int64_t El,
 
 } // namespace
 
+const char *execTierName(ExecTier T) {
+  switch (T) {
+  case ExecTier::Specialized:
+    return "specialized";
+  case ExecTier::LoopVM:
+    return "loop-vm";
+  case ExecTier::PerElement:
+    return "per-element";
+  }
+  return "?";
+}
+
 //===----------------------------------------------------------------------===//
 // CompiledProgram
 //===----------------------------------------------------------------------===//
 
-CompiledProgram::CompiledProgram(const lang::SerialProgram &Prog)
+CompiledProgram::CompiledProgram(const lang::SerialProgram &Prog,
+                                 bool AllowSpecialize)
     : Prog(Prog), Bag(Prog.State.hasBag()) {
   if (Bag) {
     assert(Prog.State.size() == 1 && "bag kernels support bag-only state");
+    Tier = ExecTier::Specialized; // the native hash-set distinct kernel.
     return;
   }
   StepFn = ir::BytecodeFunction::compile(Prog.Step, fieldNames(Prog, true));
-  OutputFn =
-      ir::BytecodeFunction::compile({Prog.Output}, fieldNames(Prog, false));
+  StepOpt = StepFn.optimized();
+  OutputFn = ir::BytecodeFunction::compile({Prog.Output},
+                                           fieldNames(Prog, false))
+                 .optimized();
+  if (AllowSpecialize)
+    Spec = specializeStep(Prog);
+  Tier = Spec ? ExecTier::Specialized : ExecTier::LoopVM;
+}
+
+bool CompiledProgram::tierAvailable(ExecTier T) const {
+  if (Bag)
+    return T == ExecTier::Specialized;
+  return T != ExecTier::Specialized || Spec.has_value();
+}
+
+std::string CompiledProgram::specializationInfo() const {
+  if (Bag)
+    return "distinct(hash-set)";
+  return Spec ? Spec->describe() : std::string();
 }
 
 std::vector<int64_t> CompiledProgram::initialState() const {
@@ -69,14 +103,32 @@ std::vector<int64_t> CompiledProgram::initialState() const {
 
 void CompiledProgram::foldSegment(std::vector<int64_t> &State,
                                   SegmentView Seg) const {
+  foldSegmentTier(Tier, State, Seg);
+}
+
+void CompiledProgram::foldSegmentTier(ExecTier T, std::vector<int64_t> &State,
+                                      SegmentView Seg) const {
   assert(!Bag && "bag programs use runSerial / the distinct worker");
-  size_t NF = State.size();
-  std::vector<int64_t> Regs(StepFn.numRegs());
-  for (size_t I = 0; I != Seg.Size; ++I) {
-    for (size_t K = 0; K != NF; ++K)
-      Regs[K] = State[K];
-    Regs[NF] = Seg.Data[I];
-    StepFn.run(Regs.data(), State.data());
+  assert(tierAvailable(T) && "tier not available for this program");
+  switch (T) {
+  case ExecTier::Specialized:
+    Spec->fold(State.data(), Seg.Data, Seg.Size);
+    return;
+  case ExecTier::LoopVM:
+    StepOpt.foldLoop(Seg.Data, Seg.Size, State.data(),
+                     tlScratch(StepOpt.scratchSize()));
+    return;
+  case ExecTier::PerElement: {
+    size_t NF = State.size();
+    int64_t *Regs = tlScratch(StepFn.numRegs());
+    for (size_t I = 0; I != Seg.Size; ++I) {
+      for (size_t K = 0; K != NF; ++K)
+        Regs[K] = State[K];
+      Regs[NF] = Seg.Data[I];
+      StepFn.run(Regs, State.data());
+    }
+    return;
+  }
   }
 }
 
@@ -87,25 +139,32 @@ void CompiledProgram::step(std::vector<int64_t> &State, int64_t El) const {
 
 int64_t CompiledProgram::output(const std::vector<int64_t> &State) const {
   assert(!Bag);
-  std::vector<int64_t> Regs(OutputFn.numRegs());
+  int64_t *Regs = tlScratch(OutputFn.numRegs());
   for (size_t K = 0; K != State.size(); ++K)
     Regs[K] = State[K];
   int64_t Out = 0;
-  OutputFn.run(Regs.data(), &Out);
+  OutputFn.run(Regs, &Out);
   return Out;
 }
 
 int64_t CompiledProgram::runSerial(const std::vector<SegmentView> &Segs) const {
+  return runSerialTier(Tier, Segs);
+}
+
+int64_t
+CompiledProgram::runSerialTier(ExecTier T,
+                               const std::vector<SegmentView> &Segs) const {
+  assert(tierAvailable(T) && "tier not available for this program");
   if (Bag) {
-    std::vector<int64_t> Seen;
+    DistinctSet Seen;
     for (const SegmentView &S : Segs)
       for (size_t I = 0; I != S.Size; ++I)
-        insertDistinctLinear(Seen, S.Data[I]);
+        Seen.insert(S.Data[I]);
     return static_cast<int64_t>(Seen.size());
   }
   std::vector<int64_t> St = initialState();
   for (const SegmentView &S : Segs)
-    foldSegment(St, S);
+    foldSegmentTier(T, St, S);
   return output(St);
 }
 
@@ -114,8 +173,9 @@ int64_t CompiledProgram::runSerial(const std::vector<SegmentView> &Segs) const {
 //===----------------------------------------------------------------------===//
 
 CompiledPlan::CompiledPlan(const lang::SerialProgram &Prog,
-                           const synth::ParallelPlan &Plan)
-    : Prog(Prog), Plan(Plan), Compiled(Prog) {
+                           const synth::ParallelPlan &Plan,
+                           bool AllowSpecialize)
+    : Prog(Prog), Plan(Plan), Compiled(Prog, AllowSpecialize) {
   if (Plan.Kind != synth::Scenario::CondPrefixRefold &&
       Plan.Kind != synth::Scenario::CondPrefixSummary)
     return;
@@ -171,8 +231,10 @@ WorkerOutput CompiledPlan::runWorker(SegmentView Seg) const {
 WorkerOutput CompiledPlan::runScanWorker(SegmentView Seg) const {
   WorkerOutput W;
   if (Compiled.usesBag()) {
+    DistinctSet Seen;
     for (size_t I = 0; I != Seg.Size; ++I)
-      insertDistinctLinear(W.Distinct, Seg.Data[I]);
+      Seen.insert(Seg.Data[I]);
+    W.Distinct = Seen.takeOrder();
     return W;
   }
   W.D = Compiled.initialState();
@@ -319,10 +381,10 @@ int64_t CompiledPlan::merge(const std::vector<WorkerOutput> &Workers,
   case synth::Scenario::NoPrefix:
   case synth::Scenario::ConstPrefix: {
     if (Plan.Merge.Refold) {
-      std::vector<int64_t> All;
+      DistinctSet All;
       for (const WorkerOutput &W : Workers)
         for (int64_t V : W.Distinct)
-          insertDistinctLinear(All, V);
+          All.insert(V);
       return static_cast<int64_t>(All.size());
     }
     // Empty segments sit outside the verified data model (the bounded

@@ -3,8 +3,25 @@
 // Fast concrete execution of serial programs and synthesized plans. Step
 // functions, output functions, prefix predicates, and the summary tables
 // are compiled to register bytecode (ir/Bytecode.h) once, then folded
-// over millions of elements. The one bag-typed benchmark ("counting
-// distinct elements") uses a native hash-set kernel instead.
+// over millions of elements.
+//
+// Folding runs on a three-tier pipeline; CompiledProgram picks the
+// fastest tier available for its program and every caller (serial run,
+// parallel workers, merge repair) goes through the same selection, so
+// measured speedups compare like against like:
+//
+//   Specialized - pattern-matched native kernels (runtime/Specialize.h);
+//                 bag-typed programs use the native hash-set distinct
+//                 kernel (runtime/DistinctSet.h) at this tier.
+//   LoopVM      - the whole segment loop runs inside the bytecode VM
+//                 (BytecodeFunction::foldLoop) on peephole-optimized
+//                 bytecode with threaded dispatch.
+//   PerElement  - one BytecodeFunction::run call per element; the
+//                 portable baseline kept as a differential reference.
+//
+// All tiers are semantically identical by construction and certified by
+// the differential oracle (testing/DiffOracle runs every available tier
+// on every fuzzed workload).
 //
 // These kernels implement exactly the ParallelPlan semantics of
 // synth/PlanEval.h; a property test cross-checks them against the
@@ -16,49 +33,81 @@
 #define GRASSP_RUNTIME_KERNELS_H
 
 #include "ir/Bytecode.h"
+#include "runtime/Specialize.h"
 #include "runtime/Workload.h"
 #include "synth/ParallelPlan.h"
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace grassp {
 namespace runtime {
 
+/// Execution tiers, fastest first.
+enum class ExecTier : uint8_t { Specialized, LoopVM, PerElement };
+
+/// "specialized" / "loop-vm" / "per-element".
+const char *execTierName(ExecTier T);
+
 /// The serial program compiled to bytecode (scalar states) or routed to
 /// the native distinct-elements kernel (bag states).
 class CompiledProgram {
 public:
-  explicit CompiledProgram(const lang::SerialProgram &Prog);
+  /// \p AllowSpecialize gates the specialized tier (the `--no-specialize`
+  /// ablation); the hash-set distinct kernel for bag programs is not an
+  /// ablatable tier and stays on regardless.
+  explicit CompiledProgram(const lang::SerialProgram &Prog,
+                           bool AllowSpecialize = true);
 
   bool usesBag() const { return Bag; }
   const lang::SerialProgram &program() const { return Prog; }
 
+  /// The tier all fold entry points run on.
+  ExecTier tier() const { return Tier; }
+  bool tierAvailable(ExecTier T) const;
+  /// Kernel summary for the specialized tier ("" when not specialized).
+  std::string specializationInfo() const;
+
   /// d0 as a flat int64 vector (Bools are 0/1). Bag programs return {}.
   std::vector<int64_t> initialState() const;
 
-  /// In-place fold of f over \p Seg.
+  /// In-place fold of f over \p Seg on the selected tier. Uses
+  /// thread-local scratch only, so a shared CompiledProgram is
+  /// const-callable from concurrent workers.
   void foldSegment(std::vector<int64_t> &State, SegmentView Seg) const;
+
+  /// Same fold forced onto tier \p T (differential testing; \p T must be
+  /// available).
+  void foldSegmentTier(ExecTier T, std::vector<int64_t> &State,
+                       SegmentView Seg) const;
 
   /// One f step.
   void step(std::vector<int64_t> &State, int64_t El) const;
 
-  /// h. Uses only local buffers, so a CompiledProgram shared across
-  /// ThreadPool workers is const-callable without races.
+  /// h. Uses thread-local scratch only; const-callable concurrently.
   int64_t output(const std::vector<int64_t> &State) const;
 
   /// Serial run over consecutive segments (bag programs included).
   int64_t runSerial(const std::vector<SegmentView> &Segs) const;
 
+  /// Serial run forced onto tier \p T (must be available). For bag
+  /// programs only the Specialized (hash-set) tier exists.
+  int64_t runSerialTier(ExecTier T, const std::vector<SegmentView> &Segs) const;
+
 private:
   const lang::SerialProgram &Prog;
   bool Bag = false;
-  ir::BytecodeFunction StepFn;   // inputs: fields + "in".
+  ExecTier Tier = ExecTier::PerElement;
+  ir::BytecodeFunction StepFn;   // unoptimized; the per-element tier.
+  ir::BytecodeFunction StepOpt;  // peephole-optimized; the loop-VM tier.
   ir::BytecodeFunction OutputFn; // inputs: fields.
+  std::optional<SpecializedStep> Spec;
 };
 
 /// Per-segment worker output (conditional-prefix scenarios carry summary
-/// tables; the distinct kernel carries its local hash set).
+/// tables; the distinct kernel carries its local element set).
 struct WorkerOutput {
   bool Found = false;
   int64_t Boundary = 0;
@@ -69,9 +118,8 @@ struct WorkerOutput {
 
   std::vector<int64_t> PrefixData; // refold scenario
 
-  /// Bag kernel: the distinct elements in insertion order. Like the
-  /// paper's serial code, membership is a linear search — the source of
-  /// the superlinear "counting distinct" speedup (Sect. 9.4).
+  /// Bag kernel: the distinct elements in insertion order (hash-set
+  /// membership; see runtime/DistinctSet.h).
   std::vector<int64_t> Distinct;
 };
 
@@ -79,7 +127,7 @@ struct WorkerOutput {
 class CompiledPlan {
 public:
   CompiledPlan(const lang::SerialProgram &Prog,
-               const synth::ParallelPlan &Plan);
+               const synth::ParallelPlan &Plan, bool AllowSpecialize = true);
 
   /// Runs the per-segment worker (safe to call concurrently).
   WorkerOutput runWorker(SegmentView Seg) const;
@@ -90,6 +138,7 @@ public:
                 const std::vector<SegmentView> &Segs) const;
 
   const synth::ParallelPlan &plan() const { return Plan; }
+  const CompiledProgram &compiled() const { return Compiled; }
 
 private:
   WorkerOutput runScanWorker(SegmentView Seg) const;

@@ -107,7 +107,22 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
 
   std::vector<runtime::SegmentView> Views =
       runtime::segmentsFromLengths(Flat, Lens);
-  int64_t Vm = Compiled.runSerial(Views);
+  // One value per available execution tier; each is its own path.
+  struct TierRun {
+    runtime::ExecTier T;
+    const char *Name;
+    bool Active = false;
+    int64_t Value = 0;
+  };
+  TierRun Tiers[] = {{runtime::ExecTier::PerElement, "vm"},
+                     {runtime::ExecTier::LoopVM, "loop-vm"},
+                     {runtime::ExecTier::Specialized, "fused"}};
+  for (TierRun &R : Tiers) {
+    if (!Compiled.tierAvailable(R.T))
+      continue;
+    R.Active = true;
+    R.Value = Compiled.runSerialTier(R.T, Views);
+  }
   runtime::ParallelRunResult PR =
       runtime::runParallel(CompiledPlanImpl, Views, &Pool, Policy);
   int64_t Par = PR.Output;
@@ -122,16 +137,22 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
   if (EmittedReady)
     EmittedOk = runEmitted(Flat, &EmSerial, &EmParallel);
 
-  bool Agree = Vm == V.Expected && Par == V.Expected &&
+  bool Agree = Par == V.Expected &&
                (!EmittedReady ||
                 (EmittedOk && EmSerial == V.Expected &&
                  EmParallel == V.Expected));
+  for (const TierRun &R : Tiers)
+    Agree &= !R.Active || R.Value == V.Expected;
   if (Agree)
     return V;
 
   V.Diverged = true;
   std::ostringstream D;
-  D << "interp=" << V.Expected << " vm=" << Vm << " plan+pool=" << Par;
+  D << "interp=" << V.Expected;
+  for (const TierRun &R : Tiers)
+    if (R.Active)
+      D << ' ' << R.Name << '=' << R.Value;
+  D << " plan+pool=" << Par;
   if (EmittedReady) {
     if (EmittedOk)
       D << " emitted-serial=" << EmSerial << " emitted-parallel="

@@ -1,17 +1,26 @@
 //===- testing/DiffOracle.h - Differential oracle over execution paths ---===//
 //
-// One plan, four executions of the same workload:
+// One plan, up to six executions of the same workload:
 //
 //  1. the tree-walking reference interpreter (lang::runSerial) — the
 //     ground truth, a flat fold of f with no segmentation at all;
-//  2. the register-bytecode VM folded over the segments
-//     (runtime::CompiledProgram::runSerial);
-//  3. the compiled plan run segment-parallel on a real ThreadPool
+//  2. the per-element bytecode VM folded over the segments
+//     (CompiledProgram on the PerElement tier, unoptimized bytecode);
+//  3. the loop-resident VM (LoopVM tier: peephole-optimized bytecode,
+//     the whole segment loop threaded inside the VM);
+//  4. the pattern-specialized native kernels (Specialized tier; present
+//     only when the program's step shape specializes — for bag programs
+//     this is the hash-set distinct kernel and the only tier);
+//  5. the compiled plan run segment-parallel on a real ThreadPool
 //     (runtime::runParallel);
-//  4. the emitted standalone C++ translation, compiled on the fly with
+//  6. the emitted standalone C++ translation, compiled on the fly with
 //     the host compiler and fed the identical workload through its
 //     file-input hook (skipped gracefully when no compiler is present or
 //     the plan has no translation).
+//
+// Running every tier on every fuzzed workload is what lets the runtime
+// trust neither the peephole optimizer nor the specialized kernels: a
+// miscompiled lane diverges from the interpreter here.
 //
 // Any disagreement is a divergence; minimize() shrinks a diverging input
 // with a ddmin-style pass (drop segments, halve segments, drop single
@@ -57,7 +66,7 @@ struct OracleVerdict {
   /// Ground-truth output (the reference interpreter).
   int64_t Expected = 0;
   /// On divergence: every path's value, e.g.
-  /// "interp=3 vm=3 plan+pool=4 emitted=3".
+  /// "interp=3 vm=3 loop-vm=3 fused=4 plan+pool=3".
   std::string Detail;
 };
 
@@ -72,8 +81,20 @@ public:
   DiffOracle(const DiffOracle &) = delete;
   DiffOracle &operator=(const DiffOracle &) = delete;
 
-  /// Paths compared per check: 3, or 4 with the emitted binary.
-  unsigned numPaths() const { return EmittedReady ? 4 : 3; }
+  /// Paths compared per check: the interpreter, every execution tier the
+  /// program supports, the plan+pool run, and (when ready) the emitted
+  /// binary. 5 or 6 for typical scalar programs, 3 or 4 for bag programs
+  /// (which have only the hash-set tier).
+  unsigned numPaths() const {
+    unsigned N = 2; // interpreter + plan+pool.
+    if (Compiled.tierAvailable(runtime::ExecTier::PerElement))
+      ++N;
+    if (Compiled.tierAvailable(runtime::ExecTier::LoopVM))
+      ++N;
+    if (Compiled.tierAvailable(runtime::ExecTier::Specialized))
+      ++N;
+    return N + (EmittedReady ? 1 : 0);
+  }
   bool emittedActive() const { return EmittedReady; }
 
   /// Runs all paths on \p Segs and compares.

@@ -153,10 +153,11 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
     }
   }
 
-  std::printf("fuzz: synthesizing %zu plan(s)%s...\n", Progs.size(),
+  std::printf("fuzz: synthesizing %zu plan(s), all-tier oracle%s...\n",
+              Progs.size(),
               Opts.UseEmitted && DiffOracle::hostCompilerAvailable()
-                  ? ", 4-path oracle (emitted C++ enabled)"
-                  : ", 3-path oracle");
+                  ? " (emitted C++ enabled)"
+                  : "");
   if (Opts.Chaos)
     std::printf("fuzz: chaos mode armed (seed %llu, worker-fail %u/1000, "
                 "straggler %u/1000 @ %.1fms)\n",

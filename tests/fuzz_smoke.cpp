@@ -2,16 +2,20 @@
 //
 // The fixed-seed, seconds-bounded slice of the fuzz harness that runs on
 // every ctest invocation: representative benchmarks from each Table-1
-// group sweep the adversarial shape set with zero divergences, the
-// emitted-C++ fourth path is exercised on one benchmark (skipped without
-// a host compiler), and a deliberately broken merge rule is planted to
-// prove the oracle actually catches and minimizes divergences. The
-// open-ended soak lives in `grassp fuzz --seconds N` / bench/fuzz_driver.
+// group sweep the adversarial shape set through every execution tier
+// with zero divergences, every benchmark's tiers are cross-checked
+// against the interpreter on fuzz-generated workloads, the emitted-C++
+// path is exercised on one benchmark (skipped without a host compiler),
+// and a deliberately broken merge rule is planted to prove the oracle
+// actually catches and minimizes divergences. The open-ended soak lives
+// in `grassp fuzz --seconds N` / bench/fuzz_driver.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ir/Expr.h"
 #include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "runtime/Kernels.h"
 #include "runtime/Workload.h"
 #include "synth/Grassp.h"
 #include "testing/DiffOracle.h"
@@ -38,8 +42,11 @@ gt::FuzzOptions smokeOptions() {
 }
 
 // One representative per Table-1 group (B1, B2, B3, two B4 flavors, and
-// the bag plan) through the 3-path oracle across every adversarial
-// shape. Zero divergences expected.
+// the bag plan) through the all-tier oracle across every adversarial
+// shape. Zero divergences expected, and the path count pins which tiers
+// engaged: specializable steps (sum, second_max) add the fused native
+// path on top of interp/vm/loop-vm/plan+pool, while the bag program has
+// only the hash-set tier.
 class Representative : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(Representative, NoDivergenceAcrossAdversarialShapes) {
@@ -52,7 +59,11 @@ TEST_P(Representative, NoDivergenceAcrossAdversarialShapes) {
   EXPECT_FALSE(Rep.Diverged)
       << Rep.Shape << " seed " << Rep.Seed << ": " << Rep.Detail
       << "\n  reproducer: " << gt::DiffOracle::formatInput(Rep.Reproducer);
-  EXPECT_EQ(Rep.PathsCompared, 3u);
+  unsigned WantPaths = GetParam() == "count_distinct" ? 3u
+                       : (GetParam() == "sum" || GetParam() == "second_max")
+                           ? 5u
+                           : 4u;
+  EXPECT_EQ(Rep.PathsCompared, WantPaths);
   EXPECT_GT(Rep.Checks, 0u);
 }
 
@@ -65,11 +76,12 @@ INSTANTIATE_TEST_SUITE_P(Groups, Representative,
                                            "count_distinct"),// bag
                          [](const auto &Info) { return Info.param; });
 
-// The emitted-C++ fourth path on one benchmark: compile once, then replay
-// the same shapes through the binary's file-input hook.
+// The emitted-C++ path on one benchmark: compile once, then replay the
+// same shapes through the binary's file-input hook. sum runs all five
+// in-process paths plus the emitted binary.
 TEST(FuzzSmoke, EmittedPathAgreesOnSum) {
   if (!gt::DiffOracle::hostCompilerAvailable())
-    GTEST_SKIP() << "no host g++; 3-path oracle already covered";
+    GTEST_SKIP() << "no host g++; the in-process tiers are already covered";
   const SerialProgram *P = findBenchmark("sum");
   ASSERT_NE(P, nullptr);
   grassp::synth::SynthesisResult R = grassp::synth::synthesize(*P);
@@ -80,7 +92,47 @@ TEST(FuzzSmoke, EmittedPathAgreesOnSum) {
   Opts.Sizes = {0, 1, 3, 17, 64};
   gt::FuzzReport Rep = gt::fuzzBenchmark(*P, R.Plan, Opts);
   EXPECT_FALSE(Rep.Diverged) << Rep.Shape << ": " << Rep.Detail;
-  EXPECT_EQ(Rep.PathsCompared, 4u);
+  EXPECT_EQ(Rep.PathsCompared, 6u);
+}
+
+// The tier-equivalence property, plan-free so it covers all 27
+// benchmarks cheaply: every execution tier a program supports must match
+// the reference interpreter on fuzz-generated workloads across
+// adversarial segment shapes. This is the certification path for the
+// peephole optimizer (loop-vm runs optimized bytecode, the per-element
+// tier runs it unoptimized) and the specialized native kernels.
+TEST(FuzzSmoke, AllTiersMatchInterpreterOnFuzzedWorkloads) {
+  namespace rt = grassp::runtime;
+  constexpr rt::ExecTier AllTiers[] = {rt::ExecTier::Specialized,
+                                       rt::ExecTier::LoopVM,
+                                       rt::ExecTier::PerElement};
+  unsigned SpecializedSeen = 0;
+  for (const SerialProgram &P : grassp::lang::allBenchmarks()) {
+    rt::CompiledProgram CP(P);
+    SpecializedSeen += CP.tierAvailable(rt::ExecTier::Specialized) ? 1 : 0;
+    for (size_t N : {size_t{0}, size_t{1}, size_t{3}, size_t{17},
+                     size_t{64}, size_t{257}}) {
+      for (uint64_t Seed : {uint64_t{1}, uint64_t{99}}) {
+        std::vector<int64_t> Data = rt::generateWorkload(P, N, Seed);
+        int64_t Want = grassp::lang::runSerial(P, Data);
+        for (const rt::SegmentShape &Shape :
+             rt::adversarialShapes(N, 4)) {
+          std::vector<rt::SegmentView> Views =
+              rt::segmentsFromLengths(Data, Shape.Lens);
+          for (rt::ExecTier T : AllTiers) {
+            if (!CP.tierAvailable(T))
+              continue;
+            EXPECT_EQ(CP.runSerialTier(T, Views), Want)
+                << P.Name << " tier=" << rt::execTierName(T) << " N=" << N
+                << " seed=" << Seed << " shape=" << Shape.Name;
+          }
+        }
+      }
+    }
+  }
+  // The kernel specializer must actually engage on the sum/min/max/
+  // counted-extrema family (plus the bag program's hash-set kernel).
+  EXPECT_GE(SpecializedSeen, 15u);
 }
 
 // Plant a bug: sum's merge combines partial sums with subtraction

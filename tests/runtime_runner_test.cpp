@@ -227,4 +227,33 @@ TEST(Runner, SharedCompiledProgramConcurrentOutput) {
     EXPECT_EQ(O, Expected);
 }
 
+// Every execution tier hammered concurrently on one shared const
+// CompiledProgram. foldSegmentTier and output use thread-local scratch
+// register files; under -DGRASSP_SANITIZE=thread this proves no tier
+// touches shared mutable state per call.
+TEST(Runner, AllTiersConcurrentOnSharedProgram) {
+  ThreadPool Pool(4);
+  for (const char *Name : {"sum", "second_max", "count_max", "is_sorted"}) {
+    const lang::SerialProgram *P = lang::findBenchmark(Name);
+    ASSERT_NE(P, nullptr) << Name;
+    std::vector<int64_t> Data = generateWorkload(*P, 6000, 23);
+    std::vector<SegmentView> Segs = partition(Data, 16);
+    const CompiledProgram CP(*P);
+    int64_t Expected = CP.runSerial(Segs);
+
+    constexpr ExecTier AllTiers[] = {ExecTier::Specialized, ExecTier::LoopVM,
+                                     ExecTier::PerElement};
+    std::vector<int64_t> Outs(48, 0);
+    for (size_t I = 0; I != Outs.size(); ++I) {
+      ExecTier T = AllTiers[I % 3];
+      if (!CP.tierAvailable(T))
+        T = CP.tier();
+      Pool.submit([&, I, T] { Outs[I] = CP.runSerialTier(T, Segs); });
+    }
+    Pool.wait();
+    for (size_t I = 0; I != Outs.size(); ++I)
+      EXPECT_EQ(Outs[I], Expected) << Name << " task " << I;
+  }
+}
+
 } // namespace

@@ -1,0 +1,146 @@
+//===- tests/runtime_specialize_test.cpp - Kernel specializer coverage ----===//
+//
+// Pins which Table-1 step shapes the kernel specializer recognizes, how
+// CompiledProgram selects its execution tier, the --no-specialize
+// ablation path, and state-level equality between the specialized fold
+// and the per-element reference on random segments.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "runtime/Kernels.h"
+#include "runtime/Specialize.h"
+#include "runtime/Workload.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace grassp;
+using runtime::CompiledProgram;
+using runtime::ExecTier;
+using runtime::SpecializedStep;
+
+namespace {
+
+const lang::SerialProgram &bench(const std::string &Name) {
+  const lang::SerialProgram *P = lang::findBenchmark(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  return *P;
+}
+
+TEST(Specialize, ExpectedBenchmarkFamilyMatches) {
+  // The sum/count/min/max/guarded-accumulate/counted-extrema/second
+  // family must specialize; programs with cross-field data flow or
+  // position-dependent state must not.
+  const std::set<std::string> MustMatch = {
+      "sum",        "count",     "count_gt",  "sum_even",     "sum_gt",
+      "min_elem",   "max_elem",  "max_abs",   "search",       "second_max",
+      "delta_max_min", "average", "count_max", "count_min", "eq_zeros_ones"};
+  const std::set<std::string> MustNotMatch = {
+      "is_sorted",     "count_102",   "max_dist_ones",
+      "alternating01", "count_run1",  "max_sum_zeros",
+      "all_equal",     "zero_first_one_last"};
+  for (const lang::SerialProgram &P : lang::allBenchmarks()) {
+    if (P.State.hasBag())
+      continue;
+    std::optional<SpecializedStep> S = runtime::specializeStep(P);
+    if (MustMatch.count(P.Name))
+      EXPECT_TRUE(S.has_value()) << P.Name << " should specialize";
+    if (MustNotMatch.count(P.Name))
+      EXPECT_FALSE(S.has_value()) << P.Name << " should NOT specialize";
+    if (S)
+      EXPECT_FALSE(S->describe().empty());
+  }
+}
+
+TEST(Specialize, TierSelectionPrefersSpecialized) {
+  CompiledProgram Sum(bench("sum"));
+  EXPECT_EQ(Sum.tier(), ExecTier::Specialized);
+  EXPECT_TRUE(Sum.tierAvailable(ExecTier::Specialized));
+  EXPECT_TRUE(Sum.tierAvailable(ExecTier::LoopVM));
+  EXPECT_TRUE(Sum.tierAvailable(ExecTier::PerElement));
+  EXPECT_EQ(Sum.specializationInfo(), "s:add(in)");
+
+  CompiledProgram Sorted(bench("is_sorted"));
+  EXPECT_EQ(Sorted.tier(), ExecTier::LoopVM);
+  EXPECT_FALSE(Sorted.tierAvailable(ExecTier::Specialized));
+}
+
+TEST(Specialize, NoSpecializeAblationFallsBackToLoopVM) {
+  CompiledProgram Ablated(bench("sum"), /*AllowSpecialize=*/false);
+  EXPECT_EQ(Ablated.tier(), ExecTier::LoopVM);
+  EXPECT_FALSE(Ablated.tierAvailable(ExecTier::Specialized));
+  EXPECT_TRUE(Ablated.specializationInfo().empty());
+
+  // The bag program's hash-set kernel is its semantics, not an
+  // optimization: the ablation flag must not disable it.
+  CompiledProgram Bag(bench("count_distinct"), /*AllowSpecialize=*/false);
+  EXPECT_EQ(Bag.tier(), ExecTier::Specialized);
+  EXPECT_EQ(Bag.specializationInfo(), "distinct(hash-set)");
+}
+
+TEST(Specialize, CoupledKernelsClaimTheirFields) {
+  // count_max couples its extremum with its counter; the extremum field
+  // must be handled by the counted kernel, not grabbed as a plain max
+  // lane (which would leave the counter unmatchable).
+  std::optional<SpecializedStep> S =
+      runtime::specializeStep(bench("count_max"));
+  ASSERT_TRUE(S.has_value());
+  ASSERT_EQ(S->countedKernels().size(), 1u);
+  EXPECT_TRUE(S->countedKernels()[0].IsMax);
+  EXPECT_TRUE(S->lanes().empty());
+
+  std::optional<SpecializedStep> S2 =
+      runtime::specializeStep(bench("second_max"));
+  ASSERT_TRUE(S2.has_value());
+  ASSERT_EQ(S2->secondKernels().size(), 1u);
+  EXPECT_TRUE(S2->secondKernels()[0].IsMax);
+}
+
+TEST(Specialize, SpecializedFoldMatchesPerElementStateExactly) {
+  // Full-state (not just output) equality between the specialized fold
+  // and the per-element tier on random segments, for every specializable
+  // benchmark.
+  Rng R(777);
+  for (const lang::SerialProgram &P : lang::allBenchmarks()) {
+    if (P.State.hasBag())
+      continue;
+    CompiledProgram CP(P);
+    if (!CP.tierAvailable(ExecTier::Specialized))
+      continue;
+    for (unsigned Trial = 0; Trial != 20; ++Trial) {
+      size_t N = R.bounded(200);
+      std::vector<int64_t> Data =
+          runtime::generateWorkload(P, N, R.next());
+      runtime::SegmentView Seg{Data.data(), Data.size()};
+
+      std::vector<int64_t> SpecState = CP.initialState();
+      CP.foldSegmentTier(ExecTier::Specialized, SpecState, Seg);
+      std::vector<int64_t> RefState = CP.initialState();
+      CP.foldSegmentTier(ExecTier::PerElement, RefState, Seg);
+      EXPECT_EQ(SpecState, RefState) << P.Name << " N=" << N;
+    }
+  }
+}
+
+TEST(Specialize, GuardedAndModuloLanesHandleNegativeInputs) {
+  // sum_even uses in mod 2 == 0: Euclidean mod must classify negative
+  // even/odd inputs correctly.
+  const lang::SerialProgram &P = bench("sum_even");
+  CompiledProgram CP(P);
+  ASSERT_TRUE(CP.tierAvailable(ExecTier::Specialized));
+  std::vector<int64_t> Data = {-4, -3, -2, -1, 0, 1, 2, 3};
+  runtime::SegmentView Seg{Data.data(), Data.size()};
+  std::vector<int64_t> S1 = CP.initialState(), S2 = CP.initialState();
+  CP.foldSegmentTier(ExecTier::Specialized, S1, Seg);
+  CP.foldSegmentTier(ExecTier::PerElement, S2, Seg);
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(CP.runSerialTier(ExecTier::Specialized, {Seg}),
+            lang::runSerial(P, Data));
+}
+
+} // namespace

@@ -6,7 +6,11 @@
 //   grassp synth <name>             synthesize and describe the plan
 //   grassp synth-all [--jobs N]     synthesize the whole suite, in
 //                                   parallel on a thread pool
-//   grassp run <name> [N] [P]       serial vs parallel over N elements
+//   grassp run <name> [N] [P] [--no-specialize]
+//                                   serial vs parallel over N elements;
+//                                   prints the selected execution tier,
+//                                   --no-specialize ablates the fused
+//                                   native kernels
 //   grassp emit-cpp <name>          print the standalone C++ translation
 //   grassp emit-mr <name>           print the mapper/reducer translation
 //   grassp emit-chc <name>          print the CHC system (SMT-LIB2)
@@ -40,7 +44,8 @@ int usage(const char *Prog) {
                "       synth-all [--jobs N] [--timeout-ms T] [--retries K] "
                "[--max-budget-ms M] [--deadline-sec D]\n"
                "                 [--journal FILE] [--resume] |\n"
-               "       run <name> [N] [P] | emit-cpp <name> | emit-mr "
+               "       run <name> [N] [P] [--no-specialize] | emit-cpp "
+               "<name> | emit-mr "
                "<name> | emit-chc <name> "
                "| certify <name> [timeout-ms] |\n"
                "       fuzz [--seconds N] [--seed S] [--segments M] "
@@ -204,24 +209,34 @@ int main(int argc, char **argv) {
   if (std::strcmp(Cmd, "run") == 0) {
     size_t N = 10000000;
     unsigned Workers = 8;
-    if (argc > 3 && !parseSize(argv[3], &N)) {
-      std::fprintf(stderr, "error: run expects a numeric element count, "
-                           "got '%s'\n",
-                   argv[3]);
-      return 2;
-    }
-    if (argc > 4 && !parseUnsigned(argv[4], &Workers)) {
-      std::fprintf(stderr, "error: run expects a numeric worker count, "
-                           "got '%s'\n",
-                   argv[4]);
-      return 2;
+    bool Specialize = true;
+    unsigned Positional = 0;
+    for (int I = 3; I < argc; ++I) {
+      if (std::strcmp(argv[I], "--no-specialize") == 0) {
+        Specialize = false;
+        continue;
+      }
+      bool Ok = Positional == 0   ? parseSize(argv[I], &N)
+                : Positional == 1 ? parseUnsigned(argv[I], &Workers)
+                                  : false;
+      if (!Ok) {
+        std::fprintf(stderr, "error: run expects [N] [P] "
+                             "[--no-specialize], got '%s'\n",
+                     argv[I]);
+        return 2;
+      }
+      ++Positional;
     }
     synth::SynthesisResult R = synthOrDie(*P);
     std::vector<int64_t> Data = runtime::generateWorkload(*P, N, 1);
     std::vector<runtime::SegmentView> Segs =
         runtime::partition(Data, Workers);
-    runtime::CompiledProgram CP(*P);
-    runtime::CompiledPlan Plan(*P, R.Plan);
+    runtime::CompiledProgram CP(*P, Specialize);
+    runtime::CompiledPlan Plan(*P, R.Plan, Specialize);
+    std::string Info = CP.specializationInfo();
+    std::printf("tier     = %s%s%s%s\n", runtime::execTierName(CP.tier()),
+                Info.empty() ? "" : " (", Info.c_str(),
+                Info.empty() ? "" : ")");
     double SerialSec = 0;
     int64_t SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
     runtime::ParallelRunResult PR = runtime::runParallel(Plan, Segs);
