@@ -24,9 +24,9 @@ cmake --build "$BUILD" -j "$JOBS" --target bench_kernels >/dev/null
 echo "== tier 2: ThreadSanitizer over the concurrent paths ($TSAN) =="
 cmake -B "$TSAN" -S . -DGRASSP_SANITIZE=thread >/dev/null
 cmake --build "$TSAN" -j "$JOBS" --target \
-    runtime_runner_test support_threadpool_test \
-    synth_paralleldriver_test chaos_smoke
+    runtime_runner_test support_threadpool_test support_cancel_test \
+    smt_solver_test synth_paralleldriver_test chaos_smoke
 ctest --test-dir "$TSAN" --output-on-failure -j "$JOBS" \
-    -R 'runtime_runner|support_threadpool|paralleldriver|chaos_smoke'
+    -R 'runtime_runner|support_threadpool|support_cancel|smt_solver|paralleldriver|chaos_smoke'
 
 echo "== all checks passed =="

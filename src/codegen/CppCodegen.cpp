@@ -89,16 +89,74 @@ void emitWorkload(const SerialProgram &Prog, const CppEmitOptions &Opts,
   }
   OS << "  }\n  return d;\n}\n\n";
   // File-input hook for the differential oracle: argv[1] names a text
-  // file with one decimal element per line.
-  OS << "static std::vector<i64> load_workload(const char *path) {\n"
-     << "  std::FILE *f = std::fopen(path, \"r\");\n"
-     << "  if (!f) { std::fprintf(stderr, \"cannot open %s\\n\", path); "
-        "std::exit(2); }\n"
-     << "  std::vector<i64> d;\n"
-     << "  long long v;\n"
-     << "  while (std::fscanf(f, \"%lld\", &v) == 1) d.push_back((i64)v);\n"
-     << "  std::fclose(f);\n"
-     << "  return d;\n}\n\n";
+  // file with one decimal element per line, optionally led by a
+  // "# grassp-workload <count>" header. The parser is strict — a
+  // truncated, overflowing, or junk-bearing file exits 2 with a
+  // file:line diagnostic instead of silently folding a prefix (the
+  // exact mirror of runtime::loadWorkloadFile).
+  OS << R"CPP(static std::vector<i64> load_workload(const char *path) {
+  std::FILE *f = std::fopen(path, "r");
+  if (!f) { std::fprintf(stderr, "%s:0: cannot open file\n", path);
+            std::exit(2); }
+  std::vector<i64> d;
+  char buf[256];
+  unsigned long line = 0;
+  int have_header = 0;
+  unsigned long long declared = 0;
+  while (std::fgets(buf, sizeof buf, f)) {
+    ++line;
+    size_t len = std::strlen(buf);
+    if (len + 1 == sizeof buf && buf[len - 1] != '\n') {
+      std::fprintf(stderr, "%s:%lu: line too long\n", path, line);
+      std::exit(2);
+    }
+    while (len && (buf[len - 1] == '\n' || buf[len - 1] == '\r'))
+      buf[--len] = 0;
+    if (buf[0] == '#') {
+      const char *tag = "# grassp-workload ";
+      size_t taglen = std::strlen(tag);
+      if (line != 1 || std::strncmp(buf, tag, taglen) != 0) {
+        std::fprintf(stderr,
+                     "%s:%lu: bad header (expected '# grassp-workload "
+                     "<count>')\n", path, line);
+        std::exit(2);
+      }
+      errno = 0;
+      char *end = 0;
+      declared = std::strtoull(buf + taglen, &end, 10);
+      if (end == buf + taglen || *end || errno == ERANGE ||
+          buf[taglen] == '-') {
+        std::fprintf(stderr, "%s:%lu: malformed count in header\n",
+                     path, line);
+        std::exit(2);
+      }
+      have_header = 1;
+      continue;
+    }
+    errno = 0;
+    char *end = 0;
+    long long v = std::strtoll(buf, &end, 10);
+    if (len == 0 || end == buf || *end || errno == ERANGE) {
+      std::fprintf(stderr,
+                   "%s:%lu: malformed element '%s' (expected one decimal "
+                   "int64 per line)\n", path, line, buf);
+      std::exit(2);
+    }
+    d.push_back((i64)v);
+  }
+  std::fclose(f);
+  if (have_header && d.size() != declared) {
+    std::fprintf(stderr,
+                 "%s:0: element count mismatch: header declares %llu but "
+                 "file holds %llu%s\n", path, declared,
+                 (unsigned long long)d.size(),
+                 d.size() < declared ? " (truncated file?)" : "");
+    std::exit(2);
+  }
+  return d;
+}
+
+)CPP";
 }
 
 void emitMainCommon(const CppEmitOptions &Opts, std::ostringstream &OS,

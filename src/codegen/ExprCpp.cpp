@@ -108,9 +108,11 @@ std::string exprToCpp(const ExprRef &E,
 }
 
 const char *cppPreamble() {
-  return R"(#include <cstdint>
+  return R"(#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 

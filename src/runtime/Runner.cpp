@@ -21,11 +21,6 @@ int64_t nowNs() {
       .count();
 }
 
-void sleepSeconds(double S) {
-  if (S > 0)
-    std::this_thread::sleep_for(std::chrono::duration<double>(S));
-}
-
 /// Per-segment commit cell. State 0 = pending, 1 = claimed by a winner
 /// that is still copying its output out, 2 = committed and readable.
 /// Primary and speculative backup race on the claim; exactly one wins.
@@ -78,27 +73,39 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
     // Measured critical-path mode: sequential, per-segment retry loop;
     // injected straggler stalls are *modeled* (added to the recorded
     // worker time) rather than slept.
-    for (size_t I = 0; I != N; ++I) {
+    for (size_t I = 0; I != N && !R.Cancelled; ++I) {
+      if (Policy.Token.cancelled()) {
+        R.Cancelled = true;
+        break;
+      }
       double InjectedStall = FI ? FI->delayFor(FaultSiteStraggler, I) : 0.0;
       for (unsigned Attempt = 0;; ++Attempt) {
         Stopwatch W;
         try {
           Outputs[I] = attemptOnce(I, Attempt);
           R.WorkerSeconds[I] = W.seconds() + InjectedStall;
+          ++R.CompletedSegments;
           break;
         } catch (...) {
           ++R.FailedAttempts;
+          if (Policy.Token.cancelled()) {
+            R.Cancelled = true;
+            break;
+          }
           if (Attempt >= Policy.MaxRetries) {
             // Last resort: refold the segment with no injection.
             ++R.SerialRefolds;
             Stopwatch W2;
             Outputs[I] = Plan.runWorker(Segs[I]);
             R.WorkerSeconds[I] = W2.seconds();
+            ++R.CompletedSegments;
             break;
           }
           ++R.Retries;
-          sleepSeconds(Policy.BackoffSeconds *
-                       static_cast<double>(uint64_t{1} << Attempt));
+          // Interruptible: a fired token cuts the backoff short and the
+          // next iteration notices it.
+          Policy.Token.sleepFor(Policy.BackoffSeconds *
+                                static_cast<double>(uint64_t{1} << Attempt));
         }
       }
     }
@@ -130,15 +137,20 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
       if (!IsBackup)
         Slots[I].StartNs.store(nowNs(), std::memory_order_relaxed);
       if (Stall > 0) {
-        // Cancellable stall: wake early once a backup commits.
+        // Cancellable stall: wake early once a backup commits or the
+        // run token fires — an injected straggler must not outlive a
+        // cancelled run.
         int64_t End = nowNs() + static_cast<int64_t>(Stall * 1e9);
         while (nowNs() < End &&
-               Slots[I].State.load(std::memory_order_acquire) == 0)
+               Slots[I].State.load(std::memory_order_acquire) == 0 &&
+               !Policy.Token.cancelled())
           std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
       for (unsigned Attempt = 0;; ++Attempt) {
         if (Slots[I].State.load(std::memory_order_acquire) != 0)
           return; // the other copy already won.
+        if (Policy.Token.cancelled())
+          return; // cut: the slot stays uncommitted, nothing merges.
         Stopwatch W;
         try {
           WorkerOutput Out =
@@ -151,8 +163,10 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
           if (Attempt >= Policy.MaxRetries)
             return; // permanent failure; serial refold below.
           Retries.fetch_add(1, std::memory_order_relaxed);
-          sleepSeconds(Policy.BackoffSeconds *
-                       static_cast<double>(uint64_t{1} << Attempt));
+          // Interruptible: a fired token wakes the backoff and the next
+          // iteration returns.
+          Policy.Token.sleepFor(Policy.BackoffSeconds *
+                                static_cast<double>(uint64_t{1} << Attempt));
         }
       }
     };
@@ -171,6 +185,8 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
       // factor. First finisher wins the commit; the loser's result is
       // discarded, so the merged output cannot change.
       while (Alive.load(std::memory_order_acquire) != 0) {
+        if (Policy.Token.cancelled())
+          break; // stop launching backups; workers are bailing out.
         std::this_thread::sleep_for(std::chrono::microseconds(300));
         std::vector<double> DoneSec;
         for (Slot &S : Slots)
@@ -206,11 +222,14 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
       }
     }
     Pool->wait();
+    R.Cancelled = Policy.Token.cancelled();
 
     // Guaranteed path: segments whose every attempt failed are refolded
     // serially on this thread, injection-free. Real (non-injected)
-    // kernel errors propagate from here.
-    for (size_t I = 0; I != N; ++I) {
+    // kernel errors propagate from here. A cancelled run must NOT take
+    // it — refolding every abandoned segment is exactly the work the
+    // cancel asked us not to do.
+    for (size_t I = 0; I != N && !R.Cancelled; ++I) {
       if (Slots[I].State.load(std::memory_order_acquire) == 2)
         continue;
       ++R.SerialRefolds;
@@ -218,10 +237,22 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
       Outputs[I] = Plan.runWorker(Segs[I]);
       R.WorkerSeconds[I] = W.seconds();
     }
+    for (size_t I = 0; I != N; ++I)
+      if (Slots[I].State.load(std::memory_order_acquire) == 2)
+        ++R.CompletedSegments;
+    R.CompletedSegments += R.SerialRefolds;
     R.FailedAttempts = FailedAttempts.load(std::memory_order_relaxed);
     R.Retries = Retries.load(std::memory_order_relaxed);
     R.SpeculativeLaunches = SpecLaunches.load(std::memory_order_relaxed);
     R.SpeculativeWins = SpecWins.load(std::memory_order_relaxed);
+  }
+
+  if (R.Cancelled || Policy.Token.cancelled()) {
+    // Partial stats only: committing a merge over a mix of computed and
+    // default-constructed worker outputs would be a wrong answer.
+    R.Cancelled = true;
+    R.WallSeconds = Total.seconds();
+    return R;
   }
 
   Stopwatch MergeTimer;

@@ -26,6 +26,7 @@
 #define GRASSP_RUNTIME_RUNNER_H
 
 #include "runtime/Kernels.h"
+#include "support/Cancel.h"
 #include "support/FaultInject.h"
 #include "support/ThreadPool.h"
 
@@ -67,10 +68,23 @@ struct RunPolicy {
   /// Fault injector consulted at the runner.worker / runner.straggler
   /// sites; null = no injection.
   FaultInjector *Faults = nullptr;
+  /// Cooperative cancellation. When it fires, retry backoff and
+  /// injected straggler stalls wake immediately, no new attempts or
+  /// backups start, and runParallel returns a result with Cancelled set
+  /// and NO merged output — a partial merge is never committed. Empty =
+  /// never cancels (legacy behavior).
+  CancelToken Token;
 };
 
 struct ParallelRunResult {
   int64_t Output = 0;
+  /// The run was cut short by Policy.Token: Output is NOT valid (the
+  /// merge was skipped rather than committed partially); WorkerSeconds
+  /// and the accounting below still describe the work that did finish.
+  bool Cancelled = false;
+  /// Segments whose worker output was committed before the cut; equals
+  /// Segs.size() on a completed run.
+  unsigned CompletedSegments = 0;
   double WallSeconds = 0;               // end-to-end wall time.
   std::vector<double> WorkerSeconds;    // per-segment compute time.
   double MergeSeconds = 0;

@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <stdexcept>
 
@@ -59,6 +62,96 @@ std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
     return randomFromAlphabet(R, Prog.InputAlphabet, N);
   }
   return randomInRange(R, Prog.GenLo, Prog.GenHi, N);
+}
+
+WorkloadParseError::WorkloadParseError(std::string File, unsigned Line,
+                                       std::string Reason)
+    : std::runtime_error(File + ":" + std::to_string(Line) + ": " + Reason),
+      FileName(std::move(File)), LineNo(Line), Why(std::move(Reason)) {}
+
+std::string workloadFileHeader(size_t Count) {
+  return "# grassp-workload " + std::to_string(Count);
+}
+
+namespace {
+
+/// Strict one-int64 parse of an element line. Rejects empty lines,
+/// leading/trailing junk, and values outside int64. A lone '\r' tail is
+/// tolerated (files written on Windows).
+bool parseElementLine(std::string Line, int64_t *Out) {
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  if (Line.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Line.c_str(), &End, 10);
+  if (End == Line.c_str() || *End != '\0' || errno == ERANGE)
+    return false;
+  *Out = static_cast<int64_t>(V);
+  return true;
+}
+
+} // namespace
+
+std::vector<int64_t> loadWorkloadFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    throw WorkloadParseError(Path, 0, "cannot open file");
+
+  std::vector<int64_t> Out;
+  bool HaveHeader = false;
+  size_t Declared = 0;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string Stripped = Line;
+    if (!Stripped.empty() && Stripped.back() == '\r')
+      Stripped.pop_back();
+    if (!Stripped.empty() && Stripped.front() == '#') {
+      if (LineNo != 1)
+        throw WorkloadParseError(Path, LineNo,
+                                 "comment lines are only allowed as the "
+                                 "first-line header");
+      // Must be the exact header: "# grassp-workload <count>".
+      const std::string Tag = "# grassp-workload ";
+      if (Stripped.compare(0, Tag.size(), Tag) != 0)
+        throw WorkloadParseError(Path, LineNo,
+                                 "unrecognized header (expected '# "
+                                 "grassp-workload <count>')");
+      std::string CountStr = Stripped.substr(Tag.size());
+      errno = 0;
+      char *End = nullptr;
+      unsigned long long C = std::strtoull(CountStr.c_str(), &End, 10);
+      if (End == CountStr.c_str() || *End != '\0' || errno == ERANGE ||
+          CountStr.front() == '-')
+        throw WorkloadParseError(Path, LineNo,
+                                 "malformed element count '" + CountStr +
+                                     "' in header");
+      HaveHeader = true;
+      Declared = static_cast<size_t>(C);
+      Out.reserve(Declared);
+      continue;
+    }
+    int64_t V = 0;
+    if (!parseElementLine(Line, &V))
+      throw WorkloadParseError(Path, LineNo,
+                               "malformed element '" + Stripped +
+                                   "' (expected one decimal int64 per "
+                                   "line)");
+    Out.push_back(V);
+  }
+  if (In.bad())
+    throw WorkloadParseError(Path, LineNo, "read error");
+  if (HaveHeader && Out.size() != Declared)
+    throw WorkloadParseError(
+        Path, 0,
+        "element count mismatch: header declares " +
+            std::to_string(Declared) + " but file holds " +
+            std::to_string(Out.size()) +
+            (Out.size() < Declared ? " (truncated file?)" : ""));
+  return Out;
 }
 
 std::vector<SegmentView> partition(const std::vector<int64_t> &Data,

@@ -19,6 +19,7 @@
 #include "lang/Program.h"
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,38 @@ std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
                                       size_t N, uint64_t Seed,
                                       const WorkloadOptions &Opts =
                                           WorkloadOptions());
+
+/// Typed rejection of a malformed workload file; what() reads
+/// "file:line: reason" (line 0 = a file-level problem such as a count
+/// mismatch or an unreadable path).
+class WorkloadParseError : public std::runtime_error {
+public:
+  WorkloadParseError(std::string File, unsigned Line, std::string Reason);
+  const std::string &file() const { return FileName; }
+  unsigned line() const { return LineNo; }
+  const std::string &reason() const { return Why; }
+
+private:
+  std::string FileName;
+  unsigned LineNo;
+  std::string Why;
+};
+
+/// Loads a workload file: one decimal int64 per line, optionally led by
+/// a `# grassp-workload <count>` header (the form the oracle and the
+/// emitted programs write). The parser is strict so a truncated or
+/// corrupted file fails loudly instead of folding garbage:
+///  * every element line must be exactly one int64 — no trailing junk,
+///    no blank lines, values outside int64 (overflow) rejected;
+///  * with a header, the element count must equal the declared count
+///    (catches truncation, which the bare format cannot detect);
+///  * only the first line may be a `#` comment, and it must be the
+///    well-formed header.
+/// Throws WorkloadParseError; never returns partial data.
+std::vector<int64_t> loadWorkloadFile(const std::string &Path);
+
+/// The canonical header line (without newline) for \p Count elements.
+std::string workloadFileHeader(size_t Count);
 
 /// Splits \p Data into \p M contiguous, non-empty, near-equal segments.
 /// Throws std::invalid_argument unless 0 < M <= Data.size(); this is a

@@ -2,8 +2,11 @@
 
 #include "smt/Solver.h"
 
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 
 #include <z3++.h>
@@ -21,7 +24,16 @@ struct SmtSolver::Impl {
   /// freed-and-reallocated node must never alias a cached one.
   std::vector<ir::ExprRef> Retained;
 
-  Impl() : Solver(Ctx) {}
+  Impl() : Solver(Ctx) {
+    // Z3 installs its own SIGINT handler around every check by default,
+    // which would swallow Ctrl-C mid-solve (interrupting just that one
+    // query and resuming the run). Signal policy belongs to
+    // installSignalSource(); cancellation reaches in-flight checks via
+    // the interrupt watcher instead.
+    z3::params P(Ctx);
+    P.set("ctrl_c", false);
+    Solver.set(P);
+  }
 
   z3::expr lower(const ir::ExprRef &E) {
     auto It = Cache.find(E.get());
@@ -106,15 +118,104 @@ void SmtSolver::add(const ir::ExprRef &E) {
 void SmtSolver::push() { I->Solver.push(); }
 void SmtSolver::pop() { I->Solver.pop(); }
 
-SatResult SmtSolver::check(unsigned TimeoutMs) {
+namespace {
+
+/// Maps a CancelToken firing — and, when armed with a budget, the SMT
+/// timeout — onto Z3's interrupt while one check() is in flight. A
+/// dedicated watcher thread (joined in the destructor, never detached)
+/// sleeps on the token and calls z3::context::interrupt() the moment it
+/// fires or the budget runs out; it then keeps re-issuing the interrupt
+/// every few milliseconds until the check returns, closing the race
+/// where an interrupt lands in the gap before Z3 actually starts
+/// solving (Z3 consumes — and can lose — interrupts delivered between
+/// checks).
+///
+/// The watcher owns the budget deliberately: Z3's own `timeout` param
+/// arms a scoped_timer whose teardown can deadlock the check when a
+/// concurrent Z3_interrupt lands at the wrong moment (observed as a
+/// futex-parked check that no further interrupt wakes, with the timer
+/// pool threads parked beside it). So whenever a watcher runs, the Z3
+/// timer must not — one clock, no rendezvous to race.
+///
+/// Interrupting is safe mid-CEGIS: the check returns unknown with
+/// reason "interrupted", the context and all asserted formulas stay
+/// valid, and the caller discards the verdict as Cancelled (token
+/// fired) or Unknown (budget expired).
+class ScopedInterruptWatcher {
+public:
+  ScopedInterruptWatcher(z3::context &Ctx, const CancelToken &Token,
+                         unsigned BudgetMs)
+      : Ctx(Ctx), Token(Token) {
+    if (BudgetMs != 0)
+      BudgetEnd = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(BudgetMs);
+    if (Token.valid())
+      Watcher = std::thread([this] { run(); });
+  }
+
+  ~ScopedInterruptWatcher() {
+    Done.store(true, std::memory_order_release);
+    if (Watcher.joinable())
+      Watcher.join();
+  }
+
+private:
+  bool budgetExpired() const {
+    return BudgetEnd && std::chrono::steady_clock::now() >= *BudgetEnd;
+  }
+
+  void run() {
+    while (!Done.load(std::memory_order_acquire)) {
+      if (Token.cancelled() || budgetExpired()) {
+        Ctx.interrupt();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      } else {
+        // Wakes early when the token fires; the 50ms cap bounds how
+        // long a deadline/budget expiry (which fires no callbacks) or
+        // the done flag goes unnoticed.
+        Token.waitCancelledFor(0.05);
+      }
+    }
+  }
+
+  z3::context &Ctx;
+  CancelToken Token;
+  std::optional<std::chrono::steady_clock::time_point> BudgetEnd;
+  std::thread Watcher;
+  std::atomic<bool> Done{false};
+};
+
+} // namespace
+
+SatResult SmtSolver::check(unsigned TimeoutMs, CancelToken Token) {
   ++Checks;
-  if (TimeoutMs != 0) {
+  if (Token.cancelled())
+    return SatResult::Cancelled;
+  // A token deadline clamps the SMT budget: a query admitted 800ms
+  // before the deadline runs under an 800ms timeout even when the
+  // budget ladder would grant more.
+  unsigned EffectiveMs = Token.deadline().remainingMs(TimeoutMs);
+  // With a valid token the interrupt watcher enforces the budget and
+  // Z3's own timer stays disarmed (see ScopedInterruptWatcher); the
+  // explicit no-timeout value also clears any timeout a previous
+  // token-less check left set on this solver. Without a token, Z3's
+  // timeout param is used as usual and no interrupt is ever issued.
+  {
+    constexpr unsigned NoTimeout = 4294967295u; // Z3's "unbounded".
     z3::params P(I->Ctx);
-    P.set("timeout", TimeoutMs);
+    P.set("timeout", (Token.valid() || EffectiveMs == 0) ? NoTimeout
+                                                         : EffectiveMs);
     I->Solver.set(P);
   }
   I->Model.reset();
-  switch (I->Solver.check()) {
+  z3::check_result R;
+  {
+    ScopedInterruptWatcher Watch(I->Ctx, Token, EffectiveMs);
+    R = I->Solver.check();
+  }
+  if (Token.cancelled())
+    return SatResult::Cancelled; // interrupted (or raced the verdict).
+  switch (R) {
   case z3::sat:
     I->Model = I->Solver.get_model();
     return SatResult::Sat;

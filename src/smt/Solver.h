@@ -11,6 +11,7 @@
 #define GRASSP_SMT_SOLVER_H
 
 #include "ir/Expr.h"
+#include "support/Cancel.h"
 
 #include <cstdint>
 #include <memory>
@@ -19,7 +20,13 @@
 namespace grassp {
 namespace smt {
 
-enum class SatResult { Sat, Unsat, Unknown };
+enum class SatResult {
+  Sat,
+  Unsat,
+  Unknown,   ///< The solver gave up within its budget (e.g. timeout).
+  Cancelled, ///< The caller's CancelToken fired; the query was
+             ///< interrupted (Z3_solver_interrupt) or never started.
+};
 
 /// An incremental SMT solver session. Variables are identified by the IR
 /// variable names; Int lowers to SMT Int, Bool to SMT Bool. Bag-typed
@@ -40,7 +47,15 @@ public:
 
   /// Checks satisfiability of the asserted formulas. \p TimeoutMs == 0
   /// means no limit.
-  SatResult check(unsigned TimeoutMs = 0);
+  ///
+  /// \p Token makes the check cancellable: a watcher maps the token
+  /// firing to Z3_solver_interrupt, so a CEGIS query stuck deep in the
+  /// solver returns Cancelled within milliseconds instead of running
+  /// out its whole SMT budget. A token deadline additionally clamps the
+  /// effective timeout to the remaining budget. The solver survives an
+  /// interrupt — the context stays valid and later checks are unharmed
+  /// (the interrupted query's verdict is simply discarded).
+  SatResult check(unsigned TimeoutMs = 0, CancelToken Token = CancelToken());
 
   /// After a Sat result: the model value of Int variable \p Name
   /// (0 when the model leaves it unconstrained).

@@ -50,7 +50,10 @@ struct FaultSpec {
   std::vector<uint64_t> Keys;
   /// Cap on total fires for the site (~0 = unlimited).
   uint64_t MaxFires = ~uint64_t{0};
-  /// For delay sites: how long the victim stalls, in seconds.
+  /// For delay sites: how long the victim stalls, in seconds. Callers
+  /// must serve the stall interruptibly (poll their CancelToken, as the
+  /// runner's straggler loop does) so an injected straggler cannot
+  /// outlive a cancelled run.
   double DelaySeconds = 0.0;
 };
 

@@ -6,14 +6,27 @@
 
 namespace grassp {
 
-ThreadPool::ThreadPool(unsigned NumThreads) {
-  assert(NumThreads > 0 && "pool needs at least one worker");
-  Workers.reserve(NumThreads);
-  for (unsigned I = 0; I != NumThreads; ++I)
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : ThreadPool(PoolOptions{NumThreads, 0, CancelToken()}) {}
+
+ThreadPool::ThreadPool(const PoolOptions &O) : Opts(O) {
+  assert(Opts.NumThreads > 0 && "pool needs at least one worker");
+  // Wake every sleeper when the pool's token fires: blocked submitters
+  // give up, idle workers re-check, and drain()ers re-evaluate.
+  TokenCallback = Opts.Token.onCancel([this] {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    QueueCv.notify_all();
+    SpaceCv.notify_all();
+    IdleCv.notify_all();
+  });
+  Workers.reserve(Opts.NumThreads);
+  for (unsigned I = 0; I != Opts.NumThreads; ++I)
     Workers.emplace_back([this] { workerLoop(); });
 }
 
 ThreadPool::~ThreadPool() {
+  // Unregister first: after this no callback can touch the dying pool.
+  Opts.Token.removeOnCancel(TokenCallback);
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ShuttingDown = true;
@@ -27,36 +40,95 @@ ThreadPool::~ThreadPool() {
     DroppedTotal += 1 + DroppedSinceWait;
 }
 
-void ThreadPool::submit(std::function<void()> Task) {
+SubmitResult ThreadPool::submit(std::function<void()> Task) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Opts.QueueCap != 0)
+      SpaceCv.wait(Lock, [this] {
+        return Queue.size() < Opts.QueueCap || Opts.Token.cancelled();
+      });
+    if (Opts.Token.cancelled()) {
+      ++Discarded;
+      return SubmitResult::Cancelled;
+    }
     Queue.push_back(std::move(Task));
   }
   QueueCv.notify_one();
+  return SubmitResult::Ok;
+}
+
+SubmitResult ThreadPool::trySubmit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Opts.Token.cancelled()) {
+      ++Discarded;
+      return SubmitResult::Cancelled;
+    }
+    if (Opts.QueueCap != 0 && Queue.size() >= Opts.QueueCap)
+      return SubmitResult::QueueFull;
+    Queue.push_back(std::move(Task));
+  }
+  QueueCv.notify_one();
+  return SubmitResult::Ok;
+}
+
+void ThreadPool::rethrowPendingError(std::unique_lock<std::mutex> &Lock) {
+  if (!FirstError)
+    return;
+  std::exception_ptr E = std::move(FirstError);
+  FirstError = nullptr;
+  uint64_t Dropped = DroppedSinceWait;
+  DroppedSinceWait = 0;
+  DroppedTotal += Dropped;
+  Lock.unlock();
+  if (Dropped == 0)
+    std::rethrow_exception(E);
+  // Surface the aggregate loss in the message when the type allows;
+  // non-std::exception payloads are rethrown untouched.
+  try {
+    std::rethrow_exception(E);
+  } catch (const std::exception &Ex) {
+    throw std::runtime_error(std::string(Ex.what()) + " [+" +
+                             std::to_string(Dropped) +
+                             " more task exception(s) dropped]");
+  }
 }
 
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   IdleCv.wait(Lock, [this] { return Queue.empty() && Active == 0; });
-  if (FirstError) {
-    std::exception_ptr E = std::move(FirstError);
-    FirstError = nullptr;
-    uint64_t Dropped = DroppedSinceWait;
-    DroppedSinceWait = 0;
-    DroppedTotal += Dropped;
-    Lock.unlock();
-    if (Dropped == 0)
-      std::rethrow_exception(E);
-    // Surface the aggregate loss in the message when the type allows;
-    // non-std::exception payloads are rethrown untouched.
-    try {
-      std::rethrow_exception(E);
-    } catch (const std::exception &Ex) {
-      throw std::runtime_error(std::string(Ex.what()) + " [+" +
-                               std::to_string(Dropped) +
-                               " more task exception(s) dropped]");
+  rethrowPendingError(Lock);
+}
+
+bool ThreadPool::drain(const Deadline &D) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  uint64_t DiscardedBefore = Discarded;
+  // Phase 1: give queued work until the deadline (or the token).
+  for (;;) {
+    if (Queue.empty() && Active == 0) {
+      rethrowPendingError(Lock);
+      return Discarded == DiscardedBefore;
     }
+    if (Opts.Token.cancelled() || D.expired())
+      break;
+    // Bounded waits double as the poll for token/deadline expiry; the
+    // token callback and worker-idle notifications wake us earlier.
+    auto Cap = Deadline::Clock::now() + std::chrono::milliseconds(50);
+    IdleCv.wait_until(Lock, D.timeOr(Cap));
   }
+  // Phase 2: shed what never started, then wait out the in-flight
+  // tasks (cooperative tasks watching the same token return quickly).
+  Discarded += Queue.size();
+  Queue.clear();
+  IdleCv.wait(Lock, [this] { return Active == 0; });
+  bool RanEverything = Discarded == DiscardedBefore;
+  rethrowPendingError(Lock);
+  return RanEverything;
+}
+
+uint64_t ThreadPool::discardedTasks() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Discarded;
 }
 
 uint64_t ThreadPool::droppedExceptions() const {
@@ -74,6 +146,16 @@ void ThreadPool::workerLoop() {
         return;
       Task = std::move(Queue.front());
       Queue.pop_front();
+      if (Opts.QueueCap != 0)
+        SpaceCv.notify_one();
+      // A fired token sheds the backlog here, one pop at a time: the
+      // task is dropped un-run so wait()/drain() return promptly.
+      if (Opts.Token.cancelled()) {
+        ++Discarded;
+        if (Queue.empty() && Active == 0)
+          IdleCv.notify_all();
+        continue;
+      }
       ++Active;
     }
     try {

@@ -14,10 +14,24 @@
 // An error pending when the pool is destroyed without a wait is counted
 // as dropped too (a destructor cannot throw).
 //
+// Admission control and cancellation (PoolOptions): a QueueCap bounds
+// the number of queued-not-yet-running tasks — trySubmit() reports
+// QueueFull instead of queueing unboundedly (the backpressure signal an
+// admission layer needs), while submit() blocks interruptibly for
+// space. A cancel token wired into the pool makes it shed: once the
+// token fires, queued tasks are discarded instead of run (counted in
+// discardedTasks()), new submissions are rejected, and wait()/drain()
+// return as soon as the in-flight tasks — which are expected to watch
+// the same token — come back. drain(Deadline) is the graceful-shutdown
+// form of wait(): it gives queued work until the deadline, then
+// discards whatever never started and waits only for the running tasks.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef GRASSP_SUPPORT_THREADPOOL_H
 #define GRASSP_SUPPORT_THREADPOOL_H
+
+#include "support/Cancel.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -30,17 +44,44 @@
 
 namespace grassp {
 
+/// How the pool disposed of one submission attempt.
+enum class SubmitResult {
+  Ok,        ///< Queued (or already running).
+  QueueFull, ///< Bounded queue at capacity; caller should back off.
+  Cancelled, ///< The pool's token fired; task dropped, not queued.
+};
+
+/// Construction-time knobs; the single-argument ThreadPool(N) ctor is
+/// PoolOptions{N} with an unbounded queue and no token.
+struct PoolOptions {
+  unsigned NumThreads = 1;
+  /// Max queued-not-running tasks; 0 = unbounded (legacy behavior).
+  size_t QueueCap = 0;
+  /// When this token fires the pool stops starting queued tasks and
+  /// discards them; empty = never.
+  CancelToken Token;
+};
+
 /// Fixed-size pool of worker threads executing queued tasks FIFO.
 class ThreadPool {
 public:
   explicit ThreadPool(unsigned NumThreads);
+  explicit ThreadPool(const PoolOptions &Opts);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues \p Task for execution on some worker.
-  void submit(std::function<void()> Task);
+  /// Enqueues \p Task for execution on some worker. With a QueueCap,
+  /// blocks (interruptibly) until there is space; a task submitted
+  /// after the pool's token fired is discarded and counted, and
+  /// Cancelled is returned so bulk submitters can stop early. Never
+  /// returns QueueFull (it waits instead; use trySubmit for that).
+  SubmitResult submit(std::function<void()> Task);
+
+  /// Non-blocking admission: QueueFull when the bounded queue is at
+  /// capacity, Cancelled when the pool's token already fired.
+  SubmitResult trySubmit(std::function<void()> Task);
 
   /// Blocks until every submitted task has finished. If any task threw
   /// since the last wait(), rethrows the first captured exception (the
@@ -49,8 +90,19 @@ public:
   /// "[+N more task exception(s) dropped]".
   void wait();
 
+  /// Graceful shutdown: waits for idle like wait(), but only until
+  /// \p D. On expiry (or when the pool's token fired), queued tasks
+  /// that never started are discarded and only the in-flight tasks are
+  /// waited for. Returns true when everything submitted actually ran.
+  /// Pending task exceptions are rethrown exactly as from wait().
+  bool drain(const Deadline &D);
+
   /// Number of worker threads.
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Tasks dropped un-run because the token fired or a drain deadline
+  /// expired. Never reset.
+  uint64_t discardedTasks() const;
 
   /// Cumulative count of task exceptions that were discarded because an
   /// earlier one was already captured (the destructor also counts an
@@ -59,17 +111,22 @@ public:
 
 private:
   void workerLoop();
+  void rethrowPendingError(std::unique_lock<std::mutex> &Lock);
 
+  PoolOptions Opts;
+  uint64_t TokenCallback = 0;
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
   mutable std::mutex Mutex;
   std::condition_variable QueueCv;
+  std::condition_variable SpaceCv; // waiters for bounded-queue space.
   std::condition_variable IdleCv;
   unsigned Active = 0;
   bool ShuttingDown = false;
   std::exception_ptr FirstError;
   uint64_t DroppedSinceWait = 0;  // dropped behind the pending FirstError.
   uint64_t DroppedTotal = 0;      // cumulative, exposed to callers.
+  uint64_t Discarded = 0;         // tasks shed un-run.
 };
 
 } // namespace grassp

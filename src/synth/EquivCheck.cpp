@@ -117,6 +117,8 @@ Verdict EquivChecker::verify(const ParallelPlan &Plan,
                    });
 
   for (const std::vector<unsigned> &Shape : Shapes) {
+    if (Opts.Token.cancelled())
+      return Verdict::Cancelled;
     ir::SymbolicPolicy P;
     // Fresh element variables.
     std::vector<std::vector<ExprRef>> SymSegs;
@@ -151,11 +153,13 @@ Verdict EquivChecker::verify(const ParallelPlan &Plan,
     smt::SmtSolver Solver;
     Solver.add(Diff);
     ++SmtChecks;
-    switch (Solver.check(Opts.SmtTimeoutMs)) {
+    switch (Solver.check(Opts.SmtTimeoutMs, Opts.Token)) {
     case smt::SatResult::Unsat:
       continue;
     case smt::SatResult::Unknown:
       return Verdict::Unknown;
+    case smt::SatResult::Cancelled:
+      return Verdict::Cancelled;
     case smt::SatResult::Sat: {
       Segments Cex;
       size_t NameIdx = 0;

@@ -14,6 +14,7 @@
 #define GRASSP_SYNTH_EQUIVCHECK_H
 
 #include "lang/Program.h"
+#include "support/Cancel.h"
 #include "synth/ParallelPlan.h"
 
 #include <cstdint>
@@ -32,9 +33,13 @@ struct VerifyOptions {
   unsigned MaxSegments = 3;
   unsigned MaxLen = 3;
   unsigned SmtTimeoutMs = 30000;
+  /// Fires -> the in-flight SMT query is interrupted and verify()
+  /// returns Cancelled at its next cooperative point. A token deadline
+  /// also clamps each query's SMT timeout to the remaining budget.
+  CancelToken Token;
 };
 
-enum class Verdict { Equivalent, Refuted, Unknown };
+enum class Verdict { Equivalent, Refuted, Unknown, Cancelled };
 
 /// Counterexample-corpus + bounded-SMT equivalence checking for one
 /// program.

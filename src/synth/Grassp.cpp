@@ -20,12 +20,20 @@ bool tryPlans(EquivChecker &Checker, const std::vector<ParallelPlan> &Plans,
               const char *StageName) {
   unsigned Tried = 0, Screened = 0;
   for (const ParallelPlan &Plan : Plans) {
+    if (Bounds.Token.cancelled()) {
+      Res.Cancelled = true;
+      break;
+    }
     ++Tried;
     if (!Checker.passesCorpus(Plan)) {
       ++Screened;
       continue;
     }
     Verdict V = Checker.verify(Plan, Bounds);
+    if (V == Verdict::Cancelled) {
+      Res.Cancelled = true;
+      break;
+    }
     if (V == Verdict::Unknown)
       ++Res.UnknownVerdicts;
     if (V == Verdict::Equivalent) {
@@ -43,8 +51,12 @@ bool tryPlans(EquivChecker &Checker, const std::vector<ParallelPlan> &Plans,
     // corpus; keep searching.
   }
   std::ostringstream OS;
-  OS << StageName << ": exhausted " << Plans.size() << " candidates ("
-     << Screened << " screened out by the corpus)";
+  if (Res.Cancelled)
+    OS << StageName << ": cancelled after " << Tried << " of "
+       << Plans.size() << " candidates";
+  else
+    OS << StageName << ": exhausted " << Plans.size() << " candidates ("
+       << Screened << " screened out by the corpus)";
   Res.StageLog.push_back(OS.str());
   Res.CandidatesTried += Tried;
   return false;
@@ -68,6 +80,12 @@ SynthesisResult synthesize(const lang::SerialProgram &Prog,
       Res.Group = Res.Plan.group();
     return Res;
   };
+  auto FinishCancelled = [&]() {
+    Res.FailureReason = "cancelled";
+    return Finish(false);
+  };
+  if (Opts.Bounds.Token.cancelled())
+    return FinishCancelled();
 
   // Stage 0: user-supplied merge templates, if any (paper Sect. 4).
   if (!Opts.ExtraMerges.empty()) {
@@ -80,6 +98,8 @@ SynthesisResult synthesize(const lang::SerialProgram &Prog,
     }
     if (tryPlans(Checker, Plans, Opts.Bounds, Res, "stage0-user"))
       return Finish(true);
+    if (Res.Cancelled)
+      return FinishCancelled();
   }
 
   // Stage 1: no prefix, trivial merge.
@@ -94,6 +114,8 @@ SynthesisResult synthesize(const lang::SerialProgram &Prog,
     if (!Plans.empty() &&
         tryPlans(Checker, Plans, Opts.Bounds, Res, "stage1-trivial"))
       return Finish(true);
+    if (Res.Cancelled)
+      return FinishCancelled();
   }
 
   // Stage 1b: no prefix, nontrivial merge.
@@ -108,6 +130,8 @@ SynthesisResult synthesize(const lang::SerialProgram &Prog,
     if (!Plans.empty() &&
         tryPlans(Checker, Plans, Opts.Bounds, Res, "stage1-merge"))
       return Finish(true);
+    if (Res.Cancelled)
+      return FinishCancelled();
   }
 
   // Stage 2: constant prefixes. Bag states cannot replay elements.
@@ -127,6 +151,8 @@ SynthesisResult synthesize(const lang::SerialProgram &Prog,
       std::string Name = "stage2-constprefix-l" + std::to_string(L);
       if (tryPlans(Checker, Plans, Opts.Bounds, Res, Name.c_str()))
         return Finish(true);
+      if (Res.Cancelled)
+        return FinishCancelled();
     }
   }
 
@@ -153,6 +179,8 @@ SynthesisResult synthesize(const lang::SerialProgram &Prog,
     if (!Plans.empty() &&
         tryPlans(Checker, Plans, Opts.Bounds, Res, "stage3-condprefix"))
       return Finish(true);
+    if (Res.Cancelled)
+      return FinishCancelled();
   }
 
   Res.FailureReason = "no stage produced a verified plan";

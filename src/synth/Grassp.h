@@ -45,6 +45,9 @@ struct SynthOptions {
 
 struct SynthesisResult {
   bool Success = false;
+  /// The run was cut short by its CancelToken (Bounds.Token): no stage
+  /// verdict is implied, partial counters/logs are still filled in.
+  bool Cancelled = false;
   ParallelPlan Plan;
   std::string Group; // B1..B4 on success.
   double SynthSeconds = 0;

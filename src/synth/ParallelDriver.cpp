@@ -7,6 +7,7 @@
 #include "support/Timing.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -30,6 +31,8 @@ const char *taskStatusName(TaskStatus S) {
     return "timeout";
   case TaskStatus::Crashed:
     return "crashed";
+  case TaskStatus::Cancelled:
+    return "cancelled";
   }
   return "?";
 }
@@ -37,7 +40,7 @@ const char *taskStatusName(TaskStatus S) {
 bool taskStatusFromName(const std::string &Name, TaskStatus *Out) {
   for (TaskStatus S :
        {TaskStatus::Solved, TaskStatus::Unknown, TaskStatus::Failed,
-        TaskStatus::TimedOut, TaskStatus::Crashed})
+        TaskStatus::TimedOut, TaskStatus::Crashed, TaskStatus::Cancelled})
     if (Name == taskStatusName(S)) {
       *Out = S;
       return true;
@@ -159,6 +162,34 @@ TaskResult ParallelDriver::synthesizeOne(const lang::SerialProgram &Prog,
   double Budget = Opts.SmtTimeoutMs;
   unsigned CrashBudget = Opts.MaxCrashRetries;
 
+  // The per-task token: a child of the run token carrying the watchdog
+  // deadline. Layered under the Wall check below it upgrades the
+  // watchdog from "stop climbing between rungs" to "interrupt the SMT
+  // query mid-flight and clamp each query to the remaining budget".
+  Deadline TaskDl = Opts.TaskDeadlineSec > 0
+                        ? Deadline::after(Opts.TaskDeadlineSec)
+                        : Deadline();
+  CancelToken TaskTok;
+  if (Opts.Token.valid() || !TaskDl.isNever())
+    TaskTok = Opts.Token.child(TaskDl);
+
+  // Distinguishes "the whole run was cancelled" (Cancelled; never
+  // journaled, so --resume re-runs the task) from "this task ran out of
+  // wall clock" (TimedOut; a final verdict).
+  auto classifyCut = [&]() {
+    if (Opts.Token.cancelled()) {
+      T.Status = TaskStatus::Cancelled;
+      T.Result.FailureReason = "cancelled";
+      T.Result.StageLog.push_back("driver: run cancelled, abandoning task");
+    } else {
+      T.Status = TaskStatus::TimedOut;
+      T.Result.StageLog.push_back(
+          "driver: watchdog deadline hit after " +
+          std::to_string(Wall.seconds()) + "s, giving up");
+    }
+    return T;
+  };
+
   auto capped = [&](double B) {
     if (Opts.MaxBudgetMs != 0)
       B = std::min(B, static_cast<double>(Opts.MaxBudgetMs));
@@ -179,9 +210,12 @@ TaskResult ParallelDriver::synthesizeOne(const lang::SerialProgram &Prog,
   };
 
   for (unsigned Rung = 0;; ++Rung) {
+    if (TaskTok.cancelled())
+      return classifyCut();
     unsigned BudgetMs = capped(Budget);
     SynthOptions SO = Opts.Synth;
     SO.Bounds.SmtTimeoutMs = BudgetMs;
+    SO.Bounds.Token = TaskTok;
     ++T.Attempts;
     T.BudgetMs = BudgetMs;
 
@@ -226,6 +260,8 @@ TaskResult ParallelDriver::synthesizeOne(const lang::SerialProgram &Prog,
       T.Status = TaskStatus::Solved;
       return T;
     }
+    if (T.Result.Cancelled)
+      return classifyCut();
     if (!SawUnknown) {
       T.Status = TaskStatus::Failed;
       return T;
@@ -272,6 +308,10 @@ ParallelDriver::run(const std::vector<const lang::SerialProgram *> &Progs)
   auto record = [&](const TaskResult &T) {
     if (!Journal.is_open() || !Journal)
       return;
+    // A cancelled task got no verdict; keeping it out of the journal is
+    // what makes --resume re-run exactly the unfinished remainder.
+    if (T.Status == TaskStatus::Cancelled)
+      return;
     std::lock_guard<std::mutex> Lock(JournalMutex);
     Journal << journalLine(T) << '\n';
     Journal.flush(); // one task, one durable line: crash-safe resume.
@@ -298,21 +338,51 @@ ParallelDriver::run(const std::vector<const lang::SerialProgram *> &Progs)
   unsigned Jobs = Opts.Jobs != 0
                       ? Opts.Jobs
                       : std::max(1u, std::thread::hardware_concurrency());
+  // A task the cancelled run never started (shed from the queue, or
+  // skipped by the worker's entry check).
+  auto markCancelled = [&](size_t I) {
+    TaskResult &T = Results[I];
+    T.Name = Progs[I]->Name;
+    T.Status = TaskStatus::Cancelled;
+    T.Result.Cancelled = true;
+    T.Result.FailureReason = "cancelled";
+    T.Result.StageLog.push_back("driver: run cancelled before task started");
+  };
+
   Jobs = std::min<unsigned>(Jobs, std::max<size_t>(Pending.size(), 1));
   if (Jobs <= 1) {
     for (size_t I : Pending) {
+      if (Opts.Token.cancelled()) {
+        markCancelled(I);
+        continue;
+      }
       Results[I] = synthesizeOne(*Progs[I], Opts, I);
       record(Results[I]);
     }
     return Results;
   }
-  ThreadPool Pool(Jobs);
-  for (size_t I : Pending)
-    Pool.submit([this, &Results, &Progs, &record, I] {
+  PoolOptions PO;
+  PO.NumThreads = Jobs;
+  PO.QueueCap = Opts.QueueCap;
+  PO.Token = Opts.Token;
+  ThreadPool Pool(PO);
+  std::vector<std::atomic<bool>> Started(Progs.size());
+  for (size_t I : Pending) {
+    SubmitResult SR = Pool.submit([this, &Results, &Progs, &record, &Started,
+                                   I] {
+      if (Opts.Token.cancelled())
+        return; // marked Cancelled below, after the pool settles.
+      Started[I].store(true, std::memory_order_release);
       Results[I] = synthesizeOne(*Progs[I], Opts, I);
       record(Results[I]);
     });
+    if (SR == SubmitResult::Cancelled)
+      break; // every later pending task is marked below.
+  }
   Pool.wait();
+  for (size_t I : Pending)
+    if (!Started[I].load(std::memory_order_acquire))
+      markCancelled(I);
   return Results;
 }
 

@@ -32,6 +32,7 @@
 #ifndef GRASSP_SYNTH_PARALLELDRIVER_H
 #define GRASSP_SYNTH_PARALLELDRIVER_H
 
+#include "support/Cancel.h"
 #include "support/FaultInject.h"
 #include "synth/Grassp.h"
 
@@ -74,6 +75,17 @@ struct DriverOptions {
   bool Resume = false;
   /// Fault injector consulted at the synth.task site; null = none.
   FaultInjector *Faults = nullptr;
+  /// Run-wide cancellation: firing it stops new tasks from starting,
+  /// interrupts in-flight SMT queries, and makes run() return promptly
+  /// with every unfinished task marked Cancelled. Cancelled tasks are
+  /// never journaled, so --resume re-runs exactly them. Each task also
+  /// gets a child of this token carrying its TaskDeadlineSec deadline,
+  /// which clamps the task's SMT budgets to the remaining wall clock.
+  CancelToken Token;
+  /// Bound on the pool's pending-task queue (0 = unbounded); see
+  /// PoolOptions::QueueCap. With Jobs workers and thousands of tasks
+  /// this caps driver memory and lets submit exert backpressure.
+  size_t QueueCap = 0;
   /// Base synthesis options; Bounds.SmtTimeoutMs is overridden by the
   /// budget policy above.
   SynthOptions Synth;
@@ -85,6 +97,7 @@ enum class TaskStatus {
   Failed,   ///< Every stage exhausted without any Unknown verdict.
   TimedOut, ///< The wall-clock watchdog expired before a verdict.
   Crashed,  ///< Every attempt threw, even after crash re-runs.
+  Cancelled, ///< The run token fired before the task finished.
 };
 
 const char *taskStatusName(TaskStatus S);

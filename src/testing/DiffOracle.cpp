@@ -72,7 +72,10 @@ bool DiffOracle::runEmitted(const std::vector<int64_t> &Flat,
   std::string InPath = TmpDir + "/in.txt";
   std::string OutPath = TmpDir + "/out.txt";
   {
+    // Headered form: the emitted parser verifies the count, so a
+    // truncated write surfaces as a parse error, not a wrong answer.
     std::ofstream In(InPath);
+    In << runtime::workloadFileHeader(Flat.size()) << '\n';
     for (int64_t V : Flat)
       In << V << '\n';
   }
@@ -125,6 +128,8 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
   }
   runtime::ParallelRunResult PR =
       runtime::runParallel(CompiledPlanImpl, Views, &Pool, Policy);
+  if (PR.Cancelled)
+    return V; // cut mid-run: no parallel output exists, so no verdict.
   int64_t Par = PR.Output;
   Faults.FailedAttempts += PR.FailedAttempts;
   Faults.Retries += PR.Retries;

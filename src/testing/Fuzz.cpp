@@ -56,6 +56,9 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
     OC.Policy.Speculate = true;
     OC.Policy.Faults = &Injector;
   }
+  // Interruptible runs: a fired token wakes injected stragglers and
+  // retry backoffs instead of letting them pin pool workers.
+  OC.Policy.Token = Opts.Token;
   DiffOracle Oracle(Prog, Plan, OC);
   R.PathsCompared = Oracle.numPaths();
 
@@ -86,6 +89,10 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
   // alphabet programs.
   auto sweep = [&](uint64_t Seed) {
     for (size_t N : Sizes) {
+      if (Opts.Token.cancelled()) {
+        R.Cancelled = true;
+        return false;
+      }
       std::vector<int64_t> Data = runtime::generateWorkload(Prog, N, Seed);
       std::vector<runtime::SegmentShape> Shapes =
           runtime::adversarialShapes(N, Opts.Segments);
@@ -98,6 +105,10 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
         }
       }
       for (const runtime::SegmentShape &Shape : Shapes) {
+        if (Opts.Token.cancelled()) {
+          R.Cancelled = true;
+          return false;
+        }
         if (tryInput(Data, Shape.Lens, Shape.Name, Seed))
           return true;
         if (!Prog.InputAlphabet.empty() && N != 0) {
@@ -125,7 +136,7 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
 
   Stopwatch T;
   bool Found = sweep(Opts.Seed);
-  for (uint64_t Round = 1; !Found && Opts.Seconds != 0 &&
+  for (uint64_t Round = 1; !Found && !R.Cancelled && Opts.Seconds != 0 &&
                            T.seconds() < static_cast<double>(Opts.Seconds);
        ++Round)
     Found = sweep(Opts.Seed + Round * kSeedStride);
@@ -176,10 +187,21 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
   std::printf("%-22s %-6s %-7s %-8s %s\n", "benchmark", "group", "paths",
               "checks", "verdict");
   bool AnyDivergence = false;
+  bool Interrupted = false;
   unsigned Fuzzed = 0;
   uint64_t TotalFires = 0;
   unsigned long TotalRetries = 0, TotalRefolds = 0, TotalSpec = 0;
   for (size_t I = 0; I != Progs.size(); ++I) {
+    if (Opts.Token.cancelled()) {
+      Interrupted = true;
+      break;
+    }
+    if (Results[I].Status == synth::TaskStatus::Cancelled) {
+      Interrupted = true;
+      std::printf("%-22s %-6s synthesis cancelled\n",
+                  Progs[I]->Name.c_str(), "-");
+      continue;
+    }
     if (!Results[I].Result.Success) {
       std::printf("%-22s %-6s synthesis failed: %s\n",
                   Progs[I]->Name.c_str(), "-",
@@ -187,7 +209,10 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
       continue;
     }
     FuzzReport R = fuzzBenchmark(*Progs[I], Results[I].Result.Plan, PerBench);
-    ++Fuzzed;
+    if (R.Cancelled)
+      Interrupted = true;
+    else
+      ++Fuzzed;
     TotalFires += R.FaultFires;
     TotalRetries += R.Faults.Retries;
     TotalRefolds += R.Faults.SerialRefolds;
@@ -214,8 +239,11 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
                 R.Detail.c_str(),
                 DiffOracle::formatInput(R.Reproducer).c_str());
   }
-  std::printf("fuzzed %u/%zu benchmark(s): %s\n", Fuzzed, Progs.size(),
-              AnyDivergence ? "DIVERGENCE FOUND" : "no divergences");
+  std::printf("fuzzed %u/%zu benchmark(s): %s%s\n", Fuzzed, Progs.size(),
+              AnyDivergence ? "DIVERGENCE FOUND" : "no divergences",
+              Interrupted ? " (interrupted; summary covers completed "
+                            "checks only)"
+                          : "");
   if (Opts.Chaos)
     std::printf("chaos: %llu fault(s) injected, %lu retried, %lu refolded "
                 "serially, %lu speculative backup(s); outputs stayed "
@@ -224,6 +252,10 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
                 TotalSpec);
   if (AnyDivergence)
     return 1;
+  if (Interrupted) {
+    int Sig = signalExitCode();
+    return Sig != 0 ? Sig : 130;
+  }
   return Fuzzed == Progs.size() ? 0 : 1;
 }
 

@@ -19,6 +19,7 @@
 #define GRASSP_TESTING_FUZZ_H
 
 #include "lang/Program.h"
+#include "support/Cancel.h"
 #include "synth/ParallelDriver.h"
 #include "synth/ParallelPlan.h"
 #include "testing/DiffOracle.h"
@@ -56,10 +57,17 @@ struct FuzzOptions {
   /// and the modeled stall it suffers.
   unsigned ChaosStragglerPermille = 60;
   double ChaosStragglerSec = 0.004;
+  /// Cooperative cancellation (Ctrl-C): sweeps stop between oracle
+  /// checks, chaos runs abandon their partial merges, and fuzzMain
+  /// prints a clean summary of what completed and exits 130/143.
+  CancelToken Token;
 };
 
 struct FuzzReport {
   bool Diverged = false;
+  /// The sweep was cut short by Opts.Token; counters cover the checks
+  /// that did run, and Diverged is still trustworthy for them.
+  bool Cancelled = false;
   std::string Benchmark;
   std::string Shape;  // shape name (suffix "+markers" for the variant).
   std::string Detail; // per-path values from the oracle.

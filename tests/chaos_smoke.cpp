@@ -33,8 +33,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 using namespace grassp;
 namespace gt = grassp::testing;
@@ -420,6 +422,114 @@ TEST(ClusterChaos, ModeledStragglerGetsSpeculativeBackup) {
   EXPECT_EQ(Rep.Output, Serial);
   EXPECT_GE(Rep.SpeculativeTasks, 1u);
   EXPECT_EQ(Rep.FailedNodes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation under chaos
+//===----------------------------------------------------------------------===//
+
+// The tentpole interaction: a token fired mid-run while injected
+// stragglers are sleeping and workers are failing. The run must come
+// back promptly (the 5s stalls are served interruptibly), report
+// Cancelled without an output, and leave the pool reusable — and the
+// same configuration re-run without a cancel still agrees with serial.
+TEST(ChaosCancel, MidRunCancelCutsInjectedStallsAndNeverMerges) {
+  SumRun R;
+  FaultInjector FI(3);
+  FaultSpec Straggle;
+  Straggle.KeyModulo = 1; // every segment stalls...
+  Straggle.DelaySeconds = 5.0; // ...for far longer than this test runs.
+  FI.arm(runtime::FaultSiteStraggler, Straggle);
+  FaultSpec Fail;
+  Fail.Probability = 0.3;
+  FI.arm(runtime::FaultSiteWorker, Fail);
+
+  CancelToken Token = CancelToken::root();
+  runtime::RunPolicy Pol;
+  Pol.Faults = &FI;
+  Pol.MaxRetries = 2;
+  Pol.Token = Token;
+
+  std::thread Firer([&Token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Token.cancel();
+  });
+  ThreadPool Pool(4);
+  Stopwatch Wall;
+  runtime::ParallelRunResult PR =
+      runtime::runParallel(R.Plan, R.Segs, &Pool, Pol);
+  double Elapsed = Wall.seconds();
+  Firer.join();
+
+  EXPECT_TRUE(PR.Cancelled);
+  // Interruptible stalls: nothing served the injected 5s sleeps out.
+  EXPECT_LT(Elapsed, 2.0);
+  // A cut run never commits a partial merge as its output.
+  EXPECT_LT(PR.CompletedSegments, static_cast<unsigned>(R.Segs.size()));
+
+  // The pool survives the cut, and the same chaos configuration without
+  // a cancel (and humane stalls) still produces the exact serial answer.
+  FaultInjector FI2(3);
+  FaultSpec Straggle2;
+  Straggle2.Keys = {1};
+  Straggle2.DelaySeconds = 0.01;
+  FI2.arm(runtime::FaultSiteStraggler, Straggle2);
+  FI2.arm(runtime::FaultSiteWorker, Fail);
+  runtime::RunPolicy Pol2;
+  Pol2.Faults = &FI2;
+  Pol2.MaxRetries = 3;
+  runtime::ParallelRunResult PR2 =
+      runtime::runParallel(R.Plan, R.Segs, &Pool, Pol2);
+  EXPECT_FALSE(PR2.Cancelled);
+  EXPECT_EQ(PR2.Output, R.Serial);
+}
+
+// Same cut, critical-path (poolless) mode: the modeled path serves
+// injected stalls as real sleeps only in pool mode, but cancellation
+// must still stop the segment walk early and withhold the merge.
+TEST(ChaosCancel, PreFiredTokenCancelsCriticalPathRun) {
+  SumRun R;
+  CancelToken Token = CancelToken::root();
+  Token.cancel();
+  runtime::RunPolicy Pol;
+  Pol.Token = Token;
+  runtime::ParallelRunResult PR =
+      runtime::runParallel(R.Plan, R.Segs, nullptr, Pol);
+  EXPECT_TRUE(PR.Cancelled);
+  EXPECT_EQ(PR.CompletedSegments, 0u);
+}
+
+// A cancelled oracle check reports no verdict rather than a spurious
+// divergence (the parallel path produced no output to compare).
+TEST(ChaosCancel, CancelledOracleCheckIsNotADivergence) {
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  ASSERT_NE(P, nullptr);
+  ASSERT_TRUE(sumSynth().Success);
+
+  CancelToken Token = CancelToken::root();
+  Token.cancel();
+  gt::OracleConfig OC;
+  OC.UseEmitted = false;
+  OC.Policy.Token = Token;
+  gt::DiffOracle Oracle(*P, sumSynth().Plan, OC);
+  EXPECT_FALSE(Oracle.check({{1, 2, 3}, {4, 5}}).Diverged);
+}
+
+// fuzzBenchmark under a fired token: the sweep stops between checks and
+// says so instead of fabricating results.
+TEST(ChaosCancel, FuzzSweepReportsCancelled) {
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  ASSERT_NE(P, nullptr);
+  ASSERT_TRUE(sumSynth().Success);
+
+  CancelToken Token = CancelToken::root();
+  Token.cancel();
+  gt::FuzzOptions Opts;
+  Opts.UseEmitted = false;
+  Opts.Token = Token;
+  gt::FuzzReport Rep = gt::fuzzBenchmark(*P, sumSynth().Plan, Opts);
+  EXPECT_TRUE(Rep.Cancelled);
+  EXPECT_FALSE(Rep.Diverged);
 }
 
 //===----------------------------------------------------------------------===//

@@ -23,7 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <string>
 
 namespace gt = grassp::testing;
 using grassp::lang::SerialProgram;
@@ -201,6 +204,46 @@ TEST(FuzzSmoke, AdversarialShapesCoverDegenerateGeometry) {
         EXPECT_TRUE(SawEmptySegment);
     }
   }
+}
+
+// Workload-parser fuzz: round-trip seeded random workloads through the
+// headered file format, then feed the parser every strict prefix of a
+// file — each simulated truncation must be rejected, never folded.
+TEST(FuzzSmoke, WorkloadParserRejectsEveryTruncation) {
+  namespace rt = grassp::runtime;
+  const SerialProgram *P = findBenchmark("sum");
+  ASSERT_NE(P, nullptr);
+  const std::string Path =
+      ::testing::TempDir() + "grassp_fuzz_workload.txt";
+
+  for (uint64_t Seed : {uint64_t{1}, uint64_t{42}}) {
+    std::vector<int64_t> Data = rt::generateWorkload(*P, 9, Seed);
+    std::string Content = rt::workloadFileHeader(Data.size()) + "\n";
+    for (int64_t V : Data)
+      Content += std::to_string(V) + "\n";
+
+    auto writeFile = [&](const std::string &Text) {
+      std::ofstream Out(Path, std::ios::trunc);
+      Out << Text;
+    };
+    writeFile(Content);
+    EXPECT_EQ(rt::loadWorkloadFile(Path), Data); // round-trips intact.
+
+    // Every prefix losing at least the last element is a possible torn
+    // write. The header makes all of them detectable: either a
+    // malformed line or a count mismatch, never a silent short read.
+    // (A cut inside the final number's digits can leave a shorter but
+    // still-valid value with a matching count, so stop one line early;
+    // and the 0-byte prefix is skipped — it is a valid empty bare-format
+    // file, the one truncation no in-band format can flag.)
+    size_t LastLine = std::to_string(Data.back()).size() + 1;
+    for (size_t Cut = 1; Cut <= Content.size() - LastLine; ++Cut) {
+      writeFile(Content.substr(0, Cut));
+      EXPECT_THROW(rt::loadWorkloadFile(Path), rt::WorkloadParseError)
+          << "prefix of " << Cut << " bytes parsed (seed " << Seed << ")";
+    }
+  }
+  std::remove(Path.c_str());
 }
 
 // The oracle itself on hand-built degenerate inputs — all-empty input,

@@ -1,0 +1,102 @@
+//===- tests/runtime_workload_test.cpp - Workload file ingestion ----------==//
+//
+// The hardened loadWorkloadFile contract over the malformed-file corpus
+// in tests/data/: every corruption class is rejected with a typed
+// WorkloadParseError carrying file:line, good files (headered, bare,
+// CRLF, empty) load exactly, and the header round-trips what the oracle
+// writes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace grassp::runtime;
+
+namespace {
+
+std::string corpus(const char *Name) {
+  return std::string(GRASSP_TEST_DATA_DIR) + "/" + Name;
+}
+
+/// Loads an expected-bad corpus file and returns the caught error.
+WorkloadParseError loadBad(const char *Name) {
+  try {
+    loadWorkloadFile(corpus(Name));
+  } catch (const WorkloadParseError &E) {
+    return E;
+  }
+  ADD_FAILURE() << Name << " parsed without error";
+  return WorkloadParseError("", 0, "");
+}
+
+TEST(WorkloadFile, GoodFilesLoadExactly) {
+  EXPECT_EQ(loadWorkloadFile(corpus("good_headered.txt")),
+            (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_EQ(loadWorkloadFile(corpus("good_bare.txt")),
+            (std::vector<int64_t>{5, 6, 7}));
+  EXPECT_TRUE(loadWorkloadFile(corpus("good_empty.txt")).empty());
+  // Windows line endings are tolerated everywhere.
+  EXPECT_EQ(loadWorkloadFile(corpus("good_crlf.txt")),
+            (std::vector<int64_t>{1, -7}));
+}
+
+TEST(WorkloadFile, TruncationIsDetectedByTheHeaderCount) {
+  WorkloadParseError E = loadBad("truncated.txt");
+  EXPECT_EQ(E.line(), 0u); // file-level: noticed at EOF, not one line.
+  EXPECT_NE(E.reason().find("count mismatch"), std::string::npos)
+      << E.what();
+  EXPECT_NE(E.reason().find("truncated"), std::string::npos) << E.what();
+}
+
+TEST(WorkloadFile, MalformedHeadersAreRejectedOnLineOne) {
+  EXPECT_EQ(loadBad("bad_header_count.txt").line(), 1u);
+  // A comment line that is not the canonical header is refused rather
+  // than skipped: silently ignoring it would hide a corrupted header.
+  EXPECT_EQ(loadBad("bad_header_tag.txt").line(), 1u);
+}
+
+TEST(WorkloadFile, ElementCorruptionsCarryTheOffendingLine) {
+  EXPECT_EQ(loadBad("overflow.txt").line(), 2u);
+  EXPECT_NE(loadBad("overflow.txt").reason().find("int64"),
+            std::string::npos);
+  EXPECT_EQ(loadBad("not_a_number.txt").line(), 2u);
+  EXPECT_EQ(loadBad("trailing_junk.txt").line(), 2u);
+  EXPECT_EQ(loadBad("blank_line.txt").line(), 2u);
+}
+
+TEST(WorkloadFile, MissingFileIsAFileLevelError) {
+  WorkloadParseError E = loadBad("no_such_file.txt");
+  EXPECT_EQ(E.line(), 0u);
+  EXPECT_NE(E.file().find("no_such_file.txt"), std::string::npos);
+}
+
+TEST(WorkloadFile, WhatFormatsFileLineReason) {
+  WorkloadParseError E = loadBad("overflow.txt");
+  std::string Expect = E.file() + ":2: " + E.reason();
+  EXPECT_EQ(std::string(E.what()), Expect);
+}
+
+TEST(WorkloadFile, HeaderRoundTripsThroughTheLoader) {
+  EXPECT_EQ(workloadFileHeader(42), "# grassp-workload 42");
+  const std::string Path =
+      ::testing::TempDir() + "grassp_workload_roundtrip.txt";
+  std::vector<int64_t> Vals = {0, -1, 9223372036854775807LL,
+                               -9223372036854775807LL - 1};
+  {
+    std::ofstream Out(Path);
+    Out << workloadFileHeader(Vals.size()) << '\n';
+    for (int64_t V : Vals)
+      Out << V << '\n';
+  }
+  EXPECT_EQ(loadWorkloadFile(Path), Vals);
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 using namespace grassp::ir;
 using namespace grassp::smt;
 
@@ -77,6 +80,72 @@ TEST(SmtSolver, IteAndConnectives) {
   S.add(lnot(lor(land(B, eq(R, iv("x"))),
                  land(lnot(B), eq(R, iv("y"))))));
   EXPECT_EQ(S.check(), SatResult::Unsat);
+}
+
+// -- Cancellation ---------------------------------------------------------
+
+TEST(SmtSolver, CancelledBeforeCheckSkipsTheQuery) {
+  SmtSolver S;
+  S.add(gt(iv("x"), constInt(0)));
+  grassp::CancelToken T = grassp::CancelToken::root();
+  T.cancel();
+  EXPECT_EQ(S.check(0, T), SatResult::Cancelled);
+  // The solver survives: the same query without a token still answers.
+  EXPECT_EQ(S.check(), SatResult::Sat);
+}
+
+TEST(SmtSolver, TokenInterruptsAnInFlightCheck) {
+  // A semiprime factoring query: finding 1 < x <= y with
+  // x*y == 1000003 * 999999937 takes Z3 far longer than this test may.
+  // Firing the token ~100ms in must interrupt the in-flight check and
+  // return Cancelled well before the 30s SMT budget.
+  SmtSolver S;
+  int64_t N = int64_t(1000003) * int64_t(999999937);
+  S.add(eq(mul(iv("x"), iv("y")), constInt(N)));
+  S.add(gt(iv("x"), constInt(1)));
+  S.add(ge(iv("y"), iv("x")));
+  S.add(lt(iv("x"), iv("y"))); // rule out the trivial sqrt probe too.
+
+  grassp::CancelToken T = grassp::CancelToken::root();
+  std::thread Firer([&T] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    T.cancel();
+  });
+  auto T0 = std::chrono::steady_clock::now();
+  SatResult R = S.check(30000, T);
+  double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Firer.join();
+  EXPECT_EQ(R, SatResult::Cancelled);
+  // Far under the SMT budget; generous slack for loaded CI machines.
+  EXPECT_LT(Elapsed, 10.0);
+
+  // The context survives the interrupt: a fresh trivial check works.
+  SmtSolver S2;
+  S2.add(gt(iv("x"), constInt(0)));
+  EXPECT_EQ(S2.check(), SatResult::Sat);
+}
+
+TEST(SmtSolver, TokenDeadlineClampsTheTimeout) {
+  // No explicit cancel: the token's deadline alone bounds the check, so
+  // the slow query returns (Cancelled or Unknown, depending on whether
+  // Z3's timeout or the deadline poll wins the race) almost at once.
+  SmtSolver S;
+  int64_t N = int64_t(1000003) * int64_t(999999937);
+  S.add(eq(mul(iv("x"), iv("y")), constInt(N)));
+  S.add(gt(iv("x"), constInt(1)));
+  S.add(lt(iv("x"), iv("y")));
+
+  grassp::CancelToken T =
+      grassp::CancelToken::root().child(grassp::Deadline::after(0.1));
+  auto T0 = std::chrono::steady_clock::now();
+  SatResult R = S.check(30000, T);
+  double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  EXPECT_TRUE(R == SatResult::Cancelled || R == SatResult::Unknown);
+  EXPECT_LT(Elapsed, 10.0);
 }
 
 } // namespace

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 using namespace grassp;
@@ -120,6 +122,130 @@ TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
   ThreadPool Pool(2);
   Pool.wait();
   Pool.wait();
+}
+
+// -- Admission control and cancellation (PoolOptions) ---------------------
+
+TEST(ThreadPool, TrySubmitReportsQueueFull) {
+  PoolOptions Opts;
+  Opts.NumThreads = 1;
+  Opts.QueueCap = 2;
+  ThreadPool Pool(Opts);
+
+  // Park the lone worker so queued tasks cannot drain.
+  std::atomic<bool> Release{false};
+  std::atomic<int> Ran{0};
+  ASSERT_EQ(Pool.trySubmit([&] {
+    while (!Release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++Ran;
+  }),
+            SubmitResult::Ok);
+  // Give the worker a moment to pick the blocker up, then fill the cap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(Pool.trySubmit([&] { ++Ran; }), SubmitResult::Ok);
+  EXPECT_EQ(Pool.trySubmit([&] { ++Ran; }), SubmitResult::Ok);
+  EXPECT_EQ(Pool.trySubmit([&] { ++Ran; }), SubmitResult::QueueFull);
+
+  Release = true;
+  Pool.wait();
+  // The rejected task never ran; the admitted ones all did.
+  EXPECT_EQ(Ran.load(), 3);
+  EXPECT_EQ(Pool.discardedTasks(), 0u);
+}
+
+TEST(ThreadPool, FiredTokenShedsQueueAndRejectsSubmissions) {
+  CancelToken Token = CancelToken::root();
+  PoolOptions Opts;
+  Opts.NumThreads = 1;
+  Opts.Token = Token;
+  ThreadPool Pool(Opts);
+
+  std::atomic<bool> Release{false};
+  std::atomic<int> Ran{0};
+  Pool.submit([&] {
+    while (!Release.load() && !Token.cancelled())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++Ran;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int I = 0; I != 5; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+
+  Token.cancel();
+  Release = true;
+  Pool.wait();
+  // Only the in-flight task finished; the five queued ones were shed,
+  // and post-fire submissions are rejected without queueing.
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_EQ(Pool.discardedTasks(), 5u);
+  EXPECT_EQ(Pool.submit([&Ran] { ++Ran; }), SubmitResult::Cancelled);
+  EXPECT_EQ(Pool.trySubmit([&Ran] { ++Ran; }), SubmitResult::Cancelled);
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_EQ(Pool.discardedTasks(), 7u);
+}
+
+TEST(ThreadPool, BlockingSubmitWakesWhenTokenFires) {
+  CancelToken Token = CancelToken::root();
+  PoolOptions Opts;
+  Opts.NumThreads = 1;
+  Opts.QueueCap = 1;
+  Opts.Token = Token;
+  ThreadPool Pool(Opts);
+
+  std::atomic<bool> Release{false};
+  Pool.submit([&] {
+    while (!Release.load() && !Token.cancelled())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(Pool.submit([] {}), SubmitResult::Ok); // fills the cap.
+
+  // This submit blocks on queue space; firing the token must unblock it
+  // with Cancelled rather than leaving it stuck.
+  std::thread Firer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Token.cancel();
+  });
+  EXPECT_EQ(Pool.submit([] {}), SubmitResult::Cancelled);
+  Firer.join();
+  Release = true;
+  Pool.wait();
+}
+
+TEST(ThreadPool, DrainDeadlineShedsQueuedWork) {
+  PoolOptions Opts;
+  Opts.NumThreads = 1;
+  ThreadPool Pool(Opts);
+
+  std::atomic<bool> Release{false};
+  std::atomic<int> Ran{0};
+  Pool.submit([&] {
+    while (!Release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++Ran;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int I = 0; I != 4; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+
+  // The queue cannot move while the blocker spins, so the deadline
+  // expires, queued work is shed, and drain waits only for the
+  // in-flight task. Release it just after expiry.
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    Release = true;
+  });
+  EXPECT_FALSE(Pool.drain(Deadline::after(0.04)));
+  Releaser.join();
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_EQ(Pool.discardedTasks(), 4u);
+
+  // The pool stays usable, and a drain that finishes in time says so.
+  Pool.submit([&Ran] { ++Ran; });
+  EXPECT_TRUE(Pool.drain(Deadline::after(10.0)));
+  EXPECT_EQ(Ran.load(), 2);
 }
 
 } // namespace

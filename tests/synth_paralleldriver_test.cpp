@@ -8,9 +8,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "lang/Benchmarks.h"
+#include "support/Cancel.h"
 #include "synth/ParallelDriver.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
 
 using namespace grassp;
 using namespace grassp::synth;
@@ -93,6 +99,117 @@ TEST(ParallelDriver, ExhaustionReportsFailedWithoutRetry) {
   EXPECT_EQ(T.Attempts, 1u);
   EXPECT_FALSE(T.Result.Success);
   EXPECT_EQ(T.Result.UnknownVerdicts, 0u);
+}
+
+// The acceptance pin for cooperative cancellation: a run cut by the
+// token keeps every finished task in the journal, cancelled tasks stay
+// out, and --resume re-runs exactly the remainder.
+TEST(ParallelDriver, CancelFlushesJournalAndResumeRunsExactlyTheRest) {
+  const std::string Path = "/tmp/grassp_cancel_journal_test.jsonl";
+  std::remove(Path.c_str());
+
+  // sum finishes fast; binary_digits (position-dependent fold, from the
+  // exhaustion test above) grinds through every stage, giving the
+  // watcher ample time to land the cancel mid-task; the rest never
+  // start.
+  lang::SerialProgram Slow;
+  Slow.Name = "binary_digits";
+  Slow.Description = "fold s' = 2*s + in (not segment-parallelizable)";
+  Slow.State = lang::StateLayout({{"s", ir::TypeKind::Int, 0}});
+  Slow.Step = {
+      ir::add(ir::mul(ir::constInt(2), ir::var("s", ir::TypeKind::Int)),
+              ir::var(lang::inputVarName(), ir::TypeKind::Int))};
+  Slow.Output = ir::var("s", ir::TypeKind::Int);
+  Slow.GenLo = 0;
+  Slow.GenHi = 1;
+
+  std::vector<const lang::SerialProgram *> Progs =
+      pick({"sum", "second_max", "is_sorted"});
+  Progs.insert(Progs.begin() + 1, &Slow);
+
+  CancelToken Token = CancelToken::root();
+  DriverOptions Opts;
+  Opts.Jobs = 1;
+  Opts.JournalPath = Path;
+  Opts.Token = Token;
+
+  // Fire the run token the moment the journal records a finished task —
+  // a deterministic stand-in for Ctrl-C partway through a sweep.
+  std::thread Firer([&] {
+    while (loadJournal(Path).empty())
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Token.cancel();
+  });
+  std::vector<TaskResult> First = ParallelDriver(Opts).run(Progs);
+  Firer.join();
+
+  ASSERT_EQ(First.size(), Progs.size());
+  EXPECT_EQ(First[0].Status, TaskStatus::Solved);
+  std::set<std::string> Journaled, JournaledSolved;
+  for (const JournalEntry &E : loadJournal(Path)) {
+    Journaled.insert(E.Name);
+    if (E.Status == TaskStatus::Solved)
+      JournaledSolved.insert(E.Name);
+  }
+  EXPECT_EQ(JournaledSolved.count("sum"), 1u);
+  unsigned CancelledCount = 0;
+  for (const TaskResult &T : First) {
+    if (T.Status == TaskStatus::Cancelled) {
+      ++CancelledCount;
+      // Cancelled tasks never reach the journal: a cut task has no
+      // verdict, and journaling one would make --resume skip real work.
+      EXPECT_EQ(Journaled.count(T.Name), 0u) << T.Name;
+    } else {
+      EXPECT_EQ(Journaled.count(T.Name), 1u) << T.Name;
+    }
+  }
+  ASSERT_GE(CancelledCount, 1u);
+
+  // --resume under a fresh token: tasks journaled as solved come back
+  // FromJournal without re-running; everything else (the cancelled
+  // remainder, plus any journaled non-solved verdict) runs for real.
+  DriverOptions ROpts = Opts;
+  ROpts.Token = CancelToken();
+  ROpts.Resume = true;
+  std::vector<TaskResult> Second = ParallelDriver(ROpts).run(Progs);
+  ASSERT_EQ(Second.size(), Progs.size());
+  for (const TaskResult &T : Second) {
+    EXPECT_EQ(T.FromJournal, JournaledSolved.count(T.Name) == 1) << T.Name;
+    EXPECT_NE(T.Status, TaskStatus::Cancelled) << T.Name;
+    if (T.Name != "binary_digits") {
+      EXPECT_EQ(T.Status, TaskStatus::Solved) << T.Name;
+    }
+  }
+  std::remove(Path.c_str());
+}
+
+// A token fired before run() starts cancels everything without touching
+// the journal at all.
+TEST(ParallelDriver, PreFiredTokenCancelsEveryTask) {
+  CancelToken Token = CancelToken::root();
+  Token.cancel();
+  DriverOptions Opts;
+  Opts.Jobs = 2;
+  Opts.Token = Token;
+  std::vector<TaskResult> R =
+      ParallelDriver(Opts).run(pick({"sum", "second_max"}));
+  ASSERT_EQ(R.size(), 2u);
+  for (const TaskResult &T : R) {
+    EXPECT_EQ(T.Status, TaskStatus::Cancelled);
+    EXPECT_EQ(T.Result.FailureReason, "cancelled");
+  }
+}
+
+TEST(ParallelDriver, TaskStatusNamesRoundTrip) {
+  for (TaskStatus S :
+       {TaskStatus::Solved, TaskStatus::Unknown, TaskStatus::Failed,
+        TaskStatus::TimedOut, TaskStatus::Crashed, TaskStatus::Cancelled}) {
+    TaskStatus Back;
+    ASSERT_TRUE(taskStatusFromName(taskStatusName(S), &Back));
+    EXPECT_EQ(Back, S);
+  }
+  TaskStatus Out;
+  EXPECT_FALSE(taskStatusFromName("bogus", &Out));
 }
 
 } // namespace

@@ -24,7 +24,9 @@
 #include "codegen/CppCodegen.h"
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
+#include "runtime/Workload.h"
 #include "support/Args.h"
+#include "support/Cancel.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
 #include "synth/ParallelDriver.h"
@@ -43,8 +45,10 @@ int usage(const char *Prog) {
                "usage: %s list | synth <name> |\n"
                "       synth-all [--jobs N] [--timeout-ms T] [--retries K] "
                "[--max-budget-ms M] [--deadline-sec D]\n"
-               "                 [--journal FILE] [--resume] |\n"
-               "       run <name> [N] [P] [--no-specialize] | emit-cpp "
+               "                 [--queue-cap Q] [--journal FILE] "
+               "[--resume] |\n"
+               "       run <name> [N] [P] [--no-specialize] "
+               "[--input FILE] | emit-cpp "
                "<name> | emit-mr "
                "<name> | emit-chc <name> "
                "| certify <name> [timeout-ms] |\n"
@@ -90,6 +94,7 @@ int main(int argc, char **argv) {
   if (std::strcmp(Cmd, "synth-all") == 0) {
     synth::DriverOptions Opts;
     unsigned DeadlineSec = 0;
+    unsigned QueueCap = 0;
     for (int I = 2; I != argc; ++I) {
       auto numericOpt = [&](const char *Flag, unsigned *Out) {
         if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
@@ -105,7 +110,8 @@ int main(int argc, char **argv) {
           numericOpt("--timeout-ms", &Opts.SmtTimeoutMs) ||
           numericOpt("--retries", &Opts.MaxRetries) ||
           numericOpt("--max-budget-ms", &Opts.MaxBudgetMs) ||
-          numericOpt("--deadline-sec", &DeadlineSec))
+          numericOpt("--deadline-sec", &DeadlineSec) ||
+          numericOpt("--queue-cap", &QueueCap))
         continue;
       if (std::strcmp(argv[I], "--journal") == 0 && I + 1 < argc) {
         Opts.JournalPath = argv[++I];
@@ -116,13 +122,18 @@ int main(int argc, char **argv) {
       }
     }
     Opts.TaskDeadlineSec = DeadlineSec;
+    Opts.QueueCap = QueueCap;
     if (Opts.Resume && Opts.JournalPath.empty()) {
       std::fprintf(stderr, "error: --resume needs --journal FILE\n");
       return 2;
     }
+    // Ctrl-C fires this token: in-flight SMT queries are interrupted,
+    // queued tasks are shed, the journal keeps every finished task, and
+    // a later --resume re-runs exactly the remainder.
+    Opts.Token = installSignalSource();
     synth::ParallelDriver Driver(Opts);
     std::vector<synth::TaskResult> Results = Driver.runAll();
-    unsigned Solved = 0, Restored = 0;
+    unsigned Solved = 0, Restored = 0, Cancelled = 0;
     for (const synth::TaskResult &T : Results) {
       std::printf("%-22s %-8s %-4s %s  (%u attempt%s%s)\n", T.Name.c_str(),
                   taskStatusName(T.Status),
@@ -134,17 +145,30 @@ int main(int argc, char **argv) {
                   T.FromJournal ? ", from journal" : "");
       Solved += T.Status == synth::TaskStatus::Solved ? 1 : 0;
       Restored += T.FromJournal ? 1 : 0;
+      Cancelled += T.Status == synth::TaskStatus::Cancelled ? 1 : 0;
     }
     std::printf("solved %u/%zu", Solved, Results.size());
     if (Restored)
       std::printf(" (%u restored from journal, not re-run)", Restored);
+    if (Cancelled)
+      std::printf(" (interrupted: %u task(s) cancelled%s)", Cancelled,
+                  Opts.JournalPath.empty()
+                      ? ""
+                      : "; finished tasks are journaled, --resume "
+                        "re-runs the rest");
     std::printf("\n");
+    if (int Sig = signalExitCode())
+      return Sig;
     return Solved == Results.size() ? 0 : 1;
   }
   if (std::strcmp(Cmd, "fuzz") == 0 || std::strcmp(Cmd, "chaos") == 0) {
     testing::FuzzOptions FOpts;
     synth::DriverOptions DOpts;
     DOpts.Jobs = 0; // all hardware threads for the synthesis stage.
+    // One Ctrl-C = clean partial summary + exit 130; a second one
+    // hard-kills (the source restores SIG_DFL after firing).
+    FOpts.Token = installSignalSource();
+    DOpts.Token = FOpts.Token;
     FOpts.Chaos = std::strcmp(Cmd, "chaos") == 0;
     std::vector<std::string> Names;
     for (int I = 2; I != argc; ++I) {
@@ -210,10 +234,15 @@ int main(int argc, char **argv) {
     size_t N = 10000000;
     unsigned Workers = 8;
     bool Specialize = true;
+    const char *InputFile = nullptr;
     unsigned Positional = 0;
     for (int I = 3; I < argc; ++I) {
       if (std::strcmp(argv[I], "--no-specialize") == 0) {
         Specialize = false;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc) {
+        InputFile = argv[++I];
         continue;
       }
       bool Ok = Positional == 0   ? parseSize(argv[I], &N)
@@ -221,14 +250,31 @@ int main(int argc, char **argv) {
                                   : false;
       if (!Ok) {
         std::fprintf(stderr, "error: run expects [N] [P] "
-                             "[--no-specialize], got '%s'\n",
+                             "[--no-specialize] [--input FILE], got '%s'\n",
                      argv[I]);
         return 2;
       }
       ++Positional;
     }
     synth::SynthesisResult R = synthOrDie(*P);
-    std::vector<int64_t> Data = runtime::generateWorkload(*P, N, 1);
+    std::vector<int64_t> Data;
+    if (InputFile) {
+      try {
+        Data = runtime::loadWorkloadFile(InputFile);
+      } catch (const runtime::WorkloadParseError &E) {
+        std::fprintf(stderr, "error: %s\n", E.what());
+        return 2;
+      }
+      if (Data.size() < Workers) {
+        std::fprintf(stderr,
+                     "error: workload file holds %zu element(s), fewer "
+                     "than the %u workers\n",
+                     Data.size(), Workers);
+        return 2;
+      }
+    } else {
+      Data = runtime::generateWorkload(*P, N, 1);
+    }
     std::vector<runtime::SegmentView> Segs =
         runtime::partition(Data, Workers);
     runtime::CompiledProgram CP(*P, Specialize);
