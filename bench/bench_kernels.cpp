@@ -2,9 +2,10 @@
 //
 // Microbenchmarks of the fold execution substrate, one row per
 // (benchmark, tier): the per-element bytecode VM, the loop-resident VM
-// running peephole-optimized bytecode, and the pattern-specialized
-// native kernels, all timed on the same workload so the tier speedups
-// are directly comparable. Also measures the distinct kernel's scaling
+// running peephole-optimized bytecode, the jit-compiled native tier
+// (absent without a host compiler), and the pattern-specialized
+// kernels, all timed on the same workload so the tier speedups are
+// directly comparable. Also measures the distinct kernel's scaling
 // ratio time(2N)/time(N) — near 2 for the hash set, near 4 for the
 // historical O(n·k) linear scan on duplicate-free data.
 //
@@ -12,7 +13,7 @@
 // enough repetitions to cover a minimum wall-time window and reports the
 // best rep, which is the stable statistic for a hot deterministic loop.
 //
-//   bench_kernels [--json] [--tiers] [--no-specialize]
+//   bench_kernels [--json] [--tiers] [--no-specialize] [--no-native]
 //                 [--n ELEMS] [--seed S]
 //
 // --json prints a machine-readable report (consumed by
@@ -42,9 +43,18 @@ struct Options {
   bool Json = false;
   bool TiersOnly = false;
   bool Specialize = true;
+  bool Native = true;
   size_t N = 1u << 20;
   uint64_t Seed = 99;
 };
+
+/// Kernels whose timing sits below this are not measuring an O(N) pass
+/// at all: the host compiler collapsed the loop to a closed form (e.g.
+/// count's specialized lane becomes Acc += N), so ns/elem is noise and
+/// any speedup against it is nonsense. A real fold cannot beat memory
+/// bandwidth (~0.1-0.2 ns per contiguous int64); closed forms sit
+/// orders of magnitude below.
+constexpr double ClosedFormNsPerElem = 0.05;
 
 /// Keeps the optimizer from deleting the timed fold.
 volatile int64_t Sink;
@@ -69,6 +79,7 @@ template <typename Fn> double bestTime(Fn &&F, double MinSeconds = 0.08) {
 struct TierRow {
   ExecTier T;
   bool Available = false;
+  bool ClosedForm = false;
   double NsPerElem = 0.0;
 };
 
@@ -76,11 +87,11 @@ struct BenchRow {
   std::string Name;
   ExecTier Selected;
   std::string Info;
-  TierRow Tiers[3];
+  TierRow Tiers[4];
 };
 
 BenchRow measureProgram(const lang::SerialProgram &P, const Options &Opts) {
-  CompiledProgram CP(P, Opts.Specialize);
+  CompiledProgram CP(P, Opts.Specialize, Opts.Native);
   BenchRow Row;
   Row.Name = P.Name;
   Row.Selected = CP.tier();
@@ -90,8 +101,8 @@ BenchRow measureProgram(const lang::SerialProgram &P, const Options &Opts) {
   std::vector<SegmentView> Segs = {{Data.data(), Data.size()}};
 
   const ExecTier All[] = {ExecTier::PerElement, ExecTier::LoopVM,
-                          ExecTier::Specialized};
-  for (unsigned I = 0; I != 3; ++I) {
+                          ExecTier::Native, ExecTier::Specialized};
+  for (unsigned I = 0; I != 4; ++I) {
     Row.Tiers[I].T = All[I];
     if (!CP.tierAvailable(All[I]))
       continue;
@@ -100,6 +111,8 @@ BenchRow measureProgram(const lang::SerialProgram &P, const Options &Opts) {
     double Sec = bestTime([&] { Sink = CP.runSerialTier(T, Segs); });
     Row.Tiers[I].NsPerElem =
         Opts.N == 0 ? 0.0 : Sec * 1e9 / static_cast<double>(Opts.N);
+    Row.Tiers[I].ClosedForm =
+        Opts.N != 0 && Row.Tiers[I].NsPerElem < ClosedFormNsPerElem;
   }
   return Row;
 }
@@ -140,6 +153,8 @@ const char *tierKey(ExecTier T) {
     return "per_element";
   case ExecTier::LoopVM:
     return "loop_vm";
+  case ExecTier::Native:
+    return "native";
   case ExecTier::Specialized:
     return "specialized";
   }
@@ -150,7 +165,7 @@ int run(const Options &Opts) {
   std::vector<BenchRow> Rows;
   for (const lang::SerialProgram &P : lang::allBenchmarks()) {
     if (Opts.TiersOnly) {
-      CompiledProgram CP(P, Opts.Specialize);
+      CompiledProgram CP(P, Opts.Specialize, Opts.Native);
       BenchRow R;
       R.Name = P.Name;
       R.Selected = CP.tier();
@@ -178,8 +193,9 @@ int run(const Options &Opts) {
   if (Opts.Json) {
     std::printf("{\n");
     std::printf("  \"n\": %zu,\n  \"seed\": %" PRIu64
-                ",\n  \"specialize\": %s,\n",
-                Opts.N, Opts.Seed, Opts.Specialize ? "true" : "false");
+                ",\n  \"specialize\": %s,\n  \"native\": %s,\n",
+                Opts.N, Opts.Seed, Opts.Specialize ? "true" : "false",
+                Opts.Native ? "true" : "false");
     std::printf("  \"benchmarks\": [\n");
     for (size_t I = 0; I != Rows.size(); ++I) {
       const BenchRow &R = Rows[I];
@@ -190,9 +206,15 @@ int run(const Options &Opts) {
       for (const TierRow &T : R.Tiers) {
         if (!T.Available)
           continue;
+        // A sub-resolution timing means the host compiler closed-formed
+        // the loop; report that instead of a nonsense speedup.
+        if (T.ClosedForm) {
+          std::printf(", \"%s\": \"closed-form\"", tierKey(T.T));
+          continue;
+        }
         std::printf(", \"%s_ns_per_elem\": %.3f", tierKey(T.T), T.NsPerElem);
-        if (Per->Available && T.T != ExecTier::PerElement &&
-            T.NsPerElem > 0.0)
+        if (Per->Available && !Per->ClosedForm &&
+            T.T != ExecTier::PerElement && T.NsPerElem > 0.0)
           std::printf(", \"speedup_%s_vs_per_element\": %.2f", tierKey(T.T),
                       Per->NsPerElem / T.NsPerElem);
       }
@@ -210,26 +232,33 @@ int run(const Options &Opts) {
               "is better)\n",
               Opts.N, Opts.Seed,
               Opts.Specialize ? "" : " [--no-specialize]");
-  std::printf("%-22s %-12s %12s %12s %12s %9s\n", "benchmark", "tier",
-              "per-elem", "loop-vm", "fused", "speedup");
+  std::printf("%-22s %-12s %12s %12s %12s %12s %11s\n", "benchmark",
+              "tier", "per-elem", "loop-vm", "native", "fused", "speedup");
   for (const BenchRow &R : Rows) {
-    char Per[32] = "-", Loop[32] = "-", Fused[32] = "-", Sp[32] = "-";
+    char Per[32] = "-", Loop[32] = "-", Nat[32] = "-", Fused[32] = "-",
+         Sp[32] = "-";
     for (const TierRow &T : R.Tiers) {
       if (!T.Available)
         continue;
       char *Dst = T.T == ExecTier::PerElement ? Per
                   : T.T == ExecTier::LoopVM   ? Loop
+                  : T.T == ExecTier::Native   ? Nat
                                               : Fused;
-      std::snprintf(Dst, sizeof(Per), "%.2f", T.NsPerElem);
+      if (T.ClosedForm)
+        std::snprintf(Dst, sizeof(Per), "closed-form");
+      else
+        std::snprintf(Dst, sizeof(Per), "%.2f", T.NsPerElem);
     }
-    // Speedup of the selected tier over the per-element baseline.
-    if (R.Tiers[0].Available)
+    // Speedup of the selected tier over the per-element baseline;
+    // omitted when either side is a closed form.
+    if (R.Tiers[0].Available && !R.Tiers[0].ClosedForm)
       for (const TierRow &T : R.Tiers)
-        if (T.Available && T.T == R.Selected && T.NsPerElem > 0.0)
+        if (T.Available && T.T == R.Selected && T.NsPerElem > 0.0 &&
+            !T.ClosedForm)
           std::snprintf(Sp, sizeof(Sp), "%.2fx",
                         R.Tiers[0].NsPerElem / T.NsPerElem);
-    std::printf("%-22s %-12s %12s %12s %12s %9s\n", R.Name.c_str(),
-                execTierName(R.Selected), Per, Loop, Fused, Sp);
+    std::printf("%-22s %-12s %12s %12s %12s %12s %11s\n", R.Name.c_str(),
+                execTierName(R.Selected), Per, Loop, Nat, Fused, Sp);
   }
   std::printf("\ndistinct kernel scaling: time(2N)/time(N) = %.2f at N=%zu "
               "(%.2fms -> %.2fms); ~2 is linear, ~4 was the old O(n*k) "
@@ -250,6 +279,8 @@ int main(int argc, char **argv) {
       Opts.TiersOnly = true;
     } else if (A == "--no-specialize") {
       Opts.Specialize = false;
+    } else if (A == "--no-native") {
+      Opts.Native = false;
     } else if (A == "--n" && I + 1 < argc) {
       Opts.N = std::strtoull(argv[++I], nullptr, 10);
     } else if (A == "--seed" && I + 1 < argc) {
@@ -257,7 +288,7 @@ int main(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--tiers] [--no-specialize] "
-                   "[--n ELEMS] [--seed S]\n",
+                   "[--no-native] [--n ELEMS] [--seed S]\n",
                    argv[0]);
       return 2;
     }

@@ -34,6 +34,10 @@ echo "== ablation: same workload with the fused kernels disabled =="
 "$BUILD"/bench/bench_kernels --no-specialize --n "$N" --seed "$SEED"
 
 echo
+echo "== ablation: same workload with the native jit tier disabled =="
+"$BUILD"/bench/bench_kernels --no-native --n "$N" --seed "$SEED"
+
+echo
 echo "== emitted parallel C++ (bench_parallel_cpp) =="
 "$BUILD"/bench/bench_parallel_cpp
 

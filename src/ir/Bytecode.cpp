@@ -372,8 +372,14 @@ L_Or:
 L_Not:
   R[IP->Dst] = R[IP->A] == 0;
   GRASSP_BC_NEXT;
-L_Select:
-  R[IP->Dst] = R[IP->A] != 0 ? R[IP->B] : R[IP->C];
+L_Select: {
+  // Mask blend instead of a ternary: a data-dependent branch here
+  // mispredicts on every unpredictable guard (the exact shape guarded
+  // accumulators feed this VM), costing more than the whole rest of
+  // the dispatch loop.
+  const int64_t M = -static_cast<int64_t>(R[IP->A] != 0);
+  R[IP->Dst] = ((R[IP->B] ^ R[IP->C]) & M) ^ R[IP->C];
+}
   GRASSP_BC_NEXT;
 
 L_IterDone:
@@ -399,6 +405,12 @@ L_AllDone:;
       case BcOp::Copy:
         R[IP->Dst] = R[IP->A];
         break;
+      case BcOp::Select: {
+        // Branch-free blend; see the threaded handler above.
+        const int64_t M = -static_cast<int64_t>(R[IP->A] != 0);
+        R[IP->Dst] = ((R[IP->B] ^ R[IP->C]) & M) ^ R[IP->C];
+        break;
+      }
       default:
         R[IP->Dst] = evalBcOp(IP->Opcode, R[IP->A], R[IP->B], R[IP->C]);
         break;

@@ -264,6 +264,131 @@ private:
   std::vector<uint16_t> OutputRegs;
 };
 
+/// Canonicalizes the guarded-accumulator shape
+///
+///   t   = add x, y
+///   dst = select c, t, x        ; c provably 0/1-valued
+///
+/// into the maskable form
+///
+///   m   = mul c, y
+///   dst = add x, m
+///
+/// which trades the VM's only data-dependent operation for straight-line
+/// arithmetic (and hands the native tier a multiply-accumulate the host
+/// compiler vectorizes outright). The rewrite is exact on arbitrary
+/// register states *given* c in {0,1}, so c's boolean-ness is derived
+/// structurally from its defining instruction in the same straight-line
+/// code, never assumed. Fires only when the add feeds nothing but the
+/// select (otherwise the pair stays and code would grow) and when x and
+/// y still hold their add-time values at the select.
+///
+/// Runs between peephole passes: operands are copy-propagated roots and
+/// the dead add left behind is swept by the next pass's DCE.
+bool canonicalizeGuardedSelects(std::vector<BcInstr> &Instrs,
+                                unsigned &NumRegs,
+                                const std::vector<uint16_t> &OutputRegs) {
+  const size_t N = Instrs.size();
+  constexpr size_t NoDef = static_cast<size_t>(-1);
+
+  // Forward facts, per register: is the current value 0/1, and which
+  // instruction defined it. Defs record their operands' def sites so a
+  // later reader can tell whether the operands are still live-as-of-def.
+  std::vector<char> Bool(NumRegs, 0);
+  std::vector<size_t> DefSite(NumRegs, NoDef);
+  std::vector<std::pair<size_t, size_t>> OperandDefs(N, {NoDef, NoDef});
+
+  // Uses of the value Instrs[J] defines: reads before the next
+  // redefinition, plus 1 if it survives to an output register.
+  auto usesOfDef = [&](size_t J) {
+    const uint16_t D = Instrs[J].Dst;
+    unsigned Uses = 0;
+    for (size_t K = J + 1; K != N; ++K) {
+      const BcInstr &I = Instrs[K];
+      unsigned Ops = bcNumOperands(I.Opcode);
+      Uses += (Ops >= 1 && I.A == D) + (Ops >= 2 && I.B == D) +
+              (Ops >= 3 && I.C == D);
+      if (I.Dst == D)
+        return Uses;
+    }
+    for (uint16_t R : OutputRegs)
+      Uses += R == D ? 1 : 0;
+    return Uses;
+  };
+
+  auto definesBool = [&](const BcInstr &I) -> char {
+    switch (I.Opcode) {
+    case BcOp::Const:
+      return I.Imm == 0 || I.Imm == 1;
+    case BcOp::Copy:
+      return Bool[I.A];
+    case BcOp::Eq:
+    case BcOp::Ne:
+    case BcOp::Lt:
+    case BcOp::Le:
+    case BcOp::Gt:
+    case BcOp::Ge:
+    case BcOp::And:
+    case BcOp::Or:
+    case BcOp::Not:
+      return 1;
+    case BcOp::Select:
+      return Bool[I.B] && Bool[I.C];
+    case BcOp::Min:
+    case BcOp::Max:
+    case BcOp::Mul: // a product of 0/1 values is 0/1.
+      return Bool[I.A] && Bool[I.B];
+    default:
+      return 0;
+    }
+  };
+
+  std::vector<BcInstr> Out;
+  Out.reserve(N + 2);
+  bool Changed = false;
+  for (size_t J = 0; J != N; ++J) {
+    const BcInstr &I = Instrs[J];
+    bool Rewritten = false;
+    if (I.Opcode == BcOp::Select && Bool[I.A] && NumRegs < 0xfffe) {
+      const size_t AddAt = DefSite[I.B];
+      if (AddAt != NoDef && Instrs[AddAt].Opcode == BcOp::Add &&
+          usesOfDef(AddAt) == 1) {
+        const BcInstr &AddI = Instrs[AddAt];
+        // Both add operands must be un-redefined since the add (the
+        // select's true arm replays the add at the select site).
+        const bool OperandsLive =
+            DefSite[AddI.A] == OperandDefs[AddAt].first &&
+            DefSite[AddI.B] == OperandDefs[AddAt].second;
+        uint16_t T = 0xffff;
+        if (OperandsLive && AddI.A == I.C)
+          T = AddI.B;
+        else if (OperandsLive && AddI.B == I.C)
+          T = AddI.A;
+        if (T != 0xffff) {
+          const uint16_t M = static_cast<uint16_t>(NumRegs++);
+          Bool.push_back(0);
+          DefSite.push_back(NoDef);
+          Out.push_back({BcOp::Mul, M, I.A, T, 0, 0});
+          Out.push_back({BcOp::Add, I.Dst, I.C, M, 0, 0});
+          Changed = true;
+          Rewritten = true;
+        }
+      }
+    }
+    if (!Rewritten)
+      Out.push_back(I);
+    // Fact updates track the original program; the rewritten pair
+    // computes the identical dst value, so the facts hold for it too.
+    unsigned Ops = bcNumOperands(I.Opcode);
+    OperandDefs[J] = {Ops >= 1 ? DefSite[I.A] : NoDef,
+                      Ops >= 2 ? DefSite[I.B] : NoDef};
+    Bool[I.Dst] = definesBool(I);
+    DefSite[I.Dst] = J;
+  }
+  Instrs = std::move(Out);
+  return Changed;
+}
+
 } // namespace
 
 BytecodeFunction BytecodeFunction::optimized() const {
@@ -278,7 +403,13 @@ BytecodeFunction BytecodeFunction::optimized() const {
     unsigned Regs = P.numRegs();
     BytecodeFunction Next =
         fromInstrs(P.takeInstrs(), Cur.NumInputs, Regs, P.takeOutputs());
-    bool Fixed = Next.Instrs.size() == Cur.Instrs.size();
+    // Guarded-select canonicalization runs on peephole-clean code; when
+    // it fires, the next peephole round sweeps the add it orphaned (so
+    // the pass pair never grows the final program) and may expose more
+    // candidates.
+    bool Canon = canonicalizeGuardedSelects(Next.Instrs, Next.NumRegs,
+                                            Next.OutputRegs);
+    bool Fixed = !Canon && Next.Instrs.size() == Cur.Instrs.size();
     Cur = std::move(Next);
     if (Fixed)
       break;

@@ -50,6 +50,8 @@ const char *execTierName(ExecTier T) {
   switch (T) {
   case ExecTier::Specialized:
     return "specialized";
+  case ExecTier::Native:
+    return "native";
   case ExecTier::LoopVM:
     return "loop-vm";
   case ExecTier::PerElement:
@@ -63,7 +65,7 @@ const char *execTierName(ExecTier T) {
 //===----------------------------------------------------------------------===//
 
 CompiledProgram::CompiledProgram(const lang::SerialProgram &Prog,
-                                 bool AllowSpecialize)
+                                 bool AllowSpecialize, bool AllowNative)
     : Prog(Prog), Bag(Prog.State.hasBag()) {
   if (Bag) {
     assert(Prog.State.size() == 1 && "bag kernels support bag-only state");
@@ -77,13 +79,28 @@ CompiledProgram::CompiledProgram(const lang::SerialProgram &Prog,
                  .optimized();
   if (AllowSpecialize)
     Spec = specializeStep(Prog);
-  Tier = Spec ? ExecTier::Specialized : ExecTier::LoopVM;
+  // Null when no host compiler, the compile failed, or the jit is
+  // disabled; the tier simply doesn't exist then.
+  if (AllowNative)
+    Native = jit::KernelCache::instance().getOrCompile(StepOpt);
+  Tier = Spec     ? ExecTier::Specialized
+         : Native ? ExecTier::Native
+                  : ExecTier::LoopVM;
 }
 
 bool CompiledProgram::tierAvailable(ExecTier T) const {
   if (Bag)
     return T == ExecTier::Specialized;
-  return T != ExecTier::Specialized || Spec.has_value();
+  switch (T) {
+  case ExecTier::Specialized:
+    return Spec.has_value();
+  case ExecTier::Native:
+    return Native != nullptr;
+  case ExecTier::LoopVM:
+  case ExecTier::PerElement:
+    return true;
+  }
+  return false;
 }
 
 std::string CompiledProgram::specializationInfo() const {
@@ -113,6 +130,9 @@ void CompiledProgram::foldSegmentTier(ExecTier T, std::vector<int64_t> &State,
   switch (T) {
   case ExecTier::Specialized:
     Spec->fold(State.data(), Seg.Data, Seg.Size);
+    return;
+  case ExecTier::Native:
+    Native->fold(State.data(), Seg.Data, Seg.Size);
     return;
   case ExecTier::LoopVM:
     StepOpt.foldLoop(Seg.Data, Seg.Size, State.data(),
@@ -174,8 +194,8 @@ CompiledProgram::runSerialTier(ExecTier T,
 
 CompiledPlan::CompiledPlan(const lang::SerialProgram &Prog,
                            const synth::ParallelPlan &Plan,
-                           bool AllowSpecialize)
-    : Prog(Prog), Plan(Plan), Compiled(Prog, AllowSpecialize) {
+                           bool AllowSpecialize, bool AllowNative)
+    : Prog(Prog), Plan(Plan), Compiled(Prog, AllowSpecialize, AllowNative) {
   if (Plan.Kind != synth::Scenario::CondPrefixRefold &&
       Plan.Kind != synth::Scenario::CondPrefixSummary)
     return;

@@ -5,7 +5,7 @@
 // are compiled to register bytecode (ir/Bytecode.h) once, then folded
 // over millions of elements.
 //
-// Folding runs on a three-tier pipeline; CompiledProgram picks the
+// Folding runs on a four-tier pipeline; CompiledProgram picks the
 // fastest tier available for its program and every caller (serial run,
 // parallel workers, merge repair) goes through the same selection, so
 // measured speedups compare like against like:
@@ -13,6 +13,9 @@
 //   Specialized - pattern-matched native kernels (runtime/Specialize.h);
 //                 bag-typed programs use the native hash-set distinct
 //                 kernel (runtime/DistinctSet.h) at this tier.
+//   Native      - the optimized bytecode compiled to a real machine-code
+//                 fold loop by the host compiler (jit/NativeKernel.h)
+//                 and dlopen'd; present when a host compiler exists.
 //   LoopVM      - the whole segment loop runs inside the bytecode VM
 //                 (BytecodeFunction::foldLoop) on peephole-optimized
 //                 bytecode with threaded dispatch.
@@ -33,6 +36,7 @@
 #define GRASSP_RUNTIME_KERNELS_H
 
 #include "ir/Bytecode.h"
+#include "jit/NativeKernel.h"
 #include "runtime/Specialize.h"
 #include "runtime/Workload.h"
 #include "synth/ParallelPlan.h"
@@ -46,9 +50,9 @@ namespace grassp {
 namespace runtime {
 
 /// Execution tiers, fastest first.
-enum class ExecTier : uint8_t { Specialized, LoopVM, PerElement };
+enum class ExecTier : uint8_t { Specialized, Native, LoopVM, PerElement };
 
-/// "specialized" / "loop-vm" / "per-element".
+/// "specialized" / "native" / "loop-vm" / "per-element".
 const char *execTierName(ExecTier T);
 
 /// The serial program compiled to bytecode (scalar states) or routed to
@@ -57,9 +61,12 @@ class CompiledProgram {
 public:
   /// \p AllowSpecialize gates the specialized tier (the `--no-specialize`
   /// ablation); the hash-set distinct kernel for bag programs is not an
-  /// ablatable tier and stays on regardless.
+  /// ablatable tier and stays on regardless. \p AllowNative gates the
+  /// jit-compiled tier (`--no-native`); it also quietly stays off when
+  /// no host compiler is available.
   explicit CompiledProgram(const lang::SerialProgram &Prog,
-                           bool AllowSpecialize = true);
+                           bool AllowSpecialize = true,
+                           bool AllowNative = true);
 
   bool usesBag() const { return Bag; }
   const lang::SerialProgram &program() const { return Prog; }
@@ -104,6 +111,7 @@ private:
   ir::BytecodeFunction StepOpt;  // peephole-optimized; the loop-VM tier.
   ir::BytecodeFunction OutputFn; // inputs: fields.
   std::optional<SpecializedStep> Spec;
+  std::shared_ptr<const jit::NativeKernel> Native; // the jit tier.
 };
 
 /// Per-segment worker output (conditional-prefix scenarios carry summary
@@ -127,7 +135,8 @@ struct WorkerOutput {
 class CompiledPlan {
 public:
   CompiledPlan(const lang::SerialProgram &Prog,
-               const synth::ParallelPlan &Plan, bool AllowSpecialize = true);
+               const synth::ParallelPlan &Plan, bool AllowSpecialize = true,
+               bool AllowNative = true);
 
   /// Runs the per-segment worker (safe to call concurrently).
   WorkerOutput runWorker(SegmentView Seg) const;

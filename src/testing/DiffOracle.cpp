@@ -3,6 +3,7 @@
 #include "testing/DiffOracle.h"
 
 #include "codegen/CppCodegen.h"
+#include "jit/NativeKernel.h"
 #include "lang/Interp.h"
 #include "runtime/Runner.h"
 #include "runtime/Workload.h"
@@ -15,6 +16,7 @@
 
 #ifdef _WIN32
 #else
+#include <sys/wait.h>
 #include <unistd.h>
 #endif
 
@@ -22,10 +24,9 @@ namespace grassp {
 namespace testing {
 
 bool DiffOracle::hostCompilerAvailable() {
-  static const bool Available = [] {
-    return std::system("g++ --version > /dev/null 2>&1") == 0;
-  }();
-  return Available;
+  // One probe for the whole process (shared with the native jit tier):
+  // $CXX when set, g++ otherwise.
+  return jit::hostCompilerAvailable();
 }
 
 DiffOracle::DiffOracle(const lang::SerialProgram &P,
@@ -53,9 +54,29 @@ DiffOracle::DiffOracle(const lang::SerialProgram &P,
     std::ofstream Out(SrcPath);
     Out << Src;
   }
-  std::string Compile = "g++ -std=c++17 -O1 -o " + BinPath + " " + SrcPath +
-                        " -lpthread > " + TmpDir + "/cc.log 2>&1";
-  EmittedReady = std::system(Compile.c_str()) == 0;
+  // Quoted paths and $CXX: an oracle temp dir with shell metacharacters
+  // must not silently change the command.
+  std::string Compile = jit::shellQuote(jit::hostCxx()) +
+                        " -std=c++17 -O1 -o " + jit::shellQuote(BinPath) +
+                        " " + jit::shellQuote(SrcPath) + " -lpthread > " +
+                        jit::shellQuote(TmpDir + "/cc.log") + " 2>&1";
+  int Rc = std::system(Compile.c_str());
+  EmittedReady = jit::waitStatusOk(Rc);
+  if (!EmittedReady) {
+    // The probe said a compiler exists, so a failing compile here is a
+    // real defect (a bad translation, a crashed compiler) that check()
+    // must surface as a divergence, not quietly run one path short.
+    EmittedBroken = true;
+    EmittedError = "emitted compile failed (" +
+                   jit::describeWaitStatus(Rc) + ")";
+    std::ifstream Log(TmpDir + "/cc.log");
+    std::string Line, Last;
+    while (std::getline(Log, Line))
+      if (!Line.empty())
+        Last = Line;
+    if (!Last.empty())
+      EmittedError += ": " + Last;
+  }
 }
 
 DiffOracle::~DiffOracle() {
@@ -68,7 +89,8 @@ DiffOracle::~DiffOracle() {
 }
 
 bool DiffOracle::runEmitted(const std::vector<int64_t> &Flat,
-                            int64_t *SerialOut, int64_t *ParallelOut) {
+                            int64_t *SerialOut, int64_t *ParallelOut,
+                            std::string *Error) {
   std::string InPath = TmpDir + "/in.txt";
   std::string OutPath = TmpDir + "/out.txt";
   {
@@ -79,19 +101,40 @@ bool DiffOracle::runEmitted(const std::vector<int64_t> &Flat,
     for (int64_t V : Flat)
       In << V << '\n';
   }
-  std::string Cmd = BinPath + " " + InPath + " > " + OutPath + " 2>&1";
+  std::string Cmd = jit::shellQuote(BinPath) + " " +
+                    jit::shellQuote(InPath) + " > " +
+                    jit::shellQuote(OutPath) + " 2>&1";
   int Rc = std::system(Cmd.c_str());
+  // Decode the wait status first: a binary that never ran or died on a
+  // signal produced no verdict at all, which is an oracle failure — not
+  // a silent agreement.
+  if (Rc == -1 || (!WIFEXITED(Rc) && !WIFSIGNALED(Rc))) {
+    if (Error)
+      *Error = "emitted binary did not run (" +
+               jit::describeWaitStatus(Rc) + ")";
+    return false;
+  }
+  if (WIFSIGNALED(Rc)) {
+    if (Error)
+      *Error = "emitted binary " + jit::describeWaitStatus(Rc);
+    return false;
+  }
   std::ifstream Out(OutPath);
   std::string Line;
   std::getline(Out, Line);
   long long S = 0, Par = 0;
-  if (std::sscanf(Line.c_str(), "serial=%lld parallel=%lld", &S, &Par) != 2)
+  if (std::sscanf(Line.c_str(), "serial=%lld parallel=%lld", &S, &Par) !=
+      2) {
+    if (Error)
+      *Error = "unparsable output (" + jit::describeWaitStatus(Rc) +
+               "): \"" + Line + "\"";
     return false;
+  }
   *SerialOut = S;
   *ParallelOut = Par;
-  // A nonzero exit means the binary's own self-check already saw the
-  // serial/parallel mismatch; the parsed values carry the detail.
-  (void)Rc;
+  // A nonzero *exit* is fine here: it means the binary's own self-check
+  // already saw the serial/parallel mismatch, and the parsed values
+  // carry the detail to the divergence report.
   return true;
 }
 
@@ -119,6 +162,7 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
   };
   TierRun Tiers[] = {{runtime::ExecTier::PerElement, "vm"},
                      {runtime::ExecTier::LoopVM, "loop-vm"},
+                     {runtime::ExecTier::Native, "native"},
                      {runtime::ExecTier::Specialized, "fused"}};
   for (TierRun &R : Tiers) {
     if (!Compiled.tierAvailable(R.T))
@@ -139,10 +183,17 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
 
   bool EmittedOk = true;
   int64_t EmSerial = 0, EmParallel = 0;
-  if (EmittedReady)
-    EmittedOk = runEmitted(Flat, &EmSerial, &EmParallel);
+  std::string EmittedFailure;
+  if (EmittedBroken) {
+    // The translation exists but would not compile: a defect, not an
+    // absent path.
+    EmittedOk = false;
+    EmittedFailure = EmittedError;
+  } else if (EmittedReady) {
+    EmittedOk = runEmitted(Flat, &EmSerial, &EmParallel, &EmittedFailure);
+  }
 
-  bool Agree = Par == V.Expected &&
+  bool Agree = Par == V.Expected && !EmittedBroken &&
                (!EmittedReady ||
                 (EmittedOk && EmSerial == V.Expected &&
                  EmParallel == V.Expected));
@@ -158,12 +209,12 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
     if (R.Active)
       D << ' ' << R.Name << '=' << R.Value;
   D << " plan+pool=" << Par;
-  if (EmittedReady) {
+  if (EmittedReady || EmittedBroken) {
     if (EmittedOk)
       D << " emitted-serial=" << EmSerial << " emitted-parallel="
         << EmParallel;
     else
-      D << " emitted=<unparsable output>";
+      D << " emitted=<" << EmittedFailure << ">";
   }
   V.Detail = D.str();
   return V;

@@ -1,6 +1,6 @@
 //===- testing/DiffOracle.h - Differential oracle over execution paths ---===//
 //
-// One plan, up to six executions of the same workload:
+// One plan, up to seven executions of the same workload:
 //
 //  1. the tree-walking reference interpreter (lang::runSerial) — the
 //     ground truth, a flat fold of f with no segmentation at all;
@@ -8,15 +8,20 @@
 //     (CompiledProgram on the PerElement tier, unoptimized bytecode);
 //  3. the loop-resident VM (LoopVM tier: peephole-optimized bytecode,
 //     the whole segment loop threaded inside the VM);
-//  4. the pattern-specialized native kernels (Specialized tier; present
+//  4. the jit-compiled native kernel (Native tier: the optimized
+//     bytecode lowered to C++, built by the host compiler and
+//     dlopen'd; absent without a host compiler);
+//  5. the pattern-specialized native kernels (Specialized tier; present
 //     only when the program's step shape specializes — for bag programs
 //     this is the hash-set distinct kernel and the only tier);
-//  5. the compiled plan run segment-parallel on a real ThreadPool
+//  6. the compiled plan run segment-parallel on a real ThreadPool
 //     (runtime::runParallel);
-//  6. the emitted standalone C++ translation, compiled on the fly with
+//  7. the emitted standalone C++ translation, compiled on the fly with
 //     the host compiler and fed the identical workload through its
-//     file-input hook (skipped gracefully when no compiler is present or
-//     the plan has no translation).
+//     file-input hook (skipped gracefully when no compiler is present
+//     or the plan has no translation; a compiler that *fails* on the
+//     translation, or an emitted binary that dies or won't run, is
+//     reported as a divergence, never a silent no-verdict).
 //
 // Running every tier on every fuzzed workload is what lets the runtime
 // trust neither the peephole optimizer nor the specialized kernels: a
@@ -82,20 +87,26 @@ public:
   DiffOracle &operator=(const DiffOracle &) = delete;
 
   /// Paths compared per check: the interpreter, every execution tier the
-  /// program supports, the plan+pool run, and (when ready) the emitted
-  /// binary. 5 or 6 for typical scalar programs, 3 or 4 for bag programs
-  /// (which have only the hash-set tier).
+  /// program supports (including the jit-compiled native tier when a
+  /// host compiler exists), the plan+pool run, and (when ready) the
+  /// emitted binary. 5-7 for typical scalar programs, 3 or 4 for bag
+  /// programs (which have only the hash-set tier).
   unsigned numPaths() const {
     unsigned N = 2; // interpreter + plan+pool.
     if (Compiled.tierAvailable(runtime::ExecTier::PerElement))
       ++N;
     if (Compiled.tierAvailable(runtime::ExecTier::LoopVM))
       ++N;
+    if (Compiled.tierAvailable(runtime::ExecTier::Native))
+      ++N;
     if (Compiled.tierAvailable(runtime::ExecTier::Specialized))
       ++N;
     return N + (EmittedReady ? 1 : 0);
   }
   bool emittedActive() const { return EmittedReady; }
+  /// True when the translation existed but the host compiler failed on
+  /// it; every check() then reports the compile detail as a divergence.
+  bool emittedBroken() const { return EmittedBroken; }
 
   /// Runs all paths on \p Segs and compares.
   OracleVerdict check(const SegmentedInput &Segs);
@@ -121,12 +132,13 @@ public:
   /// "file.cpp:3 segments [1 2 | | 7]" — reproducer pretty-printer.
   static std::string formatInput(const SegmentedInput &Segs);
 
-  /// True when `g++` works on this host (cached after the first probe).
+  /// True when the host compiler ($CXX, falling back to g++) works on
+  /// this host (cached after the first probe).
   static bool hostCompilerAvailable();
 
 private:
   bool runEmitted(const std::vector<int64_t> &Flat, int64_t *SerialOut,
-                  int64_t *ParallelOut);
+                  int64_t *ParallelOut, std::string *Error);
 
   const lang::SerialProgram &Prog;
   synth::ParallelPlan Plan; // owned: CompiledPlan holds a reference.
@@ -138,8 +150,12 @@ private:
   FaultStats Faults;
 
   // Emitted-path state: a temp dir holding the compiled binary plus the
-  // per-check workload/output files.
+  // per-check workload/output files. Broken means a compiler exists but
+  // failed on the translation (reported per check, with the cc.log
+  // detail in EmittedError).
   bool EmittedReady = false;
+  bool EmittedBroken = false;
+  std::string EmittedError;
   std::string TmpDir;
   std::string BinPath;
 };

@@ -62,11 +62,27 @@ TEST_P(Representative, NoDivergenceAcrossAdversarialShapes) {
   EXPECT_FALSE(Rep.Diverged)
       << Rep.Shape << " seed " << Rep.Seed << ": " << Rep.Detail
       << "\n  reproducer: " << gt::DiffOracle::formatInput(Rep.Reproducer);
-  unsigned WantPaths = GetParam() == "count_distinct" ? 3u
-                       : (GetParam() == "sum" || GetParam() == "second_max")
-                           ? 5u
-                           : 4u;
+  // Path count pins which tiers engaged. Bag programs have only the
+  // hash-set tier; scalar programs run interp + vm + loop-vm + plan+pool,
+  // plus the fused path when the step specializes, plus the jit-compiled
+  // native path whenever a host compiler exists.
+  grassp::runtime::CompiledProgram CP(*P);
+  unsigned WantPaths;
+  if (GetParam() == "count_distinct") {
+    WantPaths = 3u;
+  } else {
+    WantPaths = 4u;
+    if (CP.tierAvailable(grassp::runtime::ExecTier::Specialized))
+      ++WantPaths;
+    if (CP.tierAvailable(grassp::runtime::ExecTier::Native))
+      ++WantPaths;
+  }
   EXPECT_EQ(Rep.PathsCompared, WantPaths);
+  // The native tier must actually participate when a compiler exists.
+  if (GetParam() != "count_distinct" &&
+      gt::DiffOracle::hostCompilerAvailable())
+    EXPECT_TRUE(CP.tierAvailable(grassp::runtime::ExecTier::Native))
+        << "host compiler available but native tier absent";
   EXPECT_GT(Rep.Checks, 0u);
 }
 
@@ -95,7 +111,13 @@ TEST(FuzzSmoke, EmittedPathAgreesOnSum) {
   Opts.Sizes = {0, 1, 3, 17, 64};
   gt::FuzzReport Rep = gt::fuzzBenchmark(*P, R.Plan, Opts);
   EXPECT_FALSE(Rep.Diverged) << Rep.Shape << ": " << Rep.Detail;
-  EXPECT_EQ(Rep.PathsCompared, 6u);
+  // interp + vm + loop-vm + fused + plan+pool + emitted, plus the native
+  // jit path (this test already skipped without a host compiler, so the
+  // native tier is absent only if its compile failed).
+  grassp::runtime::CompiledProgram CP(*P);
+  unsigned WantPaths =
+      6u + (CP.tierAvailable(grassp::runtime::ExecTier::Native) ? 1u : 0u);
+  EXPECT_EQ(Rep.PathsCompared, WantPaths);
 }
 
 // The tier-equivalence property, plan-free so it covers all 27
@@ -107,12 +129,14 @@ TEST(FuzzSmoke, EmittedPathAgreesOnSum) {
 TEST(FuzzSmoke, AllTiersMatchInterpreterOnFuzzedWorkloads) {
   namespace rt = grassp::runtime;
   constexpr rt::ExecTier AllTiers[] = {rt::ExecTier::Specialized,
+                                       rt::ExecTier::Native,
                                        rt::ExecTier::LoopVM,
                                        rt::ExecTier::PerElement};
-  unsigned SpecializedSeen = 0;
+  unsigned SpecializedSeen = 0, NativeSeen = 0;
   for (const SerialProgram &P : grassp::lang::allBenchmarks()) {
     rt::CompiledProgram CP(P);
     SpecializedSeen += CP.tierAvailable(rt::ExecTier::Specialized) ? 1 : 0;
+    NativeSeen += CP.tierAvailable(rt::ExecTier::Native) ? 1 : 0;
     for (size_t N : {size_t{0}, size_t{1}, size_t{3}, size_t{17},
                      size_t{64}, size_t{257}}) {
       for (uint64_t Seed : {uint64_t{1}, uint64_t{99}}) {
@@ -136,6 +160,11 @@ TEST(FuzzSmoke, AllTiersMatchInterpreterOnFuzzedWorkloads) {
   // The kernel specializer must actually engage on the sum/min/max/
   // counted-extrema family (plus the bag program's hash-set kernel).
   EXPECT_GE(SpecializedSeen, 15u);
+  // And with a host compiler present, the jit tier must participate on
+  // every scalar benchmark — a silent fallback to the loop VM here would
+  // mean the native path is never differentially certified.
+  if (gt::DiffOracle::hostCompilerAvailable())
+    EXPECT_GE(NativeSeen, 20u);
 }
 
 // Plant a bug: sum's merge combines partial sums with subtraction

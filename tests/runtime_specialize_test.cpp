@@ -65,13 +65,25 @@ TEST(Specialize, TierSelectionPrefersSpecialized) {
   EXPECT_TRUE(Sum.tierAvailable(ExecTier::PerElement));
   EXPECT_EQ(Sum.specializationInfo(), "s:add(in)");
 
+  // Unspecializable steps fall to the jit-compiled native tier when a
+  // host compiler exists, and to the loop VM otherwise (pinned exactly
+  // via the --no-native ablation below).
   CompiledProgram Sorted(bench("is_sorted"));
-  EXPECT_EQ(Sorted.tier(), ExecTier::LoopVM);
   EXPECT_FALSE(Sorted.tierAvailable(ExecTier::Specialized));
+  if (Sorted.tierAvailable(ExecTier::Native))
+    EXPECT_EQ(Sorted.tier(), ExecTier::Native);
+  else
+    EXPECT_EQ(Sorted.tier(), ExecTier::LoopVM);
+
+  CompiledProgram SortedNoJit(bench("is_sorted"), /*AllowSpecialize=*/true,
+                              /*AllowNative=*/false);
+  EXPECT_EQ(SortedNoJit.tier(), ExecTier::LoopVM);
+  EXPECT_FALSE(SortedNoJit.tierAvailable(ExecTier::Native));
 }
 
 TEST(Specialize, NoSpecializeAblationFallsBackToLoopVM) {
-  CompiledProgram Ablated(bench("sum"), /*AllowSpecialize=*/false);
+  CompiledProgram Ablated(bench("sum"), /*AllowSpecialize=*/false,
+                          /*AllowNative=*/false);
   EXPECT_EQ(Ablated.tier(), ExecTier::LoopVM);
   EXPECT_FALSE(Ablated.tierAvailable(ExecTier::Specialized));
   EXPECT_TRUE(Ablated.specializationInfo().empty());

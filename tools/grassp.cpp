@@ -6,11 +6,11 @@
 //   grassp synth <name>             synthesize and describe the plan
 //   grassp synth-all [--jobs N]     synthesize the whole suite, in
 //                                   parallel on a thread pool
-//   grassp run <name> [N] [P] [--no-specialize]
+//   grassp run <name> [N] [P] [--no-specialize] [--no-native]
 //                                   serial vs parallel over N elements;
-//                                   prints the selected execution tier,
+//                                   prints the selected execution tier;
 //                                   --no-specialize ablates the fused
-//                                   native kernels
+//                                   kernels, --no-native the jit tier
 //   grassp emit-cpp <name>          print the standalone C++ translation
 //   grassp emit-mr <name>           print the mapper/reducer translation
 //   grassp emit-chc <name>          print the CHC system (SMT-LIB2)
@@ -47,7 +47,7 @@ int usage(const char *Prog) {
                "[--max-budget-ms M] [--deadline-sec D]\n"
                "                 [--queue-cap Q] [--journal FILE] "
                "[--resume] |\n"
-               "       run <name> [N] [P] [--no-specialize] "
+               "       run <name> [N] [P] [--no-specialize] [--no-native] "
                "[--input FILE] | emit-cpp "
                "<name> | emit-mr "
                "<name> | emit-chc <name> "
@@ -234,11 +234,16 @@ int main(int argc, char **argv) {
     size_t N = 10000000;
     unsigned Workers = 8;
     bool Specialize = true;
+    bool Native = true;
     const char *InputFile = nullptr;
     unsigned Positional = 0;
     for (int I = 3; I < argc; ++I) {
       if (std::strcmp(argv[I], "--no-specialize") == 0) {
         Specialize = false;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--no-native") == 0) {
+        Native = false;
         continue;
       }
       if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc) {
@@ -249,8 +254,9 @@ int main(int argc, char **argv) {
                 : Positional == 1 ? parseUnsigned(argv[I], &Workers)
                                   : false;
       if (!Ok) {
-        std::fprintf(stderr, "error: run expects [N] [P] "
-                             "[--no-specialize] [--input FILE], got '%s'\n",
+        std::fprintf(stderr,
+                     "error: run expects [N] [P] [--no-specialize] "
+                     "[--no-native] [--input FILE], got '%s'\n",
                      argv[I]);
         return 2;
       }
@@ -277,8 +283,8 @@ int main(int argc, char **argv) {
     }
     std::vector<runtime::SegmentView> Segs =
         runtime::partition(Data, Workers);
-    runtime::CompiledProgram CP(*P, Specialize);
-    runtime::CompiledPlan Plan(*P, R.Plan, Specialize);
+    runtime::CompiledProgram CP(*P, Specialize, Native);
+    runtime::CompiledPlan Plan(*P, R.Plan, Specialize, Native);
     std::string Info = CP.specializationInfo();
     std::printf("tier     = %s%s%s%s\n", runtime::execTierName(CP.tier()),
                 Info.empty() ? "" : " (", Info.c_str(),
