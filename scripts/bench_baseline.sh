@@ -6,7 +6,11 @@
 #     speedups over the per-element VM, and the distinct kernel's
 #     time(2N)/time(N) scaling ratio — ~2 is linear, ~4 was the old
 #     O(n*k) membership scan);
-#  2. bench_parallel_cpp    ->  printed to stdout (the Table-2 style
+#  2. bench_stream --json   ->  BENCH_stream.json at the repo root
+#     (MergeTree incremental recompute: sustained append elements/sec
+#     and the per-update latency vs a from-scratch refold at 256
+#     chunks, every update differentially verified);
+#  3. bench_parallel_cpp    ->  printed to stdout (the Table-2 style
 #     serial-vs-parallel comparison on emitted C++).
 #
 # Deterministic inputs (fixed N and seed) keep runs comparable across
@@ -22,7 +26,8 @@ N=1048576
 SEED=99
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j "$JOBS" --target bench_kernels bench_parallel_cpp
+cmake --build "$BUILD" -j "$JOBS" \
+    --target bench_kernels bench_stream bench_parallel_cpp
 
 echo "== kernel tier throughput (N=$N seed=$SEED) -> BENCH_kernels.json =="
 "$BUILD"/bench/bench_kernels --json --n "$N" --seed "$SEED" \
@@ -38,8 +43,14 @@ echo "== ablation: same workload with the native jit tier disabled =="
 "$BUILD"/bench/bench_kernels --no-native --n "$N" --seed "$SEED"
 
 echo
+echo "== incremental recompute (N=$N, 256 chunks) -> BENCH_stream.json =="
+"$BUILD"/bench/bench_stream --json --n "$N" --seed "$SEED" \
+    > BENCH_stream.json
+"$BUILD"/bench/bench_stream --n "$N" --seed "$SEED"
+
+echo
 echo "== emitted parallel C++ (bench_parallel_cpp) =="
 "$BUILD"/bench/bench_parallel_cpp
 
 echo
-echo "baseline written to BENCH_kernels.json"
+echo "baseline written to BENCH_kernels.json and BENCH_stream.json"

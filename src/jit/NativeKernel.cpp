@@ -47,7 +47,7 @@ std::string defaultCacheDir() {
   if (const char *Env = std::getenv("GRASSP_JIT_CACHE_DIR"))
     if (*Env)
       return Env;
-  return "/tmp/grassp-jit-cache-" + std::to_string(::getuid());
+  return tempRootDir() + "/grassp-jit-cache-" + std::to_string(::getuid());
 }
 
 /// Last lines of \p Path, flattened to one line for error messages.
@@ -250,6 +250,17 @@ std::string hostCxx() {
     if (*Env)
       return Env;
   return "g++";
+}
+
+std::string tempRootDir() {
+  if (const char *Env = std::getenv("TMPDIR"))
+    if (*Env) {
+      std::string Dir = Env;
+      while (Dir.size() > 1 && Dir.back() == '/')
+        Dir.pop_back();
+      return Dir;
+    }
+  return "/tmp";
 }
 
 bool compilerWorks(const std::string &Cxx) {

@@ -20,7 +20,8 @@
 //  * a process-wide in-memory map (KernelCache), so every
 //    CompiledProgram over the same step shares one dlopen handle;
 //  * an on-disk object cache ($GRASSP_JIT_CACHE_DIR, default
-//    /tmp/grassp-jit-cache-<uid>), written via temp-file + atomic
+//    <tempRootDir()>/grassp-jit-cache-<uid>), written via temp-file +
+//    atomic
 //    rename so concurrent processes never load a torn object. Repeated
 //    runs and synth-all sweeps skip the host compiler entirely.
 //
@@ -68,6 +69,12 @@ bool waitStatusOk(int Rc);
 /// The host C++ compiler: $CXX when set and non-empty, g++ otherwise.
 std::string hostCxx();
 
+/// Scratch root for process-generated files: $TMPDIR when set and
+/// non-empty (trailing slashes trimmed), /tmp otherwise. Shared by the
+/// jit disk cache and the oracle's scratch dirs so no component
+/// hardcodes /tmp.
+std::string tempRootDir();
+
 /// Un-cached probe: does \p Cxx run `--version` successfully?
 bool compilerWorks(const std::string &Cxx);
 
@@ -81,7 +88,7 @@ struct JitOptions {
   /// Compiler binary; empty means hostCxx().
   std::string Cxx;
   /// Object-cache directory; empty means $GRASSP_JIT_CACHE_DIR or
-  /// /tmp/grassp-jit-cache-<uid>.
+  /// <tempRootDir()>/grassp-jit-cache-<uid>.
   std::string CacheDir;
   /// Reuse (and populate) the on-disk object cache.
   bool DiskCache = true;

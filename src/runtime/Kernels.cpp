@@ -5,6 +5,7 @@
 #include "ir/DomainEval.h"
 #include "lang/Interp.h"
 #include "runtime/DistinctSet.h"
+#include "runtime/SegmentSource.h"
 
 #include <cassert>
 
@@ -185,6 +186,29 @@ CompiledProgram::runSerialTier(ExecTier T,
   std::vector<int64_t> St = initialState();
   for (const SegmentView &S : Segs)
     foldSegmentTier(T, St, S);
+  return output(St);
+}
+
+int64_t CompiledProgram::runSerialSource(const SegmentSource &Src) const {
+  return runSerialSourceTier(Tier, Src);
+}
+
+int64_t CompiledProgram::runSerialSourceTier(ExecTier T,
+                                             const SegmentSource &Src) const {
+  assert(tierAvailable(T) && "tier not available for this program");
+  std::unique_ptr<SegmentCursor> C = Src.cursor();
+  if (Bag) {
+    DistinctSet Seen;
+    for (size_t I = 0; I != Src.chunkCount(); ++I) {
+      SegmentView S = C->chunk(I);
+      for (size_t K = 0; K != S.Size; ++K)
+        Seen.insert(S.Data[K]);
+    }
+    return static_cast<int64_t>(Seen.size());
+  }
+  std::vector<int64_t> St = initialState();
+  for (size_t I = 0; I != Src.chunkCount(); ++I)
+    foldSegmentTier(T, St, C->chunk(I));
   return output(St);
 }
 
@@ -394,6 +418,23 @@ void CompiledPlan::combineAtBoundary(std::vector<int64_t> &C,
   }
 }
 
+std::vector<int64_t>
+CompiledPlan::mergeStates(const std::vector<int64_t> &A,
+                          const std::vector<int64_t> &B) const {
+  ir::ConcretePolicy P;
+  ir::DomainEnv<ir::ConcretePolicy> Env;
+  for (size_t K = 0; K != Prog.State.size(); ++K) {
+    Env.emplace("a_" + Prog.State.field(K).Name,
+                ir::DomainValue<ir::ConcretePolicy>::scalar(A[K]));
+    Env.emplace("b_" + Prog.State.field(K).Name,
+                ir::DomainValue<ir::ConcretePolicy>::scalar(B[K]));
+  }
+  std::vector<int64_t> Out(Prog.State.size());
+  for (size_t K = 0; K != Prog.State.size(); ++K)
+    Out[K] = ir::evalExpr(Plan.Merge.Combine[K], Env, P).Sc;
+  return Out;
+}
+
 int64_t CompiledPlan::merge(const std::vector<WorkerOutput> &Workers,
                             const std::vector<SegmentView> &Segs) const {
   assert(Workers.size() == Segs.size() && "one worker output per segment");
@@ -434,22 +475,9 @@ int64_t CompiledPlan::merge(const std::vector<WorkerOutput> &Workers,
       }
     }
     // Left fold of the binary merge (interpreted; m is tiny).
-    ir::ConcretePolicy P;
     std::vector<int64_t> Acc = States[0];
-    for (size_t I = 1; I != States.size(); ++I) {
-      ir::DomainEnv<ir::ConcretePolicy> Env;
-      for (size_t K = 0; K != Prog.State.size(); ++K) {
-        Env.emplace("a_" + Prog.State.field(K).Name,
-                    ir::DomainValue<ir::ConcretePolicy>::scalar(Acc[K]));
-        Env.emplace("b_" + Prog.State.field(K).Name,
-                    ir::DomainValue<ir::ConcretePolicy>::scalar(
-                        States[I][K]));
-      }
-      std::vector<int64_t> Next(Prog.State.size());
-      for (size_t K = 0; K != Prog.State.size(); ++K)
-        Next[K] = ir::evalExpr(Plan.Merge.Combine[K], Env, P).Sc;
-      Acc = std::move(Next);
-    }
+    for (size_t I = 1; I != States.size(); ++I)
+      Acc = mergeStates(Acc, States[I]);
     return Compiled.output(Acc);
   }
   case synth::Scenario::CondPrefixRefold:

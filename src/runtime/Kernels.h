@@ -49,6 +49,8 @@
 namespace grassp {
 namespace runtime {
 
+class SegmentSource;
+
 /// Execution tiers, fastest first.
 enum class ExecTier : uint8_t { Specialized, Native, LoopVM, PerElement };
 
@@ -103,6 +105,12 @@ public:
   /// programs only the Specialized (hash-set) tier exists.
   int64_t runSerialTier(ExecTier T, const std::vector<SegmentView> &Segs) const;
 
+  /// Serial run over a SegmentSource, one chunk resident at a time —
+  /// the out-of-core path. Bit-identical to runSerial over the same
+  /// element stream (a fold over [c0 ++ c1 ++ ...] is a fold).
+  int64_t runSerialSource(const SegmentSource &Src) const;
+  int64_t runSerialSourceTier(ExecTier T, const SegmentSource &Src) const;
+
 private:
   const lang::SerialProgram &Prog;
   bool Bag = false;
@@ -142,9 +150,19 @@ public:
   WorkerOutput runWorker(SegmentView Seg) const;
 
   /// Merges worker outputs into the final output. \p Segs is consulted
-  /// by constant-prefix plans for the repair elements.
+  /// by constant-prefix plans for the repair elements: only the first
+  /// min(PrefixLen, Size) elements of each segment are ever read, so
+  /// out-of-core callers may pass head-buffer views whose Size is the
+  /// true segment length but whose Data holds only that prefix.
   int64_t merge(const std::vector<WorkerOutput> &Workers,
                 const std::vector<SegmentView> &Segs) const;
+
+  /// The certified binary merge on scalar partial states (the m the
+  /// CHC engine certified; merge() left-folds it). Public so the
+  /// MergeTree can re-associate it over a balanced tree — sound because
+  /// certification makes m associative on fold images.
+  std::vector<int64_t> mergeStates(const std::vector<int64_t> &A,
+                                   const std::vector<int64_t> &B) const;
 
   const synth::ParallelPlan &plan() const { return Plan; }
   const CompiledProgram &compiled() const { return Compiled; }

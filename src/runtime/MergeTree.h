@@ -1,0 +1,112 @@
+//===- runtime/MergeTree.h - Incremental recompute over certified merges -===//
+//
+// The online-aggregation payoff of certified merges (ROADMAP item 3): a
+// balanced tree of per-chunk partial fold states, keyed by chunk index.
+// append(chunk) folds ONLY the new chunk and re-combines the O(log n)
+// internal nodes on its root path; replace(i, chunk) re-folds only chunk
+// i and the same path. query() reads the root. A from-scratch refold
+// touches every element; the tree touches one chunk — that asymmetry is
+// what bench_stream measures.
+//
+// Soundness: the CHC engine certified the plan's binary merge m as a
+// homomorphism witness — m(fold(x), fold(y)) = fold(x ++ y) on fold
+// images — which makes m associative there, so re-associating the
+// runner's left fold of m into a balanced tree cannot change the
+// result. Every tree query is differentially checked against a full
+// refold in runtime_stream_test and the fuzz_smoke streaming slice.
+//
+// Support levels per plan shape:
+//
+//  * LogPath     - NoPrefix / ConstPrefix scalar plans (internal nodes
+//                  combine partial states via m; constant-prefix repair
+//                  folds the right child's leftmost chunk head, kept in
+//                  each node) and Refold plans (distinct-set union —
+//                  trivially associative). O(log n) state merges per
+//                  update.
+//  * LinearMerge - conditional-prefix plans: their summary tables
+//                  compose left-to-right only, so query() re-merges the
+//                  n tiny leaf outputs linearly. Updates still fold just
+//                  one chunk — the merge is O(n) in *chunks*, not
+//                  elements, and stays far ahead of a full refold.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_RUNTIME_MERGETREE_H
+#define GRASSP_RUNTIME_MERGETREE_H
+
+#include "runtime/Kernels.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace grassp {
+namespace runtime {
+
+class MergeTree {
+public:
+  enum class Support { LogPath, LinearMerge };
+
+  explicit MergeTree(const CompiledPlan &Plan);
+
+  /// Folds \p Chunk as chunk index chunks() and re-combines its root
+  /// path. Chunks must be non-empty (the SegmentSource invariant);
+  /// throws std::invalid_argument otherwise.
+  void append(SegmentView Chunk);
+
+  /// Re-folds chunk \p I from \p Chunk's data and re-combines its root
+  /// path. The replacement may change the chunk's length.
+  void replace(size_t I, SegmentView Chunk);
+
+  /// Output over all appended chunks. Throws std::logic_error on an
+  /// empty tree (mirrors the empty-workload contract).
+  int64_t query() const;
+
+  size_t chunks() const { return ChunkSizes.size(); }
+  uint64_t elements() const { return NumElements; }
+  Support support() const { return Sup; }
+
+  /// Plan-state merges performed by the last append/replace (path
+  /// recombines; the per-update work bench_stream reports).
+  size_t lastUpdateCombines() const { return LastCombines; }
+
+private:
+  /// One tree node (leaf or internal) for the LogPath shapes. For
+  /// scalar plans: State is the m-combination of the node's repaired
+  /// chunk states except the rightmost, Right the rightmost chunk's
+  /// unrepaired state (the flat merge never repairs the final segment,
+  /// so the repair of this node's last chunk must wait until a right
+  /// sibling exists), Head the ≤PrefixLen-element repair prefix of the
+  /// node's leftmost chunk. For Refold plans only Distinct is used.
+  struct Node {
+    bool HasState = false; // node spans >= 2 chunks
+    std::vector<int64_t> State;
+    std::vector<int64_t> Right;
+    std::vector<int64_t> Head;
+    std::vector<int64_t> Distinct;
+  };
+
+  Node makeLeaf(SegmentView Chunk) const;
+  Node combine(const Node &A, const Node &B) const;
+  void updatePath(size_t Leaf);
+
+  const CompiledPlan &Plan;
+  Support Sup;
+  bool Refold;
+  size_t PrefixLen; // ConstPrefix repair length; 0 otherwise
+
+  uint64_t NumElements = 0;
+  std::vector<size_t> ChunkSizes;
+  size_t LastCombines = 0;
+
+  // LogPath: Levels[0] = leaf nodes, Levels[k][i] covers leaves
+  // [i*2^k, (i+1)*2^k); an odd tail node is carried up unchanged.
+  std::vector<std::vector<Node>> Levels;
+
+  // LinearMerge: per-chunk worker outputs, re-merged on query().
+  std::vector<WorkerOutput> Leaves;
+};
+
+} // namespace runtime
+} // namespace grassp
+
+#endif // GRASSP_RUNTIME_MERGETREE_H

@@ -2,12 +2,14 @@
 
 #include "runtime/Runner.h"
 
+#include "runtime/SegmentSource.h"
 #include "support/Timing.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <functional>
 #include <thread>
 
 namespace grassp {
@@ -51,12 +53,21 @@ int64_t runSerialTimed(const CompiledProgram &Prog,
   return Out;
 }
 
-ParallelRunResult runParallel(const CompiledPlan &Plan,
-                              const std::vector<SegmentView> &Segs,
-                              ThreadPool *Pool, const RunPolicy &Policy) {
+namespace {
+
+/// The shared fault-tolerance core of runParallel: retries with backoff,
+/// speculative backups, guaranteed serial refolds, and cooperative
+/// cancellation, parameterized over how a segment's worker output is
+/// computed (\p Work — must be a pure function of the segment index,
+/// callable concurrently) and how committed outputs merge (\p Merge).
+/// Both the in-memory and the SegmentSource entry points are thin
+/// wrappers, so out-of-core runs get the exact same guarantees.
+ParallelRunResult
+runParallelCore(size_t N, const std::function<WorkerOutput(size_t)> &Work,
+                const std::function<int64_t(std::vector<WorkerOutput> &)> &Merge,
+                ThreadPool *Pool, const RunPolicy &Policy) {
   ParallelRunResult R;
   Stopwatch Total;
-  const size_t N = Segs.size();
   std::vector<WorkerOutput> Outputs(N);
   R.WorkerSeconds.assign(N, 0.0);
   FaultInjector *FI = Policy.Faults;
@@ -66,7 +77,7 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
   auto attemptOnce = [&](size_t I, unsigned Attempt) {
     if (FI)
       FI->maybeThrow(FaultSiteWorker, Attempt * WorkerAttemptKeyStride + I);
-    return Plan.runWorker(Segs[I]);
+    return Work(I);
   };
 
   if (!Pool) {
@@ -96,7 +107,7 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
             // Last resort: refold the segment with no injection.
             ++R.SerialRefolds;
             Stopwatch W2;
-            Outputs[I] = Plan.runWorker(Segs[I]);
+            Outputs[I] = Work(I);
             R.WorkerSeconds[I] = W2.seconds();
             ++R.CompletedSegments;
             break;
@@ -153,8 +164,7 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
           return; // cut: the slot stays uncommitted, nothing merges.
         Stopwatch W;
         try {
-          WorkerOutput Out =
-              IsBackup ? Plan.runWorker(Segs[I]) : attemptOnce(I, Attempt);
+          WorkerOutput Out = IsBackup ? Work(I) : attemptOnce(I, Attempt);
           if (tryCommit(I, std::move(Out), W.seconds() + Stall) && IsBackup)
             SpecWins.fetch_add(1, std::memory_order_relaxed);
           return;
@@ -234,7 +244,7 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
         continue;
       ++R.SerialRefolds;
       Stopwatch W;
-      Outputs[I] = Plan.runWorker(Segs[I]);
+      Outputs[I] = Work(I);
       R.WorkerSeconds[I] = W.seconds();
     }
     for (size_t I = 0; I != N; ++I)
@@ -256,10 +266,72 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
   }
 
   Stopwatch MergeTimer;
-  R.Output = Plan.merge(Outputs, Segs);
+  R.Output = Merge(Outputs);
   R.MergeSeconds = MergeTimer.seconds();
   R.WallSeconds = Total.seconds();
   return R;
+}
+
+} // namespace
+
+ParallelRunResult runParallel(const CompiledPlan &Plan,
+                              const std::vector<SegmentView> &Segs,
+                              ThreadPool *Pool, const RunPolicy &Policy) {
+  return runParallelCore(
+      Segs.size(), [&](size_t I) { return Plan.runWorker(Segs[I]); },
+      [&](std::vector<WorkerOutput> &Outputs) {
+        return Plan.merge(Outputs, Segs);
+      },
+      Pool, Policy);
+}
+
+ParallelRunResult runParallel(const CompiledPlan &Plan,
+                              const SegmentSource &Src, ThreadPool *Pool,
+                              const RunPolicy &Policy) {
+  const size_t N = Src.chunkCount();
+
+  // Constant-prefix merge repair reads min(PrefixLen, Size) elements
+  // from each segment; prefetch exactly those heads (tiny) so merge()
+  // never needs whole chunks resident. The views carry the TRUE chunk
+  // size with head-only data — the documented merge() contract.
+  size_t PrefixLen = Plan.plan().Kind == synth::Scenario::ConstPrefix
+                         ? Plan.plan().PrefixLen
+                         : 0;
+  std::vector<std::vector<int64_t>> Heads(N);
+  std::vector<SegmentView> HeadViews(N);
+  {
+    std::unique_ptr<SegmentCursor> C = Src.cursor();
+    for (size_t I = 0; I != N; ++I) {
+      if (PrefixLen != 0) {
+        SegmentView H = C->head(I, PrefixLen);
+        Heads[I].assign(H.Data, H.Data + H.Size);
+      }
+      HeadViews[I] = {Heads[I].data(), Src.chunkElems(I)};
+    }
+  }
+
+  return runParallelCore(
+      N,
+      [&](size_t I) {
+        // A fresh cursor per attempt: cursors are not thread-safe, and
+        // retries/backups may run the same chunk concurrently. The
+        // chunk view lives as long as the cursor.
+        std::unique_ptr<SegmentCursor> C = Src.cursor();
+        return Plan.runWorker(C->chunk(I));
+      },
+      [&](std::vector<WorkerOutput> &Outputs) {
+        return Plan.merge(Outputs, HeadViews);
+      },
+      Pool, Policy);
+}
+
+int64_t runSerialSourceTimed(const CompiledProgram &Prog,
+                             const SegmentSource &Src, double *Seconds) {
+  Stopwatch Timer;
+  int64_t Out = Prog.runSerialSource(Src);
+  if (Seconds)
+    *Seconds = Timer.seconds();
+  return Out;
 }
 
 double makespan(const std::vector<double> &WorkerSeconds, unsigned P) {

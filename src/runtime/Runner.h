@@ -109,6 +109,21 @@ ParallelRunResult runParallel(const CompiledPlan &Plan,
                               ThreadPool *Pool = nullptr,
                               const RunPolicy &Policy = RunPolicy());
 
+/// Out-of-core parallel run: one worker per source chunk, each holding
+/// one chunk resident via its own cursor. Shares the exact retry /
+/// speculation / refold / cancellation core with the in-memory overload
+/// and is bit-identical to it on the same element stream (constant-
+/// prefix repair heads are prefetched; whole chunks never are).
+ParallelRunResult runParallel(const CompiledPlan &Plan,
+                              const SegmentSource &Src,
+                              ThreadPool *Pool = nullptr,
+                              const RunPolicy &Policy = RunPolicy());
+
+/// Serial out-of-core run over \p Src; wall time in \p Seconds.
+int64_t runSerialSourceTimed(const CompiledProgram &Prog,
+                             const SegmentSource &Src,
+                             double *Seconds = nullptr);
+
 /// LPT makespan of \p WorkerSeconds on \p P identical workers.
 double makespan(const std::vector<double> &WorkerSeconds, unsigned P);
 

@@ -1,0 +1,717 @@
+//===- runtime/SegmentSource.cpp -----------------------------------------===//
+
+#include "runtime/SegmentSource.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+// The binary format is little-endian on disk and read back by plain
+// int64 loads; a big-endian host would need byte swaps nobody has
+// written.
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__) &&             \
+    __BYTE_ORDER__ != __ORDER_LITTLE_ENDIAN__
+#error "binary workload files assume a little-endian host"
+#endif
+
+namespace grassp {
+namespace runtime {
+
+namespace {
+
+std::string errnoString() { return std::strerror(errno); }
+
+/// pread that retries EINTR and short reads. Throws on error/EOF.
+void preadFull(int Fd, void *Buf, size_t Bytes, uint64_t Off,
+               const std::string &Path) {
+  char *P = static_cast<char *>(Buf);
+  while (Bytes != 0) {
+    ssize_t N = ::pread(Fd, P, Bytes, static_cast<off_t>(Off));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw WorkloadParseError(Path, 0, "read error: " + errnoString());
+    }
+    if (N == 0)
+      throw WorkloadParseError(Path, 0, "unexpected end of file");
+    P += N;
+    Off += static_cast<uint64_t>(N);
+    Bytes -= static_cast<size_t>(N);
+  }
+}
+
+/// write that retries EINTR and short writes. Throws on error.
+void writeFull(int Fd, const void *Buf, size_t Bytes,
+               const std::string &Path) {
+  const char *P = static_cast<const char *>(Buf);
+  while (Bytes != 0) {
+    ssize_t N = ::write(Fd, P, Bytes);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      throw WorkloadParseError(Path, 0, "write error: " + errnoString());
+    }
+    P += N;
+    Bytes -= static_cast<size_t>(N);
+  }
+}
+
+int openReadOnly(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    throw WorkloadParseError(Path, 0, "cannot open file: " + errnoString());
+  return Fd;
+}
+
+uint64_t fileBytes(int Fd, const std::string &Path) {
+  struct stat St;
+  if (::fstat(Fd, &St) != 0)
+    throw WorkloadParseError(Path, 0, "stat failed: " + errnoString());
+  return static_cast<uint64_t>(St.st_size);
+}
+
+void throwEmptyWorkload(const std::string &Path) {
+  // Mirrors partition()'s contract: segment sources never produce empty
+  // chunk sets, so a zero-length workload is rejected at open.
+  throw std::invalid_argument("segment source: workload file '" + Path +
+                              "' holds zero elements");
+}
+
+/// Reads + validates the binary header; returns the element count.
+/// Enforces the exact payload size so truncated or trailing-garbage
+/// files fail loudly.
+uint64_t readBinaryCount(int Fd, const std::string &Path) {
+  uint64_t Bytes = fileBytes(Fd, Path);
+  if (Bytes < BinaryWorkloadHeaderBytes)
+    throw WorkloadParseError(Path, 0,
+                             "not a binary workload file (shorter than "
+                             "the header)");
+  char Header[BinaryWorkloadHeaderBytes];
+  preadFull(Fd, Header, sizeof(Header), 0, Path);
+  if (std::memcmp(Header, BinaryWorkloadMagic,
+                  sizeof(BinaryWorkloadMagic)) != 0)
+    throw WorkloadParseError(Path, 0,
+                             "not a binary workload file (bad magic; "
+                             "text inputs go through 'grassp convert')");
+  uint64_t Count = 0;
+  std::memcpy(&Count, Header + sizeof(BinaryWorkloadMagic), sizeof(Count));
+  if (Count > (UINT64_MAX - BinaryWorkloadHeaderBytes) / sizeof(int64_t) ||
+      Bytes != BinaryWorkloadHeaderBytes + Count * sizeof(int64_t))
+    throw WorkloadParseError(
+        Path, 0,
+        "binary workload size mismatch: header declares " +
+            std::to_string(Count) + " element(s) but the file holds " +
+            std::to_string(Bytes) + " byte(s)");
+  return Count;
+}
+
+uint64_t chunkByteOffset(uint64_t ElemBegin) {
+  return BinaryWorkloadHeaderBytes + ElemBegin * sizeof(int64_t);
+}
+
+void checkChunkIndex(size_t I, size_t NumChunks) {
+  if (I >= NumChunks)
+    throw std::out_of_range("segment source: chunk " + std::to_string(I) +
+                            " out of range (have " +
+                            std::to_string(NumChunks) + ")");
+}
+
+//===----------------------------------------------------------------------===//
+// Cursors
+//===----------------------------------------------------------------------===//
+
+class VectorCursor : public SegmentCursor {
+public:
+  VectorCursor(const SegmentSource &Src, const std::vector<int64_t> &Data)
+      : Src(Src), Data(Data) {}
+
+  SegmentView chunk(size_t I) override {
+    checkChunkIndex(I, Src.chunkCount());
+    return {Data.data() + Src.chunkBegin(I), Src.chunkElems(I)};
+  }
+  SegmentView head(size_t I, size_t N) override {
+    SegmentView V = chunk(I);
+    return {V.Data, std::min(N, V.Size)};
+  }
+
+private:
+  const SegmentSource &Src;
+  const std::vector<int64_t> &Data;
+};
+
+/// One live page-aligned window per cursor; remapped on every chunk()
+/// so the resident footprint is a single chunk regardless of file size.
+class MmapCursor : public SegmentCursor {
+public:
+  MmapCursor(const SegmentSource &Src, int Fd, std::string Path)
+      : Src(Src), Fd(Fd), Path(std::move(Path)),
+        Page(static_cast<size_t>(::sysconf(_SC_PAGESIZE))) {}
+  ~MmapCursor() override { unmap(); }
+
+  SegmentView chunk(size_t I) override { return window(I, Src.chunkElems(I)); }
+  SegmentView head(size_t I, size_t N) override {
+    return window(I, std::min(N, Src.chunkElems(I)));
+  }
+
+private:
+  SegmentView window(size_t I, size_t Elems) {
+    checkChunkIndex(I, Src.chunkCount());
+    unmap();
+    if (Elems == 0)
+      return {nullptr, 0};
+    uint64_t Off = chunkByteOffset(Src.chunkBegin(I));
+    uint64_t Aligned = Off - Off % Page;
+    size_t Lead = static_cast<size_t>(Off - Aligned);
+    MapLen = Lead + Elems * sizeof(int64_t);
+    Map = ::mmap(nullptr, MapLen, PROT_READ, MAP_PRIVATE,
+                 Fd, static_cast<off_t>(Aligned));
+    if (Map == MAP_FAILED) {
+      Map = nullptr;
+      MapLen = 0;
+      throw WorkloadParseError(Path, 0, "mmap failed: " + errnoString());
+    }
+    // Advisory only; folds walk each window front to back exactly once.
+    ::madvise(Map, MapLen, MADV_SEQUENTIAL);
+    return {reinterpret_cast<const int64_t *>(static_cast<char *>(Map) + Lead),
+            Elems};
+  }
+
+  void unmap() {
+    if (Map) {
+      ::munmap(Map, MapLen);
+      Map = nullptr;
+      MapLen = 0;
+    }
+  }
+
+  const SegmentSource &Src;
+  int Fd;
+  std::string Path;
+  size_t Page;
+  void *Map = nullptr;
+  size_t MapLen = 0;
+};
+
+/// Bounded-buffer binary reader: one chunk-sized pread buffer.
+class BinaryChunkCursor : public SegmentCursor {
+public:
+  BinaryChunkCursor(const SegmentSource &Src, int Fd, std::string Path)
+      : Src(Src), Fd(Fd), Path(std::move(Path)) {}
+
+  SegmentView chunk(size_t I) override { return read(I, Src.chunkElems(I)); }
+  SegmentView head(size_t I, size_t N) override {
+    return read(I, std::min(N, Src.chunkElems(I)));
+  }
+
+private:
+  SegmentView read(size_t I, size_t Elems) {
+    checkChunkIndex(I, Src.chunkCount());
+    Buf.resize(Elems);
+    if (Elems != 0)
+      preadFull(Fd, Buf.data(), Elems * sizeof(int64_t),
+                chunkByteOffset(Src.chunkBegin(I)), Path);
+    return {Buf.data(), Elems};
+  }
+
+  const SegmentSource &Src;
+  int Fd;
+  std::string Path;
+  std::vector<int64_t> Buf;
+};
+
+/// Text reader: seeks to the chunk's byte offset (from the up-front
+/// index) and strictly reparses exactly the chunk's lines. Each cursor
+/// owns its stream, so concurrent cursors never share seek state.
+class TextChunkCursor : public SegmentCursor {
+public:
+  TextChunkCursor(const SegmentSource &Src, std::string Path,
+                  const std::vector<uint64_t> &Offsets)
+      : Src(Src), Path(std::move(Path)), Offsets(Offsets), In(this->Path) {
+    if (!In)
+      throw WorkloadParseError(this->Path, 0,
+                               "cannot open file: " + errnoString());
+  }
+
+  SegmentView chunk(size_t I) override { return read(I, Src.chunkElems(I)); }
+  SegmentView head(size_t I, size_t N) override {
+    return read(I, std::min(N, Src.chunkElems(I)));
+  }
+
+private:
+  SegmentView read(size_t I, size_t Elems) {
+    checkChunkIndex(I, Src.chunkCount());
+    Buf.clear();
+    Buf.reserve(Elems);
+    In.clear();
+    In.seekg(static_cast<std::streamoff>(Offsets[I]));
+    std::string Line;
+    for (size_t K = 0; K != Elems; ++K) {
+      if (!std::getline(In, Line))
+        throw WorkloadParseError(Path, 0,
+                                 "file shrank under the streaming reader "
+                                 "(chunk " + std::to_string(I) + ")");
+      int64_t V = 0;
+      if (!parseWorkloadElement(Line, &V))
+        throw WorkloadParseError(Path, 0,
+                                 "malformed element '" + Line +
+                                     "' (file changed under the streaming "
+                                     "reader?)");
+      Buf.push_back(V);
+    }
+    return {Buf.data(), Buf.size()};
+  }
+
+  const SegmentSource &Src;
+  std::string Path;
+  const std::vector<uint64_t> &Offsets;
+  std::ifstream In;
+  std::vector<int64_t> Buf;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SegmentCursor / SegmentSource geometry
+//===----------------------------------------------------------------------===//
+
+SegmentView SegmentCursor::head(size_t I, size_t N) {
+  SegmentView V = chunk(I);
+  return {V.Data, std::min(N, V.Size)};
+}
+
+void SegmentSource::initChunks(uint64_t N, size_t ChunkElemsTarget,
+                               size_t MinChunks) {
+  NumElements = N;
+  if (ChunkElemsTarget == 0)
+    ChunkElemsTarget = 1;
+  uint64_t Chunks = (N + ChunkElemsTarget - 1) / ChunkElemsTarget;
+  Chunks = std::max<uint64_t>(Chunks, std::max<size_t>(MinChunks, 1));
+  Chunks = std::min<uint64_t>(Chunks, N); // chunks are never empty
+  NumChunks = static_cast<size_t>(Chunks);
+}
+
+uint64_t SegmentSource::chunkBegin(size_t I) const {
+  uint64_t Base = NumElements / NumChunks, Rem = NumElements % NumChunks;
+  return I * Base + std::min<uint64_t>(I, Rem);
+}
+
+size_t SegmentSource::chunkElems(size_t I) const {
+  uint64_t Base = NumElements / NumChunks, Rem = NumElements % NumChunks;
+  return static_cast<size_t>(Base + (I < Rem ? 1 : 0));
+}
+
+//===----------------------------------------------------------------------===//
+// VectorSource
+//===----------------------------------------------------------------------===//
+
+VectorSource::VectorSource(std::vector<int64_t> Data,
+                           const SourceOptions &Opts)
+    : Data(std::move(Data)) {
+  if (this->Data.empty())
+    throw std::invalid_argument(
+        "segment source: in-memory workload holds zero elements");
+  initChunks(this->Data.size(), Opts.ChunkElems, Opts.MinChunks);
+}
+
+std::unique_ptr<SegmentCursor> VectorSource::cursor() const {
+  return std::make_unique<VectorCursor>(*this, Data);
+}
+
+//===----------------------------------------------------------------------===//
+// MmapFileSource
+//===----------------------------------------------------------------------===//
+
+MmapFileSource::MmapFileSource(const std::string &Path,
+                               const SourceOptions &Opts)
+    : Path(Path), Fd(openReadOnly(Path)) {
+  try {
+    uint64_t Count = readBinaryCount(Fd, Path);
+    if (Count == 0)
+      throwEmptyWorkload(Path);
+    initChunks(Count, Opts.ChunkElems, Opts.MinChunks);
+  } catch (...) {
+    ::close(Fd);
+    throw;
+  }
+}
+
+MmapFileSource::~MmapFileSource() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+std::unique_ptr<SegmentCursor> MmapFileSource::cursor() const {
+  return std::make_unique<MmapCursor>(*this, Fd, Path);
+}
+
+//===----------------------------------------------------------------------===//
+// ChunkedFileSource
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// First text pass: validates the whole file with the loadWorkloadFile
+/// grammar while holding no elements; returns the count and the byte
+/// offset of the first element line.
+void scanTextWorkload(const std::string &Path, uint64_t MaxElems,
+                      uint64_t *CountOut, uint64_t *DataStartOut) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    throw WorkloadParseError(Path, 0, "cannot open file: " + errnoString());
+  uint64_t Count = 0, DataStart = 0;
+  bool HaveHeader = false;
+  uint64_t Declared = 0;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string Stripped = Line;
+    if (!Stripped.empty() && Stripped.back() == '\r')
+      Stripped.pop_back();
+    if (!Stripped.empty() && Stripped.front() == '#') {
+      if (LineNo != 1)
+        throw WorkloadParseError(Path, LineNo,
+                                 "comment lines are only allowed as the "
+                                 "first-line header");
+      std::string Reason;
+      if (!parseWorkloadHeader(Stripped, &Declared, &Reason))
+        throw WorkloadParseError(Path, LineNo, Reason);
+      if (MaxElems != 0 && Declared > MaxElems)
+        throw WorkloadParseError(
+            Path, LineNo,
+            "header declares " + std::to_string(Declared) +
+                " elements, over the --max-elems cap of " +
+                std::to_string(MaxElems));
+      HaveHeader = true;
+      DataStart = static_cast<uint64_t>(In.tellg());
+      continue;
+    }
+    int64_t V = 0;
+    if (!parseWorkloadElement(Line, &V))
+      throw WorkloadParseError(Path, LineNo,
+                               "malformed element '" + Stripped +
+                                   "' (expected one decimal int64 per "
+                                   "line)");
+    if (MaxElems != 0 && Count == MaxElems)
+      throw WorkloadParseError(Path, LineNo,
+                               "file holds more than the --max-elems cap "
+                               "of " + std::to_string(MaxElems) +
+                                   " element(s)");
+    ++Count;
+  }
+  if (In.bad())
+    throw WorkloadParseError(Path, LineNo, "read error");
+  if (HaveHeader && Count != Declared)
+    throw WorkloadParseError(
+        Path, 0,
+        "element count mismatch: header declares " +
+            std::to_string(Declared) + " but file holds " +
+            std::to_string(Count) +
+            (Count < Declared ? " (truncated file?)" : ""));
+  *CountOut = Count;
+  *DataStartOut = DataStart;
+}
+
+} // namespace
+
+ChunkedFileSource::ChunkedFileSource(const std::string &Path,
+                                     const SourceOptions &Opts,
+                                     uint64_t MaxElems)
+    : Path(Path), Fd(openReadOnly(Path)) {
+  try {
+    char Magic[sizeof(BinaryWorkloadMagic)] = {};
+    uint64_t Bytes = fileBytes(Fd, Path);
+    if (Bytes >= sizeof(Magic))
+      preadFull(Fd, Magic, sizeof(Magic), 0, Path);
+    Text = std::memcmp(Magic, BinaryWorkloadMagic, sizeof(Magic)) != 0;
+
+    if (!Text) {
+      uint64_t Count = readBinaryCount(Fd, Path);
+      if (Count == 0)
+        throwEmptyWorkload(Path);
+      if (MaxElems != 0 && Count > MaxElems)
+        throw WorkloadParseError(
+            Path, 0,
+            "file holds " + std::to_string(Count) +
+                " elements, over the --max-elems cap of " +
+                std::to_string(MaxElems));
+      initChunks(Count, Opts.ChunkElems, Opts.MinChunks);
+      return;
+    }
+
+    // Text: one validating counting pass, then a second pass recording
+    // the byte offset of each chunk's first line. Neither holds
+    // elements, so the index is O(chunks) regardless of file size.
+    uint64_t Count = 0, DataStart = 0;
+    scanTextWorkload(Path, MaxElems, &Count, &DataStart);
+    if (Count == 0)
+      throwEmptyWorkload(Path);
+    initChunks(Count, Opts.ChunkElems, Opts.MinChunks);
+
+    std::ifstream In(Path, std::ios::binary);
+    In.seekg(static_cast<std::streamoff>(DataStart));
+    TextChunkOffsets.reserve(NumChunks);
+    std::string Line;
+    uint64_t Elem = 0;
+    size_t NextChunk = 0;
+    while (NextChunk != NumChunks) {
+      uint64_t Pos = static_cast<uint64_t>(In.tellg());
+      if (Elem == chunkBegin(NextChunk)) {
+        TextChunkOffsets.push_back(Pos);
+        ++NextChunk;
+      }
+      if (NextChunk == NumChunks)
+        break;
+      if (!std::getline(In, Line))
+        throw WorkloadParseError(Path, 0, "read error building chunk index");
+      ++Elem;
+    }
+  } catch (...) {
+    ::close(Fd);
+    throw;
+  }
+}
+
+ChunkedFileSource::~ChunkedFileSource() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+std::unique_ptr<SegmentCursor> ChunkedFileSource::cursor() const {
+  if (Text)
+    return std::make_unique<TextChunkCursor>(*this, Path, TextChunkOffsets);
+  return std::make_unique<BinaryChunkCursor>(*this, Fd, Path);
+}
+
+//===----------------------------------------------------------------------===//
+// openSegmentSource and friends
+//===----------------------------------------------------------------------===//
+
+bool parseSourceKind(const char *Name, SourceKind *Out) {
+  std::string S = Name ? Name : "";
+  if (S == "auto")
+    *Out = SourceKind::Auto;
+  else if (S == "mem" || S == "memory")
+    *Out = SourceKind::Memory;
+  else if (S == "mmap")
+    *Out = SourceKind::Mmap;
+  else if (S == "chunked")
+    *Out = SourceKind::Chunked;
+  else
+    return false;
+  return true;
+}
+
+const char *sourceKindName(SourceKind K) {
+  switch (K) {
+  case SourceKind::Auto:
+    return "auto";
+  case SourceKind::Memory:
+    return "memory";
+  case SourceKind::Mmap:
+    return "mmap";
+  case SourceKind::Chunked:
+    return "chunked";
+  }
+  return "?";
+}
+
+bool isBinaryWorkloadFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  char Magic[sizeof(BinaryWorkloadMagic)] = {};
+  if (!In.read(Magic, sizeof(Magic)))
+    return false;
+  return std::memcmp(Magic, BinaryWorkloadMagic, sizeof(Magic)) == 0;
+}
+
+namespace {
+
+/// Fully materializes a binary workload file (the Memory source kind
+/// over converted files).
+std::vector<int64_t> readBinaryAll(const std::string &Path,
+                                   uint64_t MaxElems) {
+  int Fd = openReadOnly(Path);
+  std::vector<int64_t> Out;
+  try {
+    uint64_t Count = readBinaryCount(Fd, Path);
+    if (MaxElems != 0 && Count > MaxElems)
+      throw WorkloadParseError(
+          Path, 0,
+          "file holds " + std::to_string(Count) +
+              " elements, over the --max-elems cap of " +
+              std::to_string(MaxElems));
+    Out.resize(static_cast<size_t>(Count));
+    if (Count != 0)
+      preadFull(Fd, Out.data(), static_cast<size_t>(Count) * sizeof(int64_t),
+                BinaryWorkloadHeaderBytes, Path);
+  } catch (...) {
+    ::close(Fd);
+    throw;
+  }
+  ::close(Fd);
+  return Out;
+}
+
+} // namespace
+
+std::unique_ptr<SegmentSource> openSegmentSource(const std::string &Path,
+                                                 SourceKind Kind,
+                                                 const SourceOptions &Opts,
+                                                 uint64_t MaxElems) {
+  bool Binary = isBinaryWorkloadFile(Path);
+  if (Kind == SourceKind::Auto)
+    Kind = Binary ? SourceKind::Mmap : SourceKind::Memory;
+  switch (Kind) {
+  case SourceKind::Memory: {
+    std::vector<int64_t> Data = Binary ? readBinaryAll(Path, MaxElems)
+                                       : loadWorkloadFile(Path, MaxElems);
+    if (Data.empty())
+      throwEmptyWorkload(Path);
+    return std::make_unique<VectorSource>(std::move(Data), Opts);
+  }
+  case SourceKind::Mmap: {
+    auto Src = std::make_unique<MmapFileSource>(Path, Opts);
+    if (MaxElems != 0 && Src->elements() > MaxElems)
+      throw WorkloadParseError(
+          Path, 0,
+          "file holds " + std::to_string(Src->elements()) +
+              " elements, over the --max-elems cap of " +
+              std::to_string(MaxElems));
+    return Src;
+  }
+  case SourceKind::Chunked:
+    return std::make_unique<ChunkedFileSource>(Path, Opts, MaxElems);
+  case SourceKind::Auto:
+    break;
+  }
+  throw std::logic_error("openSegmentSource: unreachable source kind");
+}
+
+//===----------------------------------------------------------------------===//
+// BinaryWorkloadWriter / convertTextToBinary
+//===----------------------------------------------------------------------===//
+
+BinaryWorkloadWriter::BinaryWorkloadWriter(const std::string &Path)
+    : Path(Path), TmpPath(Path + ".tmp." + std::to_string(::getpid())) {
+  Fd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+              0644);
+  if (Fd < 0)
+    throw WorkloadParseError(TmpPath, 0,
+                             "cannot create file: " + errnoString());
+  char Header[BinaryWorkloadHeaderBytes] = {};
+  std::memcpy(Header, BinaryWorkloadMagic, sizeof(BinaryWorkloadMagic));
+  // Count placeholder (zero) — patched by close().
+  writeFull(Fd, Header, sizeof(Header), TmpPath);
+}
+
+BinaryWorkloadWriter::~BinaryWorkloadWriter() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    ::unlink(TmpPath.c_str());
+  }
+}
+
+void BinaryWorkloadWriter::append(const int64_t *Vals, size_t N) {
+  if (Fd < 0)
+    throw std::logic_error("BinaryWorkloadWriter: append after close");
+  writeFull(Fd, Vals, N * sizeof(int64_t), TmpPath);
+  Count += N;
+}
+
+void BinaryWorkloadWriter::close() {
+  if (Fd < 0)
+    throw std::logic_error("BinaryWorkloadWriter: double close");
+  uint64_t C = Count;
+  if (::pwrite(Fd, &C, sizeof(C),
+               static_cast<off_t>(sizeof(BinaryWorkloadMagic))) !=
+      static_cast<ssize_t>(sizeof(C)))
+    throw WorkloadParseError(TmpPath, 0,
+                             "cannot patch element count: " + errnoString());
+  if (::fsync(Fd) != 0)
+    throw WorkloadParseError(TmpPath, 0, "fsync failed: " + errnoString());
+  ::close(Fd);
+  Fd = -1;
+  if (::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::string E = errnoString();
+    ::unlink(TmpPath.c_str());
+    throw WorkloadParseError(Path, 0, "cannot publish file: " + E);
+  }
+}
+
+uint64_t convertTextToBinary(const std::string &TextPath,
+                             const std::string &BinPath, uint64_t MaxElems) {
+  std::ifstream In(TextPath, std::ios::binary);
+  if (!In)
+    throw WorkloadParseError(TextPath, 0,
+                             "cannot open file: " + errnoString());
+  BinaryWorkloadWriter Writer(BinPath);
+  std::vector<int64_t> Batch;
+  const size_t BatchElems = size_t{1} << 16;
+  Batch.reserve(BatchElems);
+
+  bool HaveHeader = false;
+  uint64_t Declared = 0;
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string Stripped = Line;
+    if (!Stripped.empty() && Stripped.back() == '\r')
+      Stripped.pop_back();
+    if (!Stripped.empty() && Stripped.front() == '#') {
+      if (LineNo != 1)
+        throw WorkloadParseError(TextPath, LineNo,
+                                 "comment lines are only allowed as the "
+                                 "first-line header");
+      std::string Reason;
+      if (!parseWorkloadHeader(Stripped, &Declared, &Reason))
+        throw WorkloadParseError(TextPath, LineNo, Reason);
+      if (MaxElems != 0 && Declared > MaxElems)
+        throw WorkloadParseError(
+            TextPath, LineNo,
+            "header declares " + std::to_string(Declared) +
+                " elements, over the --max-elems cap of " +
+                std::to_string(MaxElems));
+      HaveHeader = true;
+      continue;
+    }
+    int64_t V = 0;
+    if (!parseWorkloadElement(Line, &V))
+      throw WorkloadParseError(TextPath, LineNo,
+                               "malformed element '" + Stripped +
+                                   "' (expected one decimal int64 per "
+                                   "line)");
+    if (MaxElems != 0 && Writer.written() + Batch.size() == MaxElems)
+      throw WorkloadParseError(TextPath, LineNo,
+                               "file holds more than the --max-elems cap "
+                               "of " + std::to_string(MaxElems) +
+                                   " element(s)");
+    Batch.push_back(V);
+    if (Batch.size() == BatchElems) {
+      Writer.append(Batch);
+      Batch.clear();
+    }
+  }
+  if (In.bad())
+    throw WorkloadParseError(TextPath, LineNo, "read error");
+  Writer.append(Batch);
+  if (HaveHeader && Writer.written() != Declared)
+    throw WorkloadParseError(
+        TextPath, 0,
+        "element count mismatch: header declares " +
+            std::to_string(Declared) + " but file holds " +
+            std::to_string(Writer.written()) +
+            (Writer.written() < Declared ? " (truncated file?)" : ""));
+  Writer.close();
+  return Writer.written();
+}
+
+} // namespace runtime
+} // namespace grassp

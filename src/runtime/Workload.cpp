@@ -15,53 +15,61 @@
 namespace grassp {
 namespace runtime {
 
-std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
-                                      size_t N, uint64_t Seed,
-                                      const WorkloadOptions &Opts) {
-  Rng R(Seed);
-  std::vector<int64_t> Out;
-  Out.reserve(N);
+WorkloadStream::WorkloadStream(const lang::SerialProgram &Prog,
+                               size_t TotalN, uint64_t Seed,
+                               const WorkloadOptions &Opts)
+    : Prog(Prog), TotalN(TotalN), Opts(Opts), R(Seed) {}
+
+size_t WorkloadStream::generate(size_t Count, std::vector<int64_t> &Out) {
+  size_t N = std::min(Count, remaining());
+  Out.reserve(Out.size() + N);
 
   if (Prog.Name == "is_sorted") {
     // Nearly sorted ("system log files consistent with system time"),
     // with rare injected inversions so both outcomes of the sortedness
     // check occur across seeds.
-    int64_t Cur = 0;
-    for (size_t I = 0; I != N; ++I) {
+    for (size_t K = 0; K != N; ++K) {
+      size_t I = Produced + K;
       if (I != 0 && Opts.SortedInversionPerMille != 0 &&
           R.chance(Opts.SortedInversionPerMille, 1000))
-        Cur -= 1 + static_cast<int64_t>(R.next() % 3);
+        SortedCur -= 1 + static_cast<int64_t>(R.next() % 3);
       else
-        Cur += static_cast<int64_t>(R.next() % 3);
-      Out.push_back(Cur);
+        SortedCur += static_cast<int64_t>(R.next() % 3);
+      Out.push_back(SortedCur);
     }
-    return Out;
-  }
-  if (Prog.Name == "all_equal") {
-    Out.assign(N, 5);
-    return Out;
-  }
-  if (Prog.Name == "alternating01") {
-    for (size_t I = 0; I != N; ++I)
-      Out.push_back(static_cast<int64_t>(I & 1));
-    return Out;
-  }
-  if (Prog.Name == "count_distinct") {
+  } else if (Prog.Name == "all_equal") {
+    Out.insert(Out.end(), N, 5);
+  } else if (Prog.Name == "alternating01") {
+    for (size_t K = 0; K != N; ++K)
+      Out.push_back(static_cast<int64_t>((Produced + K) & 1));
+  } else if (Prog.Name == "count_distinct") {
     // Skewed stream reproducing the paper's superlinear observation: the
     // first eighth carries many distinct values, the rest only a few, so
     // a serial linear-search membership structure pays the full distinct
     // count on every later element while per-thread structures stay tiny.
-    size_t Head = N / 8;
-    for (size_t I = 0; I != N; ++I)
-      Out.push_back(I < Head ? R.range(0, 1500) : 1600 + R.range(0, 9));
-    return Out;
-  }
-  if (!Prog.InputAlphabet.empty()) {
+    size_t Head = TotalN / 8;
+    for (size_t K = 0; K != N; ++K)
+      Out.push_back(Produced + K < Head ? R.range(0, 1500)
+                                        : 1600 + R.range(0, 9));
+  } else if (!Prog.InputAlphabet.empty()) {
     // Alphabet streams; markers (the boundary symbols) appear with their
     // natural uniform frequency, which keeps conditional prefixes short.
-    return randomFromAlphabet(R, Prog.InputAlphabet, N);
+    for (size_t K = 0; K != N; ++K)
+      Out.push_back(Prog.InputAlphabet[R.bounded(Prog.InputAlphabet.size())]);
+  } else {
+    for (size_t K = 0; K != N; ++K)
+      Out.push_back(R.range(Prog.GenLo, Prog.GenHi));
   }
-  return randomInRange(R, Prog.GenLo, Prog.GenHi, N);
+  Produced += N;
+  return N;
+}
+
+std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
+                                      size_t N, uint64_t Seed,
+                                      const WorkloadOptions &Opts) {
+  std::vector<int64_t> Out;
+  WorkloadStream(Prog, N, Seed, Opts).generate(N, Out);
+  return Out;
 }
 
 WorkloadParseError::WorkloadParseError(std::string File, unsigned Line,
@@ -73,12 +81,7 @@ std::string workloadFileHeader(size_t Count) {
   return "# grassp-workload " + std::to_string(Count);
 }
 
-namespace {
-
-/// Strict one-int64 parse of an element line. Rejects empty lines,
-/// leading/trailing junk, and values outside int64. A lone '\r' tail is
-/// tolerated (files written on Windows).
-bool parseElementLine(std::string Line, int64_t *Out) {
+bool parseWorkloadElement(std::string Line, int64_t *Out) {
   if (!Line.empty() && Line.back() == '\r')
     Line.pop_back();
   if (Line.empty())
@@ -92,12 +95,41 @@ bool parseElementLine(std::string Line, int64_t *Out) {
   return true;
 }
 
-} // namespace
+bool parseWorkloadHeader(const std::string &Stripped, uint64_t *Count,
+                         std::string *Reason) {
+  // Must be the exact header: "# grassp-workload <count>".
+  const std::string Tag = "# grassp-workload ";
+  if (Stripped.compare(0, Tag.size(), Tag) != 0) {
+    if (Reason)
+      *Reason = "unrecognized header (expected '# grassp-workload "
+                "<count>')";
+    return false;
+  }
+  std::string CountStr = Stripped.substr(Tag.size());
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long C = std::strtoull(CountStr.c_str(), &End, 10);
+  if (End == CountStr.c_str() || *End != '\0' || errno == ERANGE ||
+      CountStr.front() == '-') {
+    if (Reason)
+      *Reason = "malformed element count '" + CountStr + "' in header";
+    return false;
+  }
+  *Count = static_cast<uint64_t>(C);
+  return true;
+}
 
-std::vector<int64_t> loadWorkloadFile(const std::string &Path) {
-  std::ifstream In(Path);
+std::vector<int64_t> loadWorkloadFile(const std::string &Path,
+                                      uint64_t MaxElems) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
   if (!In)
     throw WorkloadParseError(Path, 0, "cannot open file");
+  // Bytes on disk bound the sane reserve: every element line is at
+  // least two bytes ("0\n"), so a header declaring more than bytes/2
+  // elements is lying and must not drive the allocation.
+  uint64_t FileBytes =
+      static_cast<uint64_t>(std::max<std::streamoff>(0, In.tellg()));
+  In.seekg(0);
 
   std::vector<int64_t> Out;
   bool HaveHeader = false;
@@ -114,32 +146,33 @@ std::vector<int64_t> loadWorkloadFile(const std::string &Path) {
         throw WorkloadParseError(Path, LineNo,
                                  "comment lines are only allowed as the "
                                  "first-line header");
-      // Must be the exact header: "# grassp-workload <count>".
-      const std::string Tag = "# grassp-workload ";
-      if (Stripped.compare(0, Tag.size(), Tag) != 0)
-        throw WorkloadParseError(Path, LineNo,
-                                 "unrecognized header (expected '# "
-                                 "grassp-workload <count>')");
-      std::string CountStr = Stripped.substr(Tag.size());
-      errno = 0;
-      char *End = nullptr;
-      unsigned long long C = std::strtoull(CountStr.c_str(), &End, 10);
-      if (End == CountStr.c_str() || *End != '\0' || errno == ERANGE ||
-          CountStr.front() == '-')
-        throw WorkloadParseError(Path, LineNo,
-                                 "malformed element count '" + CountStr +
-                                     "' in header");
+      uint64_t C = 0;
+      std::string Reason;
+      if (!parseWorkloadHeader(Stripped, &C, &Reason))
+        throw WorkloadParseError(Path, LineNo, Reason);
+      if (MaxElems != 0 && C > MaxElems)
+        throw WorkloadParseError(
+            Path, LineNo,
+            "header declares " + std::to_string(C) +
+                " elements, over the --max-elems cap of " +
+                std::to_string(MaxElems));
       HaveHeader = true;
       Declared = static_cast<size_t>(C);
-      Out.reserve(Declared);
+      Out.reserve(static_cast<size_t>(
+          std::min<uint64_t>(Declared, FileBytes / 2 + 1)));
       continue;
     }
     int64_t V = 0;
-    if (!parseElementLine(Line, &V))
+    if (!parseWorkloadElement(Line, &V))
       throw WorkloadParseError(Path, LineNo,
                                "malformed element '" + Stripped +
                                    "' (expected one decimal int64 per "
                                    "line)");
+    if (MaxElems != 0 && Out.size() == MaxElems)
+      throw WorkloadParseError(Path, LineNo,
+                               "file holds more than the --max-elems cap "
+                               "of " + std::to_string(MaxElems) +
+                                   " element(s)");
     Out.push_back(V);
   }
   if (In.bad())

@@ -17,6 +17,7 @@
 #define GRASSP_RUNTIME_WORKLOAD_H
 
 #include "lang/Program.h"
+#include "support/Random.h"
 
 #include <cstdint>
 #include <stdexcept>
@@ -48,6 +49,33 @@ std::vector<int64_t> generateWorkload(const lang::SerialProgram &Prog,
                                       const WorkloadOptions &Opts =
                                           WorkloadOptions());
 
+/// Incremental form of generateWorkload: produces the identical element
+/// stream in caller-sized slices, so >RAM workload files can be written
+/// with O(1) memory (`grassp convert --gen`). The total length is fixed
+/// up front because some generators are position-dependent (the
+/// count_distinct head is TotalN/8 elements; alternating01 keys on the
+/// absolute index); generateWorkload(P, N, S) == one N-sized slice.
+class WorkloadStream {
+public:
+  WorkloadStream(const lang::SerialProgram &Prog, size_t TotalN,
+                 uint64_t Seed,
+                 const WorkloadOptions &Opts = WorkloadOptions());
+
+  /// Appends the next min(Count, remaining()) elements to \p Out;
+  /// returns how many were produced.
+  size_t generate(size_t Count, std::vector<int64_t> &Out);
+  size_t remaining() const { return TotalN - Produced; }
+  size_t total() const { return TotalN; }
+
+private:
+  const lang::SerialProgram &Prog;
+  size_t TotalN;
+  WorkloadOptions Opts;
+  Rng R;
+  size_t Produced = 0;
+  int64_t SortedCur = 0; // is_sorted generator state.
+};
+
 /// Typed rejection of a malformed workload file; what() reads
 /// "file:line: reason" (line 0 = a file-level problem such as a count
 /// mismatch or an unreadable path).
@@ -74,8 +102,27 @@ private:
 ///    (catches truncation, which the bare format cannot detect);
 ///  * only the first line may be a `#` comment, and it must be the
 ///    well-formed header.
+/// \p MaxElems != 0 caps the accepted element count: a header declaring
+/// more is rejected *before* any storage is reserved (a hostile or
+/// corrupted header must produce a typed error, not a bad_alloc), and a
+/// bare file is rejected at the first element past the cap. The vector
+/// is reserved from the header count up front (clamped by the cap and
+/// by a bytes-on-disk bound, since no well-formed file holds more
+/// elements than half its byte size).
 /// Throws WorkloadParseError; never returns partial data.
-std::vector<int64_t> loadWorkloadFile(const std::string &Path);
+std::vector<int64_t> loadWorkloadFile(const std::string &Path,
+                                      uint64_t MaxElems = 0);
+
+/// Strict one-int64 parse of a workload element line (no junk, no blank
+/// lines, int64 range enforced; lone '\r' tail tolerated). Shared by
+/// loadWorkloadFile and the streaming text source.
+bool parseWorkloadElement(std::string Line, int64_t *Out);
+
+/// Parses a stripped first line as the canonical `# grassp-workload
+/// <count>` header. Returns false with \p Reason set when the line is a
+/// comment but not a well-formed header.
+bool parseWorkloadHeader(const std::string &Stripped, uint64_t *Count,
+                         std::string *Reason);
 
 /// The canonical header line (without newline) for \p Count elements.
 std::string workloadFileHeader(size_t Count);

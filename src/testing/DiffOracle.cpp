@@ -5,7 +5,9 @@
 #include "codegen/CppCodegen.h"
 #include "jit/NativeKernel.h"
 #include "lang/Interp.h"
+#include "runtime/MergeTree.h"
 #include "runtime/Runner.h"
+#include "runtime/SegmentSource.h"
 #include "runtime/Workload.h"
 
 #include <cstdio>
@@ -43,50 +45,67 @@ DiffOracle::DiffOracle(const lang::SerialProgram &P,
   if (Src.empty())
     return; // no translation for this plan (e.g. CondPrefixRefold).
 
-  char Template[] = "/tmp/grassp_oracle_XXXXXX";
-  char *Dir = mkdtemp(Template);
+  // Scratch under $TMPDIR (fallback /tmp) — sandboxed CI jobs point
+  // TMPDIR somewhere writable and nothing here may hardcode /tmp.
+  std::string Template = jit::tempRootDir() + "/grassp_oracle_XXXXXX";
+  char *Dir = mkdtemp(&Template[0]);
   if (!Dir)
     return;
   TmpDir = Dir;
-  std::string SrcPath = TmpDir + "/gen.cpp";
-  BinPath = TmpDir + "/gen";
-  {
-    std::ofstream Out(SrcPath);
-    Out << Src;
-  }
-  // Quoted paths and $CXX: an oracle temp dir with shell metacharacters
-  // must not silently change the command.
-  std::string Compile = jit::shellQuote(jit::hostCxx()) +
-                        " -std=c++17 -O1 -o " + jit::shellQuote(BinPath) +
-                        " " + jit::shellQuote(SrcPath) + " -lpthread > " +
-                        jit::shellQuote(TmpDir + "/cc.log") + " 2>&1";
-  int Rc = std::system(Compile.c_str());
-  EmittedReady = jit::waitStatusOk(Rc);
-  if (!EmittedReady) {
-    // The probe said a compiler exists, so a failing compile here is a
-    // real defect (a bad translation, a crashed compiler) that check()
-    // must surface as a divergence, not quietly run one path short.
-    EmittedBroken = true;
-    EmittedError = "emitted compile failed (" +
-                   jit::describeWaitStatus(Rc) + ")";
-    std::ifstream Log(TmpDir + "/cc.log");
-    std::string Line, Last;
-    while (std::getline(Log, Line))
-      if (!Line.empty())
-        Last = Line;
-    if (!Last.empty())
-      EmittedError += ": " + Last;
+  try {
+    std::string SrcPath = TmpDir + "/gen.cpp";
+    BinPath = TmpDir + "/gen";
+    {
+      std::ofstream Out(SrcPath);
+      Out << Src;
+    }
+    // Quoted paths and $CXX: an oracle temp dir with shell
+    // metacharacters must not silently change the command.
+    std::string Compile = jit::shellQuote(jit::hostCxx()) +
+                          " -std=c++17 -O1 -o " + jit::shellQuote(BinPath) +
+                          " " + jit::shellQuote(SrcPath) + " -lpthread > " +
+                          jit::shellQuote(TmpDir + "/cc.log") + " 2>&1";
+    int Rc = std::system(Compile.c_str());
+    EmittedReady = jit::waitStatusOk(Rc);
+    if (!EmittedReady) {
+      // The probe said a compiler exists, so a failing compile here is a
+      // real defect (a bad translation, a crashed compiler) that check()
+      // must surface as a divergence, not quietly run one path short.
+      EmittedBroken = true;
+      EmittedError = "emitted compile failed (" +
+                     jit::describeWaitStatus(Rc) + ")";
+      std::ifstream Log(TmpDir + "/cc.log");
+      std::string Line, Last;
+      while (std::getline(Log, Line))
+        if (!Line.empty())
+          Last = Line;
+      if (!Last.empty())
+        EmittedError += ": " + Last;
+      // The compile log is folded into EmittedError above, so the
+      // scratch dir has nothing left to say — remove it now rather
+      // than holding a dead dir for the oracle's whole lifetime.
+      removeScratch();
+    }
+  } catch (...) {
+    // A throwing constructor never runs the destructor: the failure
+    // and cancellation paths must clean the scratch dir themselves.
+    removeScratch();
+    throw;
   }
 }
 
-DiffOracle::~DiffOracle() {
+void DiffOracle::removeScratch() {
   if (TmpDir.empty())
     return;
   // Best-effort cleanup of the fixed file set; the dir itself last.
   for (const char *F : {"/gen.cpp", "/gen", "/cc.log", "/in.txt", "/out.txt"})
     std::remove((TmpDir + F).c_str());
   rmdir(TmpDir.c_str());
+  TmpDir.clear();
+  EmittedReady = false;
 }
+
+DiffOracle::~DiffOracle() { removeScratch(); }
 
 bool DiffOracle::runEmitted(const std::vector<int64_t> &Flat,
                             int64_t *SerialOut, int64_t *ParallelOut,
@@ -181,6 +200,30 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
   Faults.SpeculativeWins += PR.SpeculativeWins;
   Faults.SerialRefolds += PR.SerialRefolds;
 
+  // Out-of-core + streaming paths: the same workload through a chunked
+  // SegmentSource (source-backed runParallel) and through the MergeTree
+  // (append one chunk at a time, query the root). Chunk geometry is
+  // deliberately different from the segment shape, so chunk/segment
+  // boundary mismatches are exercised on every fuzzed workload.
+  bool SourceActive = !Flat.empty();
+  int64_t SourceVal = 0, TreeVal = 0;
+  if (SourceActive) {
+    runtime::SourceOptions SOpts;
+    SOpts.ChunkElems = std::max<size_t>(1, Flat.size() / 7);
+    SOpts.MinChunks = 3;
+    runtime::VectorSource Src(Flat, SOpts);
+    runtime::ParallelRunResult SR =
+        runtime::runParallel(CompiledPlanImpl, Src, &Pool, Policy);
+    if (SR.Cancelled)
+      return V;
+    SourceVal = SR.Output;
+    runtime::MergeTree Tree(CompiledPlanImpl);
+    std::unique_ptr<runtime::SegmentCursor> C = Src.cursor();
+    for (size_t I = 0; I != Src.chunkCount(); ++I)
+      Tree.append(C->chunk(I));
+    TreeVal = Tree.query();
+  }
+
   bool EmittedOk = true;
   int64_t EmSerial = 0, EmParallel = 0;
   std::string EmittedFailure;
@@ -199,6 +242,8 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
                  EmParallel == V.Expected));
   for (const TierRun &R : Tiers)
     Agree &= !R.Active || R.Value == V.Expected;
+  Agree &= !SourceActive ||
+           (SourceVal == V.Expected && TreeVal == V.Expected);
   if (Agree)
     return V;
 
@@ -209,6 +254,8 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
     if (R.Active)
       D << ' ' << R.Name << '=' << R.Value;
   D << " plan+pool=" << Par;
+  if (SourceActive)
+    D << " source+pool=" << SourceVal << " merge-tree=" << TreeVal;
   if (EmittedReady || EmittedBroken) {
     if (EmittedOk)
       D << " emitted-serial=" << EmSerial << " emitted-parallel="

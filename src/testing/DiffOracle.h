@@ -1,6 +1,6 @@
 //===- testing/DiffOracle.h - Differential oracle over execution paths ---===//
 //
-// One plan, up to seven executions of the same workload:
+// One plan, up to nine executions of the same workload:
 //
 //  1. the tree-walking reference interpreter (lang::runSerial) — the
 //     ground truth, a flat fold of f with no segmentation at all;
@@ -16,7 +16,13 @@
 //     this is the hash-set distinct kernel and the only tier);
 //  6. the compiled plan run segment-parallel on a real ThreadPool
 //     (runtime::runParallel);
-//  7. the emitted standalone C++ translation, compiled on the fly with
+//  7. the compiled plan run over a chunked SegmentSource (the
+//     out-of-core entry point, runtime::runParallel(Plan, Source)) with
+//     chunk boundaries deliberately misaligned with the segment shape;
+//  8. the MergeTree replay: the same chunks appended one at a time to
+//     the incremental-recompute tree, querying the root (skipped, with
+//     path 7, on empty workloads — sources reject them by contract);
+//  9. the emitted standalone C++ translation, compiled on the fly with
 //     the host compiler and fed the identical workload through its
 //     file-input hook (skipped gracefully when no compiler is present
 //     or the plan has no translation; a compiler that *fails* on the
@@ -88,11 +94,13 @@ public:
 
   /// Paths compared per check: the interpreter, every execution tier the
   /// program supports (including the jit-compiled native tier when a
-  /// host compiler exists), the plan+pool run, and (when ready) the
-  /// emitted binary. 5-7 for typical scalar programs, 3 or 4 for bag
-  /// programs (which have only the hash-set tier).
+  /// host compiler exists), the plan+pool run, the chunked-source
+  /// parallel run and the MergeTree replay (skipped on empty
+  /// workloads), and (when ready) the emitted binary. 7-9 for typical
+  /// scalar programs, 5 or 6 for bag programs (which have only the
+  /// hash-set tier).
   unsigned numPaths() const {
-    unsigned N = 2; // interpreter + plan+pool.
+    unsigned N = 4; // interpreter + plan+pool + source+pool + merge-tree.
     if (Compiled.tierAvailable(runtime::ExecTier::PerElement))
       ++N;
     if (Compiled.tierAvailable(runtime::ExecTier::LoopVM))
@@ -139,6 +147,10 @@ public:
 private:
   bool runEmitted(const std::vector<int64_t> &Flat, int64_t *SerialOut,
                   int64_t *ParallelOut, std::string *Error);
+  /// Removes the emitted-path scratch dir (idempotent). Called by the
+  /// destructor AND on the constructor's failure paths — a throwing or
+  /// compile-failing constructor must not leak the dir.
+  void removeScratch();
 
   const lang::SerialProgram &Prog;
   synth::ParallelPlan Plan; // owned: CompiledPlan holds a reference.

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "runtime/SegmentSource.h"
 #include "runtime/Workload.h"
 
 #include <gtest/gtest.h>
@@ -97,6 +98,93 @@ TEST(WorkloadFile, HeaderRoundTripsThroughTheLoader) {
   }
   EXPECT_EQ(loadWorkloadFile(Path), Vals);
   std::remove(Path.c_str());
+}
+
+/// Writes \p Body to a temp file and returns its path.
+std::string writeTemp(const char *Name, const std::string &Body) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path, std::ios::binary);
+  Out << Body;
+  return Path;
+}
+
+TEST(WorkloadFile, HeaderOverMaxElemsIsATypedErrorBeforeAllocation) {
+  // A header declaring an absurd count must be rejected by the
+  // --max-elems guard as a parse error — not by std::bad_alloc from a
+  // quadrillion-element reserve.
+  const std::string Path = writeTemp(
+      "grassp_workload_hugeheader.txt",
+      "# grassp-workload 1000000000000000\n1\n2\n");
+  try {
+    loadWorkloadFile(Path, /*MaxElems=*/100);
+    ADD_FAILURE() << "oversized header count parsed without error";
+  } catch (const WorkloadParseError &E) {
+    EXPECT_EQ(E.line(), 1u);
+    EXPECT_NE(E.reason().find("--max-elems"), std::string::npos)
+        << E.what();
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(WorkloadFile, HugeHeaderWithoutCapDoesNotPreallocate) {
+  // Without a cap the reserve is clamped by the file's byte size, so a
+  // lying header ends in an ordinary count-mismatch error, not OOM.
+  const std::string Path = writeTemp(
+      "grassp_workload_lyingheader.txt",
+      "# grassp-workload 1000000000000000\n1\n2\n");
+  try {
+    loadWorkloadFile(Path);
+    ADD_FAILURE() << "lying header count parsed without error";
+  } catch (const WorkloadParseError &E) {
+    EXPECT_NE(E.reason().find("count mismatch"), std::string::npos)
+        << E.what();
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(WorkloadFile, BareFileOverMaxElemsIsRejected) {
+  const std::string Path =
+      writeTemp("grassp_workload_barecap.txt", "1\n2\n3\n4\n");
+  EXPECT_EQ(loadWorkloadFile(Path, 4), (std::vector<int64_t>{1, 2, 3, 4}));
+  try {
+    loadWorkloadFile(Path, 3);
+    ADD_FAILURE() << "over-cap bare file parsed without error";
+  } catch (const WorkloadParseError &E) {
+    EXPECT_NE(E.reason().find("--max-elems"), std::string::npos)
+        << E.what();
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(SegmentSourceFile, ZeroElementFilesAreInvalidArgumentWithThePath) {
+  // Sources reject empty workloads by contract (partition() does the
+  // same); the error is typed and names the offending file.
+  const std::string Text =
+      writeTemp("grassp_source_empty.txt", "# grassp-workload 0\n");
+  const std::string Bin = ::testing::TempDir() + "grassp_source_empty.bin";
+  {
+    BinaryWorkloadWriter W(Bin);
+    W.close(); // zero elements, valid header.
+  }
+  for (SourceKind K : {SourceKind::Mmap, SourceKind::Chunked}) {
+    const std::string &Path = K == SourceKind::Mmap ? Bin : Text;
+    try {
+      openSegmentSource(Path, K);
+      ADD_FAILURE() << "zero-element source opened under kind "
+                    << sourceKindName(K);
+    } catch (const std::invalid_argument &E) {
+      EXPECT_NE(std::string(E.what()).find(Path), std::string::npos)
+          << E.what();
+      EXPECT_NE(std::string(E.what()).find("zero elements"),
+                std::string::npos)
+          << E.what();
+    }
+  }
+  // The chunked reader accepts binary files too; same contract.
+  EXPECT_THROW(openSegmentSource(Bin, SourceKind::Chunked),
+               std::invalid_argument);
+  std::remove(Text.c_str());
+  std::remove(Bin.c_str());
 }
 
 } // namespace

@@ -7,10 +7,26 @@
 //   grassp synth-all [--jobs N]     synthesize the whole suite, in
 //                                   parallel on a thread pool
 //   grassp run <name> [N] [P] [--no-specialize] [--no-native]
+//              [--input FILE] [--source KIND] [--max-elems M]
+//              [--chunk-elems C]
 //                                   serial vs parallel over N elements;
 //                                   prints the selected execution tier;
 //                                   --no-specialize ablates the fused
-//                                   kernels, --no-native the jit tier
+//                                   kernels, --no-native the jit tier;
+//                                   --input folds a workload file through
+//                                   a segment source (mmap / chunked /
+//                                   memory / auto) so inputs larger than
+//                                   RAM never materialize
+//   grassp convert <in.txt> <out.bin> [--max-elems M]
+//   grassp convert --gen <name> <N> <out.bin> [--seed S]
+//                                   text workload -> binary workload, or
+//                                   stream-generate a benchmark workload
+//                                   straight to binary, both in O(1)
+//                                   memory
+//   grassp stream <name> [--input FILE] [--source KIND] [opts]
+//                                   incremental recompute over the
+//                                   certified merge tree; append / edit /
+//                                   query / verify commands on stdin
 //   grassp emit-cpp <name>          print the standalone C++ translation
 //   grassp emit-mr <name>           print the mapper/reducer translation
 //   grassp emit-chc <name>          print the CHC system (SMT-LIB2)
@@ -23,7 +39,10 @@
 #include "chc/Certify.h"
 #include "codegen/CppCodegen.h"
 #include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "runtime/MergeTree.h"
 #include "runtime/Runner.h"
+#include "runtime/SegmentSource.h"
 #include "runtime/Workload.h"
 #include "support/Args.h"
 #include "support/Cancel.h"
@@ -35,6 +54,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
 
 using namespace grassp;
 
@@ -48,7 +71,15 @@ int usage(const char *Prog) {
                "                 [--queue-cap Q] [--journal FILE] "
                "[--resume] |\n"
                "       run <name> [N] [P] [--no-specialize] [--no-native] "
-               "[--input FILE] | emit-cpp "
+               "[--input FILE] [--source auto|memory|mmap|chunked]\n"
+               "                 [--max-elems M] [--chunk-elems C] |\n"
+               "       convert <in.txt> <out.bin> [--max-elems M] |\n"
+               "       convert --gen <name> <N> <out.bin> [--seed S] |\n"
+               "       stream <name> [--input FILE] [--source KIND] "
+               "[--chunk-elems C] [--max-elems M]\n"
+               "                 [--no-specialize] [--no-native] "
+               "(append/edit/query/verify/stats on stdin) |\n"
+               "       emit-cpp "
                "<name> | emit-mr "
                "<name> | emit-chc <name> "
                "| certify <name> [timeout-ms] |\n"
@@ -213,6 +244,69 @@ int main(int argc, char **argv) {
     }
     return testing::fuzzMain(Names, FOpts, DOpts);
   }
+  if (std::strcmp(Cmd, "convert") == 0) {
+    // Both forms stream in bounded memory: a >RAM workload can be
+    // converted or generated without ever materializing it.
+    if (argc >= 3 && std::strcmp(argv[2], "--gen") == 0) {
+      if (argc < 6)
+        return usage(argv[0]);
+      const lang::SerialProgram *GP = lookup(argv[3]);
+      if (!GP)
+        return 2;
+      size_t N = 0;
+      if (!parseSize(argv[4], &N) || N == 0) {
+        std::fprintf(stderr, "error: --gen expects a positive element "
+                             "count, got '%s'\n",
+                     argv[4]);
+        return 2;
+      }
+      const char *OutPath = argv[5];
+      uint64_t Seed = 1;
+      for (int I = 6; I < argc; ++I) {
+        if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc &&
+            parseSeed(argv[++I], &Seed))
+          continue;
+        return usage(argv[0]);
+      }
+      try {
+        runtime::BinaryWorkloadWriter Writer(OutPath);
+        runtime::WorkloadStream Stream(*GP, N, Seed);
+        std::vector<int64_t> Slice;
+        while (Stream.remaining() != 0) {
+          Slice.clear();
+          Stream.generate(size_t{1} << 20, Slice);
+          Writer.append(Slice);
+        }
+        Writer.close();
+        std::printf("wrote %llu element(s) to %s (%s, seed %llu)\n",
+                    (unsigned long long)Writer.written(), OutPath,
+                    GP->Name.c_str(), (unsigned long long)Seed);
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "error: %s\n", E.what());
+        return 1;
+      }
+      return 0;
+    }
+    if (argc < 4)
+      return usage(argv[0]);
+    uint64_t MaxElems = 0;
+    for (int I = 4; I < argc; ++I) {
+      if (std::strcmp(argv[I], "--max-elems") == 0 && I + 1 < argc &&
+          parseSeed(argv[++I], &MaxElems))
+        continue;
+      return usage(argv[0]);
+    }
+    try {
+      uint64_t Count =
+          runtime::convertTextToBinary(argv[2], argv[3], MaxElems);
+      std::printf("wrote %llu element(s) to %s\n", (unsigned long long)Count,
+                  argv[3]);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "error: %s\n", E.what());
+      return 1;
+    }
+    return 0;
+  }
   if (argc < 3)
     return usage(argv[0]);
   const lang::SerialProgram *P = lookup(argv[2]);
@@ -236,6 +330,9 @@ int main(int argc, char **argv) {
     bool Specialize = true;
     bool Native = true;
     const char *InputFile = nullptr;
+    runtime::SourceKind Kind = runtime::SourceKind::Auto;
+    uint64_t MaxElems = 0;
+    size_t ChunkElems = 0;
     unsigned Positional = 0;
     for (int I = 3; I < argc; ++I) {
       if (std::strcmp(argv[I], "--no-specialize") == 0) {
@@ -250,45 +347,88 @@ int main(int argc, char **argv) {
         InputFile = argv[++I];
         continue;
       }
+      if (std::strcmp(argv[I], "--source") == 0 && I + 1 < argc) {
+        if (!runtime::parseSourceKind(argv[++I], &Kind)) {
+          std::fprintf(stderr,
+                       "error: --source expects auto, memory, mmap, or "
+                       "chunked, got '%s'\n",
+                       argv[I]);
+          return 2;
+        }
+        continue;
+      }
+      if (std::strcmp(argv[I], "--max-elems") == 0 && I + 1 < argc &&
+          parseSeed(argv[I + 1], &MaxElems)) {
+        ++I;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--chunk-elems") == 0 && I + 1 < argc &&
+          parseSize(argv[I + 1], &ChunkElems)) {
+        ++I;
+        continue;
+      }
       bool Ok = Positional == 0   ? parseSize(argv[I], &N)
                 : Positional == 1 ? parseUnsigned(argv[I], &Workers)
                                   : false;
       if (!Ok) {
         std::fprintf(stderr,
                      "error: run expects [N] [P] [--no-specialize] "
-                     "[--no-native] [--input FILE], got '%s'\n",
+                     "[--no-native] [--input FILE] [--source KIND] "
+                     "[--max-elems M] [--chunk-elems C], got '%s'\n",
                      argv[I]);
         return 2;
       }
       ++Positional;
     }
     synth::SynthesisResult R = synthOrDie(*P);
-    std::vector<int64_t> Data;
-    if (InputFile) {
-      try {
-        Data = runtime::loadWorkloadFile(InputFile);
-      } catch (const runtime::WorkloadParseError &E) {
-        std::fprintf(stderr, "error: %s\n", E.what());
-        return 2;
-      }
-      if (Data.size() < Workers) {
-        std::fprintf(stderr,
-                     "error: workload file holds %zu element(s), fewer "
-                     "than the %u workers\n",
-                     Data.size(), Workers);
-        return 2;
-      }
-    } else {
-      Data = runtime::generateWorkload(*P, N, 1);
-    }
-    std::vector<runtime::SegmentView> Segs =
-        runtime::partition(Data, Workers);
     runtime::CompiledProgram CP(*P, Specialize, Native);
     runtime::CompiledPlan Plan(*P, R.Plan, Specialize, Native);
     std::string Info = CP.specializationInfo();
     std::printf("tier     = %s%s%s%s\n", runtime::execTierName(CP.tier()),
                 Info.empty() ? "" : " (", Info.c_str(),
                 Info.empty() ? "" : ")");
+
+    if (InputFile) {
+      // File inputs go through a SegmentSource: serial and parallel both
+      // hold one chunk resident at a time, so the file may be far
+      // larger than RAM (or the address-space cap).
+      std::unique_ptr<runtime::SegmentSource> Src;
+      try {
+        runtime::SourceOptions SOpts;
+        if (ChunkElems)
+          SOpts.ChunkElems = ChunkElems;
+        SOpts.MinChunks = Workers;
+        Src = runtime::openSegmentSource(InputFile, Kind, SOpts, MaxElems);
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "error: %s\n", E.what());
+        return 2;
+      }
+      if (Src->elements() < Workers) {
+        std::fprintf(stderr,
+                     "error: workload file holds %llu element(s), fewer "
+                     "than the %u workers\n",
+                     (unsigned long long)Src->elements(), Workers);
+        return 2;
+      }
+      std::printf("source   = %s (%llu elements, %zu chunks)\n",
+                  Src->kind(), (unsigned long long)Src->elements(),
+                  Src->chunkCount());
+      double SerialSec = 0;
+      int64_t SerialOut = runtime::runSerialSourceTimed(CP, *Src,
+                                                        &SerialSec);
+      runtime::ParallelRunResult PR = runtime::runParallel(Plan, *Src);
+      std::printf("serial   = %lld (%s)\nparallel = %lld (modeled %.2fX "
+                  "on %u workers)\n",
+                  (long long)SerialOut, formatSeconds(SerialSec).c_str(),
+                  (long long)PR.Output,
+                  runtime::modeledSpeedup(SerialSec, PR, Workers),
+                  Workers);
+      return SerialOut == PR.Output ? 0 : 1;
+    }
+
+    std::vector<int64_t> Data = runtime::generateWorkload(*P, N, 1);
+    std::vector<runtime::SegmentView> Segs =
+        runtime::partition(Data, Workers);
     double SerialSec = 0;
     int64_t SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
     runtime::ParallelRunResult PR = runtime::runParallel(Plan, Segs);
@@ -298,6 +438,166 @@ int main(int argc, char **argv) {
                 (long long)PR.Output,
                 runtime::modeledSpeedup(SerialSec, PR, Workers), Workers);
     return SerialOut == PR.Output ? 0 : 1;
+  }
+  if (std::strcmp(Cmd, "stream") == 0) {
+    bool Specialize = true;
+    bool Native = true;
+    const char *InputFile = nullptr;
+    runtime::SourceKind Kind = runtime::SourceKind::Auto;
+    uint64_t MaxElems = 0;
+    size_t ChunkElems = 0;
+    for (int I = 3; I < argc; ++I) {
+      if (std::strcmp(argv[I], "--no-specialize") == 0) {
+        Specialize = false;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--no-native") == 0) {
+        Native = false;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc) {
+        InputFile = argv[++I];
+        continue;
+      }
+      if (std::strcmp(argv[I], "--source") == 0 && I + 1 < argc) {
+        if (!runtime::parseSourceKind(argv[++I], &Kind)) {
+          std::fprintf(stderr,
+                       "error: --source expects auto, memory, mmap, or "
+                       "chunked, got '%s'\n",
+                       argv[I]);
+          return 2;
+        }
+        continue;
+      }
+      if (std::strcmp(argv[I], "--max-elems") == 0 && I + 1 < argc &&
+          parseSeed(argv[I + 1], &MaxElems)) {
+        ++I;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--chunk-elems") == 0 && I + 1 < argc &&
+          parseSize(argv[I + 1], &ChunkElems)) {
+        ++I;
+        continue;
+      }
+      return usage(argv[0]);
+    }
+    synth::SynthesisResult R = synthOrDie(*P);
+    runtime::CompiledPlan Plan(*P, R.Plan, Specialize, Native);
+    runtime::MergeTree Tree(Plan);
+
+    // The current stream contents, for `edit` bounds and `verify`:
+    // untouched initial-file chunks stay on disk (re-read through the
+    // source only when verify materializes them); edits and appends
+    // live in these maps. Only verify ever holds the whole stream.
+    std::unique_ptr<runtime::SegmentSource> Src;
+    std::map<size_t, std::vector<int64_t>> Edits;
+    std::vector<std::vector<int64_t>> Appended;
+    size_t FileChunks = 0;
+
+    if (InputFile) {
+      try {
+        runtime::SourceOptions SOpts;
+        if (ChunkElems)
+          SOpts.ChunkElems = ChunkElems;
+        Src = runtime::openSegmentSource(InputFile, Kind, SOpts, MaxElems);
+        std::unique_ptr<runtime::SegmentCursor> C = Src->cursor();
+        for (size_t I = 0; I != Src->chunkCount(); ++I)
+          Tree.append(C->chunk(I));
+        FileChunks = Src->chunkCount();
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "error: %s\n", E.what());
+        return 2;
+      }
+      std::printf("loaded %llu element(s) from %s (%s source, %zu "
+                  "chunks)\n",
+                  (unsigned long long)Src->elements(), InputFile,
+                  Src->kind(), FileChunks);
+    }
+
+    auto chunkData = [&](size_t I) -> std::vector<int64_t> {
+      std::map<size_t, std::vector<int64_t>>::const_iterator It =
+          Edits.find(I);
+      if (It != Edits.end())
+        return It->second;
+      if (I < FileChunks) {
+        std::unique_ptr<runtime::SegmentCursor> C = Src->cursor();
+        runtime::SegmentView V = C->chunk(I);
+        return std::vector<int64_t>(V.Data, V.Data + V.Size);
+      }
+      return Appended[I - FileChunks];
+    };
+
+    std::string Line;
+    while (std::getline(std::cin, Line)) {
+      std::istringstream In(Line);
+      std::string Op;
+      if (!(In >> Op) || Op[0] == '#')
+        continue;
+      try {
+        if (Op == "quit")
+          break;
+        if (Op == "append" || Op == "edit") {
+          size_t Idx = 0;
+          if (Op == "edit" && !(In >> Idx)) {
+            std::printf("error: edit expects a chunk index\n");
+            continue;
+          }
+          std::vector<int64_t> Vals;
+          int64_t V;
+          while (In >> V)
+            Vals.push_back(V);
+          if (Vals.empty() || !In.eof()) {
+            std::printf("error: %s expects integer elements\n", Op.c_str());
+            continue;
+          }
+          runtime::SegmentView View = {Vals.data(), Vals.size()};
+          if (Op == "append") {
+            Tree.append(View);
+            Appended.push_back(std::move(Vals));
+            std::printf("ok: chunk %zu appended (%zu combine(s))\n",
+                        Tree.chunks() - 1, Tree.lastUpdateCombines());
+          } else {
+            Tree.replace(Idx, View);
+            Edits[Idx] = std::move(Vals);
+            std::printf("ok: chunk %zu replaced (%zu combine(s))\n", Idx,
+                        Tree.lastUpdateCombines());
+          }
+        } else if (Op == "query") {
+          std::printf("query = %lld\n", (long long)Tree.query());
+        } else if (Op == "verify") {
+          // Ground truth: materialize the whole current stream once and
+          // fold it flat through the reference interpreter.
+          std::vector<int64_t> Flat;
+          Flat.reserve(Tree.elements());
+          for (size_t I = 0; I != Tree.chunks(); ++I) {
+            std::vector<int64_t> C = chunkData(I);
+            Flat.insert(Flat.end(), C.begin(), C.end());
+          }
+          int64_t Want = lang::runSerial(*P, Flat);
+          int64_t Got = Tree.query();
+          if (Want == Got)
+            std::printf("verify ok: %lld (%llu elements)\n", (long long)Got,
+                        (unsigned long long)Tree.elements());
+          else
+            std::printf("verify MISMATCH: tree=%lld refold=%lld\n",
+                        (long long)Got, (long long)Want);
+        } else if (Op == "stats") {
+          std::printf("chunks=%zu elements=%llu support=%s\n", Tree.chunks(),
+                      (unsigned long long)Tree.elements(),
+                      Tree.support() == runtime::MergeTree::Support::LogPath
+                          ? "log-path"
+                          : "linear-merge");
+        } else {
+          std::printf("error: unknown command '%s' (append/edit/query/"
+                      "verify/stats/quit)\n",
+                      Op.c_str());
+        }
+      } catch (const std::exception &E) {
+        std::printf("error: %s\n", E.what());
+      }
+      std::fflush(stdout);
+    }
+    return 0;
   }
   if (std::strcmp(Cmd, "emit-cpp") == 0) {
     synth::SynthesisResult R = synthOrDie(*P);
