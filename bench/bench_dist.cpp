@@ -1,0 +1,214 @@
+//===- bench/bench_dist.cpp - Real dist runtime vs Cluster prediction -----==//
+//
+// The predicted-vs-measured cross-check for the multi-process runtime
+// (src/dist/): each job's shards are first timed serially through the
+// compiled worker kernel and fed to the mapreduce::Cluster scheduler
+// (locality-aware LPT with every fixed Hadoop overhead zeroed — the
+// pure compute-makespan prediction for W single-slot nodes), then the
+// SAME shards run for real on the DistCoordinator's forked workers.
+// The table prints both next to each other; the measured/predicted
+// ratio is the true cost of fork+socket shipping, heartbeats, and the
+// coordinator event loop that the simulator does not model.
+//
+// Usage: bench_dist [elements] [--workers W] [--shards S]
+//                   [--kill-permille K] [--exit-permille K]
+//                   [--fault-seed S]
+//        (default 4e6 elements, 4 workers, 16 shards, healthy pool)
+//
+// With faults armed the extra columns report the REAL recovery work the
+// coordinator did (workers killed, shards reassigned, recovery time) —
+// the simulator has no counterpart for genuine SIGKILLs, so those
+// columns are measured-only by design.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Coordinator.h"
+#include "dist/Worker.h"
+#include "lang/Benchmarks.h"
+#include "mapreduce/Cluster.h"
+#include "runtime/Runner.h"
+#include "support/Args.h"
+#include "support/FaultInject.h"
+#include "support/Timing.h"
+#include "synth/Grassp.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace grassp;
+
+namespace {
+
+int usage(const char *Prog, const char *Got) {
+  std::fprintf(stderr,
+               "usage: %s [elements] [--workers W] [--shards S] "
+               "[--kill-permille K] [--exit-permille K] [--fault-seed S]"
+               "  (got '%s')\n",
+               Prog, Got);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t N = 4000000;
+  unsigned Workers = 4;
+  unsigned Shards = 16;
+  unsigned KillPm = 0, ExitPm = 0;
+  uint64_t FaultSeed = 0x5eed;
+  for (int I = 1; I != argc; ++I) {
+    auto numericOpt = [&](const char *Flag, unsigned *Out) {
+      if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
+        return false;
+      if (!parseUnsigned(argv[++I], Out))
+        std::exit(usage(argv[0], argv[I]));
+      return true;
+    };
+    if (numericOpt("--workers", &Workers) ||
+        numericOpt("--shards", &Shards) ||
+        numericOpt("--kill-permille", &KillPm) ||
+        numericOpt("--exit-permille", &ExitPm))
+      continue;
+    if (std::strcmp(argv[I], "--fault-seed") == 0 && I + 1 < argc) {
+      if (!parseSeed(argv[++I], &FaultSeed))
+        return usage(argv[0], argv[I]);
+      continue;
+    }
+    if (!parseSize(argv[I], &N))
+      return usage(argv[0], argv[I]);
+  }
+  if (Workers == 0 || Shards == 0) {
+    std::fprintf(stderr, "error: --workers and --shards must be positive\n");
+    return 2;
+  }
+
+  // A representative slice of every benchmark group: scalar folds,
+  // multi-state folds, a bag program, order-sensitive mode machines.
+  const char *Jobs[] = {
+      "sum",        "count_gt",  "max_elem",   "second_max", "average",
+      "count_distinct", "is_sorted", "count_102", "max_dist_ones",
+  };
+
+  // The prediction: the Cluster's LPT scheduler over W one-slot nodes
+  // with all modeled Hadoop overheads zeroed — what a perfect
+  // zero-overhead process pool would achieve on the measured per-shard
+  // compute times.
+  mapreduce::ClusterConfig Pred;
+  Pred.Nodes = Workers;
+  Pred.MapSlotsPerNode = 1;
+  Pred.JobStartupSec = 0;
+  Pred.TaskDispatchSec = 0;
+  Pred.ReduceBaseSec = 0;
+  Pred.ReducePerShardSec = 0;
+  Pred.RemoteReadPenalty = 1.0;
+
+  bool Chaos = KillPm || ExitPm;
+  FaultInjector Injector(FaultSeed);
+  if (Chaos) {
+    FaultSpec Spec;
+    Spec.Probability = KillPm / 1000.0;
+    Injector.arm(dist::SiteWorkerKill, Spec);
+    Spec.Probability = ExitPm / 1000.0;
+    Injector.arm(dist::SiteWorkerExit, Spec);
+  }
+
+  std::printf("dist runtime vs cluster-model prediction (N=%zu, %u worker "
+              "process(es), %u shard(s)%s)\n",
+              N, Workers, Shards, Chaos ? ", FAULTS ARMED" : "");
+  if (Chaos)
+    std::printf("faults: seed %llu, kill %u/1000, exit %u/1000 per "
+                "attempt (REAL process deaths)\n",
+                (unsigned long long)FaultSeed, KillPm, ExitPm);
+  std::printf("%-16s %-11s %-11s %-11s %-11s %-7s %-7s%s\n", "job",
+              "serial(s)", "predict(s)", "cold(s)", "warm(s)", "pr-spd",
+              "re-spd", Chaos ? "  killed reassign recovery(s)" : "");
+  std::printf("%s\n", std::string(Chaos ? 108 : 80, '-').c_str());
+
+  bool Ok = true;
+  for (const char *Name : Jobs) {
+    const lang::SerialProgram *Prog = lang::findBenchmark(Name);
+    if (!Prog) {
+      std::printf("%-16s missing benchmark\n", Name);
+      Ok = false;
+      continue;
+    }
+    synth::SynthesisResult R = synth::synthesize(*Prog);
+    if (!R.Success) {
+      std::printf("%-16s synthesis failed\n", Name);
+      Ok = false;
+      continue;
+    }
+    runtime::CompiledProgram CP(*Prog);
+    runtime::CompiledPlan Plan(*Prog, R.Plan);
+    std::vector<int64_t> Data = runtime::generateWorkload(*Prog, N, 0xcafe);
+    std::vector<runtime::SegmentView> Segs =
+        runtime::partition(Data, Shards);
+
+    double SerialSec = 0;
+    int64_t SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
+
+    // Per-shard compute times through the real worker kernel, timed on
+    // this host — the scheduler's input.
+    std::vector<double> TaskSec(Segs.size());
+    std::vector<unsigned> Home(Segs.size());
+    for (size_t I = 0; I != Segs.size(); ++I) {
+      Stopwatch W;
+      (void)Plan.runWorker(Segs[I]);
+      TaskSec[I] = W.seconds();
+      Home[I] = static_cast<unsigned>(I % Workers);
+    }
+    double PredictSec = mapreduce::scheduleTasks(TaskSec, Home, Pred);
+
+    dist::DistConfig DC;
+    DC.Workers = Workers;
+    DC.BackoffJitterSeed = FaultSeed;
+    if (Chaos) {
+      DC.Faults = &Injector;
+      DC.TaskDeadlineSeconds = 0.05;
+      DC.MaxWorkerRestarts = 100000;
+    }
+    dist::DistCoordinator Coord(Plan, DC);
+    // Cold run: includes forking the worker pool and the Hello
+    // handshakes. Warm run: the pool persists between runs, so this is
+    // the steady-state shipping + compute + merge cost the prediction
+    // should be compared against.
+    Stopwatch WCold;
+    dist::DistRunReport Rep = Coord.run(Segs);
+    double ColdSec = WCold.seconds();
+    Stopwatch WWarm;
+    dist::DistRunReport RepWarm = Coord.run(Segs);
+    double WarmSec = WWarm.seconds();
+
+    if (Rep.Output != SerialOut || RepWarm.Output != SerialOut) {
+      std::printf("%-16s MISMATCH dist=%lld/%lld serial=%lld\n", Name,
+                  (long long)Rep.Output, (long long)RepWarm.Output,
+                  (long long)SerialOut);
+      Ok = false;
+      continue;
+    }
+    double PredSpd = PredictSec > 0 ? SerialSec / PredictSec : 0;
+    double RealSpd = WarmSec > 0 ? SerialSec / WarmSec : 0;
+    if (Chaos)
+      std::printf("%-16s %-11.4f %-11.4f %-11.4f %-11.4f %-7.2f %-7.2f  "
+                  "%-6u %-8u %.4f\n",
+                  Name, SerialSec, PredictSec, ColdSec, WarmSec, PredSpd,
+                  RealSpd,
+                  Rep.WorkersKilled + Rep.WorkersExited +
+                      RepWarm.WorkersKilled + RepWarm.WorkersExited,
+                  Rep.ShardsReassigned + RepWarm.ShardsReassigned,
+                  Rep.RecoverySeconds + RepWarm.RecoverySeconds);
+    else
+      std::printf("%-16s %-11.4f %-11.4f %-11.4f %-11.4f %-7.2f %-7.2f\n",
+                  Name, SerialSec, PredictSec, ColdSec, WarmSec, PredSpd,
+                  RealSpd);
+  }
+  std::printf("%s\n", std::string(Chaos ? 108 : 80, '-').c_str());
+  std::printf("(predict = LPT makespan of measured per-shard kernel times "
+              "on %u zero-overhead nodes;\n cold = real coordinator run "
+              "incl. forking the pool; warm = same run on the persistent "
+              "pool)\n",
+              Workers);
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,477 @@
+//===- dist/Coordinator.cpp -----------------------------------------------==//
+
+#include "dist/Coordinator.h"
+
+#include "dist/Worker.h"
+#include "runtime/SegmentSource.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <ctime>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace grassp {
+namespace dist {
+
+namespace {
+
+int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+std::string DistRunReport::describe() const {
+  std::ostringstream OS;
+  OS << "shards " << ShardsCompleted << "/" << Shards << "; workers "
+     << WorkersSpawned << " spawned, " << WorkersKilled << " killed(signal), "
+     << WorkersExited << " exited, " << WorkersRestarted << " restarted"
+     << "; reassigned " << ShardsReassigned << ", retries " << Retries
+     << ", speculative " << SpeculativeWins << "/" << SpeculativeLaunches
+     << ", corrupt " << CorruptFrames << ", hangs " << HangsDetected
+     << ", refolds " << SerialRefolds << "; shipped " << BytesShipped
+     << " B, merge " << static_cast<int64_t>(MergeSeconds * 1e6)
+     << " us, recovery " << static_cast<int64_t>(RecoverySeconds * 1e6)
+     << " us";
+  if (Cancelled)
+    OS << " [cancelled]";
+  return OS.str();
+}
+
+DistCoordinator::DistCoordinator(const runtime::CompiledPlan &Plan,
+                                 const DistConfig &Cfg)
+    : Plan(Plan), Cfg(Cfg), PlanHash(Plan.compiled().bytecodeHash()) {
+  if (this->Cfg.Workers == 0)
+    this->Cfg.Workers = 1;
+}
+
+DistCoordinator::~DistCoordinator() { shutdown(); }
+
+unsigned DistCoordinator::liveWorkers() const {
+  unsigned N = 0;
+  for (const Proc &P : Procs)
+    if (P.Fd >= 0)
+      ++N;
+  return N;
+}
+
+bool DistCoordinator::spawn() {
+  int Sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) != 0)
+    return false;
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Sv[0]);
+    ::close(Sv[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child. Drop the parent's ends of every sibling channel so a
+    // coordinator death EOFs all workers, then run the protocol loop.
+    // workerMain never returns.
+    ::close(Sv[0]);
+    for (const Proc &Sib : Procs)
+      if (Sib.Fd >= 0)
+        ::close(Sib.Fd);
+    workerMain(Sv[1], Plan, Cfg.Faults, Cfg.HeartbeatSeconds);
+  }
+  ::close(Sv[1]);
+  Proc P;
+  P.Pid = Pid;
+  P.Fd = Sv[0];
+  P.LastSeenNs = nowNs();
+  Procs.push_back(std::move(P));
+  return true;
+}
+
+void DistCoordinator::destroyProc(Proc &P, bool Graceful) {
+  if (P.Fd >= 0) {
+    if (Graceful)
+      writeFrame(P.Fd, MsgType::Shutdown, {});
+    else if (P.Pid >= 0)
+      ::kill(P.Pid, SIGKILL);
+    // Closing our end EOFs (or EPIPEs) the worker even if the Shutdown
+    // frame is never read.
+    ::close(P.Fd);
+    P.Fd = -1;
+  }
+  if (P.Pid >= 0) {
+    if (Graceful) {
+      for (int I = 0; I != 300 && P.Pid >= 0; ++I) {
+        int St = 0;
+        if (::waitpid(P.Pid, &St, WNOHANG) == P.Pid) {
+          P.Pid = -1;
+          break;
+        }
+        struct timespec Ts = {0, 1000000}; // 1ms
+        ::nanosleep(&Ts, nullptr);
+      }
+    }
+    if (P.Pid >= 0) {
+      ::kill(P.Pid, SIGKILL);
+      int St = 0;
+      ::waitpid(P.Pid, &St, 0);
+      P.Pid = -1;
+    }
+  }
+  P.Shard = -1;
+  P.HelloOk = false;
+}
+
+void DistCoordinator::shutdown() {
+  if (ShutdownDone)
+    return;
+  for (Proc &P : Procs)
+    destroyProc(P, /*Graceful=*/true);
+  Procs.clear();
+  ShutdownDone = true;
+}
+
+void DistCoordinator::handleDeath(Proc &P, DeathReason Reason,
+                                  DistRunReport &R,
+                                  std::vector<ShardState> &Shards) {
+  Stopwatch Rec;
+  if (P.Pid >= 0) {
+    // Corrupt/hung workers are still alive; kill before reaping. (The
+    // frame checksum already rejected their bytes, and framing past a
+    // bad frame is untrusted — restart is the only safe response.)
+    if (Reason != DeathReason::Eof)
+      ::kill(P.Pid, SIGKILL);
+    int St = 0;
+    ::waitpid(P.Pid, &St, 0);
+    if (WIFSIGNALED(St))
+      ++R.WorkersKilled;
+    else if (WIFEXITED(St) && WEXITSTATUS(St) != 0)
+      ++R.WorkersExited;
+    P.Pid = -1;
+  }
+  if (P.Fd >= 0) {
+    ::close(P.Fd);
+    P.Fd = -1;
+  }
+  if (Reason == DeathReason::Corrupt)
+    ++R.CorruptFrames;
+  else if (Reason == DeathReason::Hang)
+    ++R.HangsDetected;
+
+  if (P.Shard >= 0) {
+    ShardState &S = Shards[static_cast<size_t>(P.Shard)];
+    if (S.Outstanding > 0)
+      --S.Outstanding;
+    if (P.IsBackup)
+      S.BackupActive = false;
+    if (!S.Done && S.Outstanding == 0) {
+      // The shard lost its last running attempt: requeue it behind a
+      // decorrelated-jitter backoff so correlated deaths do not slam
+      // the survivors in lockstep.
+      ++R.ShardsReassigned;
+      S.PrevSleep = runtime::decorrelatedBackoff(
+          Cfg.BackoffSeconds, Cfg.BackoffCapSeconds,
+          S.PrevSleep > 0 ? S.PrevSleep : Cfg.BackoffSeconds,
+          Cfg.BackoffJitterSeed,
+          distAttemptKey(RunIndex, S.Attempts,
+                         static_cast<uint64_t>(P.Shard)));
+      S.EligibleNs = nowNs() + static_cast<int64_t>(S.PrevSleep * 1e9);
+    }
+  }
+  P.Shard = -1;
+  P.HelloOk = false;
+  P.Reader = FrameReader();
+
+  if (TotalRestarts < Cfg.MaxWorkerRestarts) {
+    ++TotalRestarts;
+    if (spawn()) {
+      ++R.WorkersRestarted;
+      ++R.WorkersSpawned;
+    }
+  }
+  R.RecoverySeconds += Rec.seconds();
+}
+
+bool DistCoordinator::dispatch(
+    Proc &P, size_t Shard, bool IsBackup, DistRunReport &R,
+    std::vector<ShardState> &Shards,
+    const std::function<runtime::SegmentView(size_t)> &Chunk) {
+  ShardState &S = Shards[Shard];
+  TaskMsg T;
+  T.TaskId = NextTaskId++;
+  T.ShardIndex = Shard;
+  T.AttemptKey = distAttemptKey(RunIndex, S.Attempts, Shard);
+  runtime::SegmentView V = Chunk(Shard);
+  T.Data.assign(V.Data, V.Data + V.Size);
+  std::vector<uint8_t> Payload = encodeTask(T);
+  if (!writeFrame(P.Fd, MsgType::Task, Payload))
+    return false; // caller reaps the dead worker.
+  if (S.Attempts > 0 && !IsBackup)
+    ++R.Retries;
+  ++S.Attempts;
+  ++S.Outstanding;
+  if (IsBackup) {
+    S.BackupActive = true;
+    ++R.SpeculativeLaunches;
+  }
+  P.Shard = static_cast<int>(Shard);
+  P.TaskId = T.TaskId;
+  P.IsBackup = IsBackup;
+  P.TaskStartNs = nowNs();
+  R.BytesShipped += Payload.size() + FrameHeaderBytes;
+  return true;
+}
+
+void DistCoordinator::drainFrames(Proc &P, DistRunReport &R,
+                                  std::vector<ShardState> &Shards,
+                                  size_t *DonePtr) {
+  Frame F;
+  for (;;) {
+    RecvStatus St = P.Reader.next(&F);
+    if (St == RecvStatus::NeedMore)
+      return;
+    if (St != RecvStatus::Ok) {
+      handleDeath(P, DeathReason::Corrupt, R, Shards);
+      return;
+    }
+    P.LastSeenNs = nowNs();
+    switch (F.Type) {
+    case MsgType::Hello: {
+      HelloMsg M;
+      if (!decodeHello(F.Payload, &M) || M.PlanHash != PlanHash) {
+        // A worker not running OUR plan must never fold a shard.
+        handleDeath(P, DeathReason::Corrupt, R, Shards);
+        return;
+      }
+      P.HelloOk = true;
+      break;
+    }
+    case MsgType::Heartbeat:
+      break; // LastSeenNs updated above; that is the whole message.
+    case MsgType::Result: {
+      ResultMsg M;
+      if (!decodeResult(F.Payload, &M)) {
+        handleDeath(P, DeathReason::Corrupt, R, Shards);
+        return;
+      }
+      R.BytesShipped += F.Payload.size() + FrameHeaderBytes;
+      if (P.Shard < 0 || M.TaskId != P.TaskId)
+        break; // stale result (task was reassigned); drop it.
+      ShardState &S = Shards[static_cast<size_t>(P.Shard)];
+      if (S.Outstanding > 0)
+        --S.Outstanding;
+      if (P.IsBackup)
+        S.BackupActive = false;
+      if (!S.Done) {
+        // First commit wins — the same atomic-slot discipline as
+        // runParallel, sequentialized by the event loop.
+        S.Out = std::move(M.Out);
+        S.Done = true;
+        ++*DonePtr;
+        if (P.IsBackup)
+          ++R.SpeculativeWins;
+      }
+      P.Shard = -1;
+      break;
+    }
+    default:
+      break; // Task/Shutdown are coordinator->worker only; ignore.
+    }
+  }
+}
+
+DistRunReport DistCoordinator::runImpl(
+    size_t N, const std::function<runtime::SegmentView(size_t)> &Chunk,
+    const std::vector<runtime::SegmentView> &MergeSegs) {
+  DistRunReport R;
+  R.Shards = static_cast<unsigned>(N);
+  Stopwatch Total;
+  ShutdownDone = false;
+
+  // A cancelled previous run may have left workers mid-task; their
+  // eventual results would be stale, so restart them clean.
+  for (Proc &P : Procs)
+    if (P.Fd >= 0 && P.Shard >= 0)
+      destroyProc(P, /*Graceful=*/false);
+  Procs.erase(std::remove_if(Procs.begin(), Procs.end(),
+                             [](const Proc &P) { return P.Fd < 0; }),
+              Procs.end());
+  while (liveWorkers() < Cfg.Workers) {
+    if (!spawn())
+      break;
+    ++R.WorkersSpawned;
+  }
+
+  std::vector<ShardState> Shards(N);
+  size_t Done = 0;
+  const int64_t DeadlineNs =
+      static_cast<int64_t>(Cfg.TaskDeadlineSeconds * 1e9);
+  const int64_t HangNs =
+      static_cast<int64_t>(Cfg.TaskDeadlineSeconds * Cfg.HangKillFactor * 1e9);
+  const int64_t HbTimeoutNs =
+      static_cast<int64_t>(Cfg.HeartbeatTimeoutSeconds * 1e9);
+
+  while (Done != N) {
+    if (Cfg.Token.cancelled()) {
+      R.Cancelled = true;
+      break;
+    }
+
+    // Guaranteed last resort: a shard that exhausted its attempts (or
+    // outlived the worker pool) refolds serially right here, with no
+    // injection — mirroring runParallel's refold path.
+    bool NoWorkers =
+        liveWorkers() == 0 && TotalRestarts >= Cfg.MaxWorkerRestarts;
+    for (size_t I = 0; I != N; ++I) {
+      ShardState &S = Shards[I];
+      if (S.Done || S.Outstanding != 0)
+        continue;
+      if (S.Attempts > Cfg.MaxRetries || NoWorkers) {
+        S.Out = Plan.runWorker(Chunk(I));
+        S.Done = true;
+        ++Done;
+        ++R.SerialRefolds;
+      }
+    }
+    if (Done == N)
+      break;
+
+    int64_t Now = nowNs();
+
+    // Dispatch pending shards to idle, handshaken workers.
+    for (size_t I = 0; I != N; ++I) {
+      ShardState &S = Shards[I];
+      if (S.Done || S.Outstanding != 0 || S.Attempts > Cfg.MaxRetries ||
+          Now < S.EligibleNs)
+        continue;
+      Proc *Idle = nullptr;
+      for (Proc &P : Procs)
+        if (P.Fd >= 0 && P.HelloOk && P.Shard < 0) {
+          Idle = &P;
+          break;
+        }
+      if (!Idle)
+        break;
+      if (!dispatch(*Idle, I, /*IsBackup=*/false, R, Shards, Chunk))
+        handleDeath(*Idle, DeathReason::Eof, R, Shards);
+    }
+
+    // Stragglers: one speculative backup per overdue primary, first
+    // commit wins.
+    if (Cfg.Speculate) {
+      for (size_t Pi = 0; Pi != Procs.size(); ++Pi) {
+        Proc &P = Procs[Pi];
+        if (P.Fd < 0 || P.Shard < 0 || P.IsBackup)
+          continue;
+        ShardState &S = Shards[static_cast<size_t>(P.Shard)];
+        if (S.Done || S.BackupActive || S.Attempts > Cfg.MaxRetries ||
+            Now - P.TaskStartNs <= DeadlineNs)
+          continue;
+        Proc *Idle = nullptr;
+        for (Proc &Q : Procs)
+          if (Q.Fd >= 0 && Q.HelloOk && Q.Shard < 0) {
+            Idle = &Q;
+            break;
+          }
+        if (!Idle)
+          break;
+        if (!dispatch(*Idle, static_cast<size_t>(P.Shard),
+                      /*IsBackup=*/true, R, Shards, Chunk))
+          handleDeath(*Idle, DeathReason::Eof, R, Shards);
+      }
+    }
+
+    // Hang detection: a busy worker past HangKillFactor x deadline is
+    // SIGKILLed (it stopped responding; EOF alone would never come),
+    // and an idle worker that stopped heartbeating likewise.
+    for (Proc &P : Procs) {
+      if (P.Fd < 0)
+        continue;
+      if (P.Shard >= 0 && Now - P.TaskStartNs > HangNs)
+        handleDeath(P, DeathReason::Hang, R, Shards);
+      else if (P.Shard < 0 && Now - P.LastSeenNs > HbTimeoutNs)
+        handleDeath(P, DeathReason::Hang, R, Shards);
+    }
+
+    // Wait for bytes (results, heartbeats, hellos) or the next timer.
+    std::vector<struct pollfd> Fds;
+    std::vector<size_t> FdProc;
+    for (size_t Pi = 0; Pi != Procs.size(); ++Pi)
+      if (Procs[Pi].Fd >= 0) {
+        Fds.push_back({Procs[Pi].Fd, POLLIN, 0});
+        FdProc.push_back(Pi);
+      }
+    if (Fds.empty())
+      continue; // all dead: the refold sweep above finishes the run.
+    int Rc = ::poll(Fds.data(), Fds.size(), /*ms=*/2);
+    if (Rc <= 0)
+      continue;
+    for (size_t Fi = 0; Fi != Fds.size(); ++Fi) {
+      if (!(Fds[Fi].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      Proc &P = Procs[FdProc[Fi]];
+      if (P.Fd != Fds[Fi].fd)
+        continue; // replaced by a respawn during this sweep.
+      RecvStatus St = P.Reader.fill(P.Fd);
+      if (St == RecvStatus::Eof || St == RecvStatus::Error)
+        handleDeath(P, DeathReason::Eof, R, Shards);
+      else if (St == RecvStatus::Corrupt)
+        handleDeath(P, DeathReason::Corrupt, R, Shards);
+      else
+        drainFrames(P, R, Shards, &Done);
+    }
+  }
+
+  R.ShardsCompleted = static_cast<unsigned>(Done);
+  if (!R.Cancelled) {
+    std::vector<runtime::WorkerOutput> Outs(N);
+    for (size_t I = 0; I != N; ++I)
+      Outs[I] = std::move(Shards[I].Out);
+    Stopwatch MergeTimer;
+    R.Output = Plan.merge(Outs, MergeSegs);
+    R.MergeSeconds = MergeTimer.seconds();
+  }
+  R.WallSeconds = Total.seconds();
+  ++RunIndex;
+  return R;
+}
+
+DistRunReport
+DistCoordinator::run(const std::vector<runtime::SegmentView> &Segs) {
+  return runImpl(
+      Segs.size(), [&](size_t I) { return Segs[I]; }, Segs);
+}
+
+DistRunReport DistCoordinator::run(const runtime::SegmentSource &Src) {
+  const size_t N = Src.chunkCount();
+  // Prefetch constant-prefix repair heads exactly like runParallel's
+  // out-of-core overload: merge() reads min(PrefixLen, Size) elements
+  // per segment, so head-only views with the TRUE chunk size suffice.
+  size_t PrefixLen = Plan.plan().Kind == synth::Scenario::ConstPrefix
+                         ? Plan.plan().PrefixLen
+                         : 0;
+  std::vector<std::vector<int64_t>> Heads(N);
+  std::vector<runtime::SegmentView> HeadViews(N);
+  std::unique_ptr<runtime::SegmentCursor> C = Src.cursor();
+  for (size_t I = 0; I != N; ++I) {
+    if (PrefixLen != 0) {
+      runtime::SegmentView H = C->head(I, PrefixLen);
+      Heads[I].assign(H.Data, H.Data + H.Size);
+    }
+    HeadViews[I] = {Heads[I].data(), Src.chunkElems(I)};
+  }
+  // One cursor serves every dispatch: the event loop is single-threaded
+  // and each chunk view is consumed (copied into its task frame or
+  // refolded) before the next is requested.
+  return runImpl(
+      N, [&](size_t I) { return C->chunk(I); }, HeadViews);
+}
+
+} // namespace dist
+} // namespace grassp

@@ -1,0 +1,307 @@
+//===- dist/Protocol.cpp --------------------------------------------------==//
+
+#include "dist/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace grassp {
+namespace dist {
+
+uint64_t fnv1aBytes(const uint8_t *Data, size_t N) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I != N; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+namespace {
+
+void putLe32(std::vector<uint8_t> &B, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putLe64(std::vector<uint8_t> &B, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+uint32_t getLe32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+uint64_t getLe64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+/// The frame checksum covers type + length + payload, so a corrupted
+/// header word is as detectable as a corrupted payload byte.
+uint64_t frameChecksum(MsgType Type, const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Head;
+  putLe32(Head, static_cast<uint32_t>(Type));
+  putLe64(Head, Payload.size());
+  uint64_t H = fnv1aBytes(Head.data(), Head.size());
+  // Continue the same FNV stream over the payload.
+  for (uint8_t B : Payload) {
+    H ^= B;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+bool sendAll(int Fd, const uint8_t *Data, size_t N) {
+  while (N != 0) {
+    ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+} // namespace
+
+void WireWriter::u32(uint32_t V) { putLe32(Buf, V); }
+void WireWriter::u64(uint64_t V) { putLe64(Buf, V); }
+
+void WireWriter::vecI64(const std::vector<int64_t> &V) {
+  u64(V.size());
+  for (int64_t X : V)
+    i64(X);
+}
+
+void WireWriter::vecU32(const std::vector<uint32_t> &V) {
+  u64(V.size());
+  for (uint32_t X : V)
+    u32(X);
+}
+
+bool WireReader::u8(uint8_t *V) {
+  if (End - Data < 1)
+    return false;
+  *V = *Data++;
+  return true;
+}
+
+bool WireReader::u32(uint32_t *V) {
+  if (End - Data < 4)
+    return false;
+  *V = getLe32(Data);
+  Data += 4;
+  return true;
+}
+
+bool WireReader::u64(uint64_t *V) {
+  if (End - Data < 8)
+    return false;
+  *V = getLe64(Data);
+  Data += 8;
+  return true;
+}
+
+bool WireReader::i64(int64_t *V) {
+  uint64_t U;
+  if (!u64(&U))
+    return false;
+  *V = static_cast<int64_t>(U);
+  return true;
+}
+
+bool WireReader::vecI64(std::vector<int64_t> *V) {
+  uint64_t N;
+  if (!u64(&N) || N > static_cast<uint64_t>(End - Data) / 8)
+    return false;
+  V->resize(static_cast<size_t>(N));
+  for (int64_t &X : *V)
+    if (!i64(&X))
+      return false;
+  return true;
+}
+
+bool WireReader::vecU32(std::vector<uint32_t> *V) {
+  uint64_t N;
+  if (!u64(&N) || N > static_cast<uint64_t>(End - Data) / 4)
+    return false;
+  V->resize(static_cast<size_t>(N));
+  for (uint32_t &X : *V)
+    if (!u32(&X))
+      return false;
+  return true;
+}
+
+bool writeFrame(int Fd, MsgType Type, const std::vector<uint8_t> &Payload,
+                int64_t CorruptByteAt) {
+  std::vector<uint8_t> Head;
+  Head.reserve(FrameHeaderBytes);
+  putLe32(Head, FrameMagic);
+  putLe32(Head, static_cast<uint32_t>(Type));
+  putLe64(Head, Payload.size());
+  putLe64(Head, frameChecksum(Type, Payload));
+  if (!sendAll(Fd, Head.data(), Head.size()))
+    return false;
+  if (CorruptByteAt >= 0 && !Payload.empty()) {
+    // The injected fault: the checksum above described the true payload;
+    // the bytes on the wire differ in exactly one position.
+    std::vector<uint8_t> Bad = Payload;
+    Bad[static_cast<size_t>(CorruptByteAt) % Bad.size()] ^= 0x5a;
+    return sendAll(Fd, Bad.data(), Bad.size());
+  }
+  return sendAll(Fd, Payload.data(), Payload.size());
+}
+
+RecvStatus FrameReader::fill(int Fd) {
+  if (Broken)
+    return RecvStatus::Corrupt;
+  uint8_t Tmp[1 << 16];
+  ssize_t R = ::read(Fd, Tmp, sizeof(Tmp));
+  if (R == 0)
+    return RecvStatus::Eof;
+  if (R < 0)
+    return errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK
+               ? RecvStatus::NeedMore
+               : RecvStatus::Error;
+  // Compact lazily so long sessions do not grow the buffer unboundedly.
+  if (Off != 0 && (Off > (Buf.size() >> 1) || Buf.size() > (1u << 20))) {
+    Buf.erase(Buf.begin(), Buf.begin() + Off);
+    Off = 0;
+  }
+  Buf.insert(Buf.end(), Tmp, Tmp + R);
+  return RecvStatus::Ok;
+}
+
+RecvStatus FrameReader::next(Frame *Out) {
+  if (Broken)
+    return RecvStatus::Corrupt;
+  size_t Avail = Buf.size() - Off;
+  if (Avail < FrameHeaderBytes)
+    return RecvStatus::NeedMore;
+  const uint8_t *H = Buf.data() + Off;
+  if (getLe32(H) != FrameMagic) {
+    Broken = true;
+    return RecvStatus::Corrupt;
+  }
+  uint32_t Type = getLe32(H + 4);
+  uint64_t Len = getLe64(H + 8);
+  uint64_t Sum = getLe64(H + 16);
+  if (Len > MaxFramePayloadBytes ||
+      (Type < static_cast<uint32_t>(MsgType::Hello) ||
+       Type > static_cast<uint32_t>(MsgType::Shutdown))) {
+    Broken = true;
+    return RecvStatus::Corrupt;
+  }
+  if (Avail < FrameHeaderBytes + Len)
+    return RecvStatus::NeedMore;
+  Out->Type = static_cast<MsgType>(Type);
+  Out->Payload.assign(H + FrameHeaderBytes, H + FrameHeaderBytes + Len);
+  Off += FrameHeaderBytes + static_cast<size_t>(Len);
+  if (frameChecksum(Out->Type, Out->Payload) != Sum) {
+    Broken = true;
+    return RecvStatus::Corrupt;
+  }
+  return RecvStatus::Ok;
+}
+
+RecvStatus readFrameBlocking(int Fd, Frame *Out) {
+  FrameReader R;
+  for (;;) {
+    RecvStatus S = R.next(Out);
+    if (S != RecvStatus::NeedMore)
+      return S;
+    S = R.fill(Fd);
+    if (S == RecvStatus::Eof || S == RecvStatus::Error ||
+        S == RecvStatus::Corrupt)
+      return S;
+  }
+}
+
+std::vector<uint8_t> encodeHello(const HelloMsg &M) {
+  WireWriter W;
+  W.u64(M.Pid);
+  W.u64(M.PlanHash);
+  return W.take();
+}
+
+bool decodeHello(const std::vector<uint8_t> &P, HelloMsg *M) {
+  WireReader R(P);
+  return R.u64(&M->Pid) && R.u64(&M->PlanHash) && R.atEnd();
+}
+
+std::vector<uint8_t> encodeTask(const TaskMsg &M) {
+  WireWriter W;
+  W.u64(M.TaskId);
+  W.u64(M.ShardIndex);
+  W.u64(M.AttemptKey);
+  W.vecI64(M.Data);
+  return W.take();
+}
+
+bool decodeTask(const std::vector<uint8_t> &P, TaskMsg *M) {
+  WireReader R(P);
+  return R.u64(&M->TaskId) && R.u64(&M->ShardIndex) &&
+         R.u64(&M->AttemptKey) && R.vecI64(&M->Data) && R.atEnd();
+}
+
+std::vector<uint8_t> encodeResult(const ResultMsg &M) {
+  WireWriter W;
+  W.u64(M.TaskId);
+  W.u64(M.ShardIndex);
+  const runtime::WorkerOutput &O = M.Out;
+  W.u8(O.Found ? 1 : 0);
+  W.i64(O.Boundary);
+  W.vecI64(O.D);
+  W.vecU32(O.CtrlCur);
+  W.u64(O.ModeArg.size());
+  for (const std::vector<std::pair<int64_t, int64_t>> &Row : O.ModeArg) {
+    W.u64(Row.size());
+    for (const std::pair<int64_t, int64_t> &P2 : Row) {
+      W.i64(P2.first);
+      W.i64(P2.second);
+    }
+  }
+  W.vecI64(O.PrefixData);
+  W.vecI64(O.Distinct);
+  return W.take();
+}
+
+bool decodeResult(const std::vector<uint8_t> &P, ResultMsg *M) {
+  WireReader R(P);
+  runtime::WorkerOutput &O = M->Out;
+  uint8_t Found;
+  if (!R.u64(&M->TaskId) || !R.u64(&M->ShardIndex) || !R.u8(&Found) ||
+      !R.i64(&O.Boundary) || !R.vecI64(&O.D) || !R.vecU32(&O.CtrlCur))
+    return false;
+  O.Found = Found != 0;
+  uint64_t NV;
+  if (!R.u64(&NV) || NV > (1u << 20))
+    return false;
+  O.ModeArg.resize(static_cast<size_t>(NV));
+  for (std::vector<std::pair<int64_t, int64_t>> &Row : O.ModeArg) {
+    uint64_t NJ;
+    if (!R.u64(&NJ) || NJ > (1u << 20))
+      return false;
+    Row.resize(static_cast<size_t>(NJ));
+    for (std::pair<int64_t, int64_t> &P2 : Row)
+      if (!R.i64(&P2.first) || !R.i64(&P2.second))
+        return false;
+  }
+  return R.vecI64(&O.PrefixData) && R.vecI64(&O.Distinct) && R.atEnd();
+}
+
+} // namespace dist
+} // namespace grassp

@@ -1,0 +1,175 @@
+//===- dist/Protocol.h - Framed wire protocol for the dist runtime -------===//
+//
+// The coordinator and its worker processes speak a length-prefixed,
+// checksummed binary protocol over Unix-domain stream sockets. Every
+// frame is
+//
+//   [u32 magic 'GDP1'][u32 type][u64 payload-len][u64 fnv1a(payload)]
+//   [payload bytes]
+//
+// and the checksum covers the payload *and* the header's type+length
+// words, so a flipped bit anywhere in a frame — including one planted by
+// the dist.frame.corrupt fault site — is detected at the receiver and
+// converted into a retry, never into a wrong answer. Framing after a
+// corrupt frame is untrusted by construction: the coordinator kills and
+// restarts the offending worker instead of trying to resynchronize.
+//
+// Payloads are little-endian fixed-width words written by WireWriter and
+// read back by the bounds-checked WireReader (a truncated or oversized
+// payload decodes as Corrupt, not as garbage). The messages:
+//
+//   Hello      worker -> coord   pid + the plan's canonical bytecode
+//                                hash (the fork handshake: a worker
+//                                whose inherited plan hash differs from
+//                                the coordinator's is refused)
+//   Task       coord -> worker   task id, shard index, attempt key (the
+//                                fault-injection key), inline shard data
+//   Result     worker -> coord   task id, shard index, serialized
+//                                runtime::WorkerOutput
+//   Heartbeat  worker -> coord   liveness counter (sent while idle)
+//   Shutdown   coord -> worker   clean exit request
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_DIST_PROTOCOL_H
+#define GRASSP_DIST_PROTOCOL_H
+
+#include "runtime/Kernels.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace dist {
+
+inline constexpr uint32_t FrameMagic = 0x31504447; // "GDP1", little-endian.
+inline constexpr size_t FrameHeaderBytes = 24;
+/// Upper bound a receiver accepts for one payload; anything larger is a
+/// corrupt length word, not a legitimate frame.
+inline constexpr uint64_t MaxFramePayloadBytes = uint64_t{1} << 31;
+
+enum class MsgType : uint32_t {
+  Hello = 1,
+  Task = 2,
+  Result = 3,
+  Heartbeat = 4,
+  Shutdown = 5,
+};
+
+struct Frame {
+  MsgType Type = MsgType::Heartbeat;
+  std::vector<uint8_t> Payload;
+};
+
+/// FNV-1a over a byte range; the frame checksum.
+uint64_t fnv1aBytes(const uint8_t *Data, size_t N);
+
+/// Little-endian payload serializer.
+class WireWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void vecI64(const std::vector<int64_t> &V);
+  void vecU32(const std::vector<uint32_t> &V);
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked payload deserializer: every getter reports false once
+/// the payload is exhausted or a length word overruns it, so a decoder
+/// can treat any failure as a corrupt frame.
+class WireReader {
+public:
+  WireReader(const uint8_t *Data, size_t N) : Data(Data), End(Data + N) {}
+  explicit WireReader(const std::vector<uint8_t> &B)
+      : WireReader(B.data(), B.size()) {}
+
+  bool u8(uint8_t *V);
+  bool u32(uint32_t *V);
+  bool u64(uint64_t *V);
+  bool i64(int64_t *V);
+  bool vecI64(std::vector<int64_t> *V);
+  bool vecU32(std::vector<uint32_t> *V);
+  bool atEnd() const { return Data == End; }
+
+private:
+  const uint8_t *Data;
+  const uint8_t *End;
+};
+
+/// Blocking frame write (loops over partial sends, MSG_NOSIGNAL so a
+/// dead peer surfaces as an error, not SIGPIPE). Returns false on any
+/// send failure. \p CorruptByteAt >= 0 flips that payload byte *after*
+/// the checksum is computed — the dist.frame.corrupt fault — so the
+/// receiver's checksum must catch it.
+bool writeFrame(int Fd, MsgType Type, const std::vector<uint8_t> &Payload,
+                int64_t CorruptByteAt = -1);
+
+enum class RecvStatus : uint8_t {
+  Ok,       ///< A full, checksum-valid frame was produced.
+  NeedMore, ///< No complete frame buffered yet.
+  Eof,      ///< Peer closed the socket.
+  Corrupt,  ///< Bad magic, oversized length, or checksum mismatch.
+  Error,    ///< read(2) failed.
+};
+
+/// Incremental frame parser: feed bytes as they arrive (the coordinator
+/// reads nonblocking-style via poll), pop frames as they complete. A
+/// Corrupt verdict is sticky — framing downstream of a bad frame cannot
+/// be trusted, so the owner must discard the connection.
+class FrameReader {
+public:
+  /// One read(2) into the buffer; classifies EOF and errors.
+  RecvStatus fill(int Fd);
+  /// Extracts the next complete frame, if any.
+  RecvStatus next(Frame *Out);
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Off = 0; // consumed prefix of Buf.
+  bool Broken = false;
+};
+
+/// Blocking single-frame read for the worker side (reads exactly one
+/// frame or reports Eof/Corrupt/Error).
+RecvStatus readFrameBlocking(int Fd, Frame *Out);
+
+// Message payload codecs. Encoders append to a fresh writer; decoders
+// report false on any truncation/overrun (treat as Corrupt).
+
+struct HelloMsg {
+  uint64_t Pid = 0;
+  uint64_t PlanHash = 0;
+};
+std::vector<uint8_t> encodeHello(const HelloMsg &M);
+bool decodeHello(const std::vector<uint8_t> &P, HelloMsg *M);
+
+struct TaskMsg {
+  uint64_t TaskId = 0;
+  uint64_t ShardIndex = 0;
+  /// Fault-injection key for this attempt: pure in (run, attempt,
+  /// shard), so chaos runs replay their fault pattern exactly.
+  uint64_t AttemptKey = 0;
+  std::vector<int64_t> Data;
+};
+std::vector<uint8_t> encodeTask(const TaskMsg &M);
+bool decodeTask(const std::vector<uint8_t> &P, TaskMsg *M);
+
+struct ResultMsg {
+  uint64_t TaskId = 0;
+  uint64_t ShardIndex = 0;
+  runtime::WorkerOutput Out;
+};
+std::vector<uint8_t> encodeResult(const ResultMsg &M);
+bool decodeResult(const std::vector<uint8_t> &P, ResultMsg *M);
+
+} // namespace dist
+} // namespace grassp
+
+#endif // GRASSP_DIST_PROTOCOL_H

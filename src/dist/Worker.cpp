@@ -1,0 +1,113 @@
+//===- dist/Worker.cpp ----------------------------------------------------==//
+
+#include "dist/Worker.h"
+
+#include "dist/Protocol.h"
+#include "runtime/Kernels.h"
+
+#include <csignal>
+#include <cstdint>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace grassp {
+namespace dist {
+
+namespace {
+
+/// One complete frame off the socket, buffering across poll wakeups.
+/// Returns false on EOF/error/corrupt — the worker treats any of those
+/// as "coordinator gone" and exits.
+bool readFrame(FrameReader &Reader, int Fd, Frame *F,
+               double HeartbeatSeconds, uint64_t *HeartbeatCounter) {
+  for (;;) {
+    RecvStatus S = Reader.next(F);
+    if (S == RecvStatus::Ok)
+      return true;
+    if (S != RecvStatus::NeedMore)
+      return false;
+    // Idle: wait for bytes, heartbeating on every timeout so the
+    // coordinator can tell an idle worker from a dead one.
+    struct pollfd P = {Fd, POLLIN, 0};
+    int Ms = HeartbeatSeconds > 0
+                 ? static_cast<int>(HeartbeatSeconds * 1000.0) + 1
+                 : -1;
+    int Rc = ::poll(&P, 1, Ms);
+    if (Rc < 0)
+      continue; // EINTR
+    if (Rc == 0) {
+      WireWriter W;
+      W.u64((*HeartbeatCounter)++);
+      if (!writeFrame(Fd, MsgType::Heartbeat, W.bytes()))
+        return false;
+      continue;
+    }
+    S = Reader.fill(Fd);
+    if (S == RecvStatus::Eof || S == RecvStatus::Error ||
+        S == RecvStatus::Corrupt)
+      return false;
+  }
+}
+
+} // namespace
+
+void workerMain(int Fd, const runtime::CompiledPlan &Plan,
+                FaultInjector *Faults, double HeartbeatSeconds) {
+  // The fork handshake: the coordinator refuses a worker whose inherited
+  // plan hashes differently from its own.
+  HelloMsg Hello;
+  Hello.Pid = static_cast<uint64_t>(::getpid());
+  Hello.PlanHash = Plan.compiled().bytecodeHash();
+  if (!writeFrame(Fd, MsgType::Hello, encodeHello(Hello)))
+    ::_exit(0);
+
+  FrameReader Reader;
+  uint64_t Heartbeats = 0;
+  for (;;) {
+    Frame F;
+    if (!readFrame(Reader, Fd, &F, HeartbeatSeconds, &Heartbeats))
+      ::_exit(0); // coordinator gone (or untrusted channel): clean end.
+    if (F.Type == MsgType::Shutdown)
+      ::_exit(0);
+    if (F.Type != MsgType::Task)
+      continue; // ignore stray frames; the protocol stays in lockstep.
+
+    TaskMsg Task;
+    if (!decodeTask(F.Payload, &Task))
+      ::_exit(0); // a frame that checksummed but won't decode: give up.
+
+    // The REAL faults. Decisions are pure in (seed, site, AttemptKey),
+    // so a chaos run replays its exact kill pattern from its seed.
+    if (Faults) {
+      if (Faults->shouldFailKeyed(SiteWorkerExit, Task.AttemptKey))
+        ::_exit(WorkerFaultExitStatus);
+      if (Faults->shouldFailKeyed(SiteWorkerKill, Task.AttemptKey)) {
+        ::raise(SIGKILL);
+        ::_exit(WorkerFaultExitStatus); // unreachable; belt and braces.
+      }
+      if (Faults->shouldFailKeyed(SiteWorkerHang, Task.AttemptKey)) {
+        // Go silent: no result, no heartbeat. The coordinator's per-task
+        // deadline must detect this and SIGKILL us.
+        for (;;)
+          ::pause();
+      }
+    }
+
+    ResultMsg Res;
+    Res.TaskId = Task.TaskId;
+    Res.ShardIndex = Task.ShardIndex;
+    Res.Out = Plan.runWorker(
+        runtime::SegmentView{Task.Data.data(), Task.Data.size()});
+
+    int64_t CorruptAt = -1;
+    if (Faults && Faults->shouldFailKeyed(SiteFrameCorrupt, Task.AttemptKey))
+      CorruptAt = static_cast<int64_t>(
+          Faults->drawFor(SiteFrameCorrupt, Task.AttemptKey) & 0x7fffffff);
+    if (!writeFrame(Fd, MsgType::Result, encodeResult(Res), CorruptAt))
+      ::_exit(0);
+  }
+}
+
+} // namespace dist
+} // namespace grassp

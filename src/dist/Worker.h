@@ -1,0 +1,61 @@
+//===- dist/Worker.h - The dist runtime's worker process body ------------===//
+//
+// A worker is a forked child of the coordinator: it inherits the
+// CompiledPlan (including any dlopen'd jit kernel — the KernelCache
+// means the kernel was compiled at most once, in the parent) and talks
+// to the coordinator over one Unix-domain stream socket.
+//
+// The worker is deliberately THREADLESS: a fork()ed child of a
+// potentially multi-threaded parent may only rely on async-signal-safe
+// state plus what glibc guarantees (malloc works after fork). A single
+// poll()-driven loop sends idle heartbeats, receives Task frames,
+// executes them through the plan's tier ladder, and ships Result frames
+// back. Hang detection is therefore the COORDINATOR's job (per-task
+// deadlines) — a busy worker sends nothing until its result is ready.
+//
+// Real fault injection: on receipt of a task the worker consults the
+// dist.* fault sites keyed by the task's attempt key, and then actually
+// _exit(137)s, raise(SIGKILL)s itself, hangs forever, or flips one byte
+// of its reply frame. These are genuine process deaths and genuine bad
+// bytes on a real socket — the coordinator's recovery machinery is
+// exercised against exactly what it was designed for.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_DIST_WORKER_H
+#define GRASSP_DIST_WORKER_H
+
+#include "support/FaultInject.h"
+
+namespace grassp {
+namespace runtime {
+class CompiledPlan;
+}
+
+namespace dist {
+
+/// Fault sites the worker consults per received task, keyed by the
+/// task's AttemptKey (pure in run/attempt/shard — see distAttemptKey).
+inline constexpr const char *SiteWorkerExit = "dist.worker.exit";
+inline constexpr const char *SiteWorkerKill = "dist.worker.kill";
+inline constexpr const char *SiteWorkerHang = "dist.worker.hang";
+inline constexpr const char *SiteFrameCorrupt = "dist.frame.corrupt";
+
+/// Exit status a fault-injected worker dies with (the classic OOM-kill
+/// status, distinguishable from both clean exits and signals).
+inline constexpr int WorkerFaultExitStatus = 137;
+
+/// The worker protocol loop. Runs in the forked child on \p Fd; sends
+/// Hello (pid + the plan's canonical bytecode hash), then serves Task
+/// frames until Shutdown or coordinator EOF. Sends a Heartbeat every
+/// \p HeartbeatSeconds while idle. Never returns — always _exit()s
+/// (clean protocol end: 0) so the child cannot fall back into the
+/// parent's stack, atexit handlers, or gtest machinery.
+[[noreturn]] void workerMain(int Fd, const runtime::CompiledPlan &Plan,
+                             FaultInjector *Faults,
+                             double HeartbeatSeconds);
+
+} // namespace dist
+} // namespace grassp
+
+#endif // GRASSP_DIST_WORKER_H

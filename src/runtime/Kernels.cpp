@@ -110,6 +110,10 @@ std::string CompiledProgram::specializationInfo() const {
   return Spec ? Spec->describe() : std::string();
 }
 
+uint64_t CompiledProgram::bytecodeHash() const {
+  return jit::bytecodeHash(StepOpt);
+}
+
 std::vector<int64_t> CompiledProgram::initialState() const {
   std::vector<int64_t> St;
   if (Bag)

@@ -73,6 +73,12 @@ public:
   bool usesBag() const { return Bag; }
   const lang::SerialProgram &program() const { return Prog; }
 
+  /// Canonical hash of the optimized step bytecode — the same key the
+  /// jit KernelCache uses, so it identifies the compiled plan across
+  /// process boundaries (the dist runtime's fork handshake verifies a
+  /// worker inherited the coordinator's plan by comparing this hash).
+  uint64_t bytecodeHash() const;
+
   /// The tier all fold entry points run on.
   ExecTier tier() const { return Tier; }
   bool tierAvailable(ExecTier T) const;

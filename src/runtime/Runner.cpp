@@ -41,7 +41,32 @@ double medianOf(std::vector<double> V) {
   return V[Mid];
 }
 
+/// SplitMix64 finalizer — the same stateless mixer FaultInject uses, so
+/// backoff jitter is pure in (seed, key) with no shared RNG state.
+uint64_t mixBits(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
 } // namespace
+
+double decorrelatedBackoff(double Base, double Cap, double Prev,
+                           uint64_t Seed, uint64_t Key) {
+  if (Base <= 0.0)
+    return 0.0;
+  if (Cap < Base)
+    Cap = Base;
+  if (Prev < Base)
+    Prev = Base;
+  // Uniform in [Base, 3*Prev]: 2^64 as a double is exact, the quotient
+  // lies in [0, 1).
+  double U = static_cast<double>(
+                 mixBits(Seed + 0x9e3779b97f4a7c15ULL * (Key + 1))) /
+             18446744073709551616.0;
+  double Sleep = Base + U * (3.0 * Prev - Base);
+  return std::min(Sleep, Cap);
+}
 
 int64_t runSerialTimed(const CompiledProgram &Prog,
                        const std::vector<SegmentView> &Segs,
@@ -90,6 +115,7 @@ runParallelCore(size_t N, const std::function<WorkerOutput(size_t)> &Work,
         break;
       }
       double InjectedStall = FI ? FI->delayFor(FaultSiteStraggler, I) : 0.0;
+      double PrevSleep = Policy.BackoffSeconds;
       for (unsigned Attempt = 0;; ++Attempt) {
         Stopwatch W;
         try {
@@ -115,8 +141,11 @@ runParallelCore(size_t N, const std::function<WorkerOutput(size_t)> &Work,
           ++R.Retries;
           // Interruptible: a fired token cuts the backoff short and the
           // next iteration notices it.
-          Policy.Token.sleepFor(Policy.BackoffSeconds *
-                                static_cast<double>(uint64_t{1} << Attempt));
+          PrevSleep = decorrelatedBackoff(
+              Policy.BackoffSeconds, Policy.BackoffCapSeconds, PrevSleep,
+              Policy.BackoffJitterSeed,
+              Attempt * WorkerAttemptKeyStride + I);
+          Policy.Token.sleepFor(PrevSleep);
         }
       }
     }
@@ -157,6 +186,7 @@ runParallelCore(size_t N, const std::function<WorkerOutput(size_t)> &Work,
                !Policy.Token.cancelled())
           std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
+      double PrevSleep = Policy.BackoffSeconds;
       for (unsigned Attempt = 0;; ++Attempt) {
         if (Slots[I].State.load(std::memory_order_acquire) != 0)
           return; // the other copy already won.
@@ -175,8 +205,11 @@ runParallelCore(size_t N, const std::function<WorkerOutput(size_t)> &Work,
           Retries.fetch_add(1, std::memory_order_relaxed);
           // Interruptible: a fired token wakes the backoff and the next
           // iteration returns.
-          Policy.Token.sleepFor(Policy.BackoffSeconds *
-                                static_cast<double>(uint64_t{1} << Attempt));
+          PrevSleep = decorrelatedBackoff(
+              Policy.BackoffSeconds, Policy.BackoffCapSeconds, PrevSleep,
+              Policy.BackoffJitterSeed,
+              Attempt * WorkerAttemptKeyStride + I);
+          Policy.Token.sleepFor(PrevSleep);
         }
       }
     };

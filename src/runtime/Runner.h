@@ -52,10 +52,19 @@ struct RunPolicy {
   /// Extra attempts granted to a failed segment worker before the
   /// serial-refold fallback.
   unsigned MaxRetries = 2;
-  /// Sleep before retry k is Backoff * 2^(k-1) seconds (0 = immediate).
-  /// Kept tiny by default: the simulated cluster pays modeled time, the
-  /// real thread pool should not stall tests.
+  /// Base retry sleep in seconds (0 = immediate). Kept tiny by default:
+  /// the simulated cluster pays modeled time, the real thread pool
+  /// should not stall tests. The actual sleep before each retry is
+  /// decorrelatedBackoff(Base, Cap, Prev, ...) — exponential growth with
+  /// decorrelated jitter so correlated faults do not produce
+  /// synchronized retry storms.
   double BackoffSeconds = 0.0;
+  /// Upper bound on any single backoff sleep.
+  double BackoffCapSeconds = 0.25;
+  /// Seed for the jitter draw. The draw is a pure function of
+  /// (seed, attempt key), never of wall clock or shared RNG state, so a
+  /// chaos run replays its exact backoff schedule from its seed.
+  uint64_t BackoffJitterSeed = 0;
   /// Launch a backup copy of straggling workers (ThreadPool mode only).
   bool Speculate = false;
   /// A running worker is a straggler once the batch is
@@ -95,6 +104,16 @@ struct ParallelRunResult {
   unsigned SpeculativeWins = 0;    // backups that beat their primary.
   unsigned SerialRefolds = 0;      // segments recovered on the caller.
 };
+
+/// Decorrelated-jitter backoff (the AWS "decorrelated jitter" scheme):
+/// the next sleep is drawn uniformly from [Base, 3 * Prev] and capped at
+/// \p Cap, where \p Prev is the previous sleep (pass Base before the
+/// first retry). The draw is a pure hash of (Seed, Key) — bit-exact
+/// replay from the seed, and distinct keys (segments, attempts, workers)
+/// decorrelate even when their faults were perfectly correlated.
+/// Returns 0 when Base <= 0 (backoff disabled).
+double decorrelatedBackoff(double Base, double Cap, double Prev,
+                           uint64_t Seed, uint64_t Key);
 
 /// Serial run over \p Segs; wall time in \p Seconds (optional).
 int64_t runSerialTimed(const CompiledProgram &Prog,

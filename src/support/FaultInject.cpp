@@ -113,6 +113,14 @@ double FaultInjector::delayFor(const std::string &Site, uint64_t Key) {
   return shouldFailKeyed(Site, Key) ? S->Spec.DelaySeconds : 0.0;
 }
 
+uint64_t FaultInjector::drawFor(const std::string &Site,
+                                uint64_t Key) const {
+  // Offset the stream so the parameter draw never correlates with the
+  // fire/no-fire draw for the same (site, key).
+  return mix(Seed + 0x9e3779b97f4a7c15ULL * (fnv1a(Site) ^ Key) +
+             0x632be59bd9b4e019ULL);
+}
+
 FaultInjector::SiteStats
 FaultInjector::stats(const std::string &Name) const {
   SiteStats St;

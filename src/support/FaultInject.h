@@ -18,6 +18,16 @@
 //   cluster.straggler map task is slow (modeled, no real sleep)
 //   synth.task        synthesis task attempt crashes (throws)
 //
+// The dist.* sites are REAL faults, not simulated ones: a worker
+// *process* of the multi-process runtime (src/dist/) consults them when
+// a task arrives and then actually dies, hangs, or ships a damaged
+// frame — the coordinator's failure handling is exercised against the
+// genuine article (SIGKILL, waitpid status decoding, checksum rejects):
+//   dist.worker.exit   worker calls _exit(137) before computing
+//   dist.worker.kill   worker raise(SIGKILL)s itself
+//   dist.worker.hang   worker goes silent (no result, no heartbeat)
+//   dist.frame.corrupt worker flips a byte in its reply frame
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef GRASSP_SUPPORT_FAULTINJECT_H
@@ -105,6 +115,12 @@ public:
   /// Seconds the caller should stall: the site's DelaySeconds when the
   /// keyed decision fires, else 0.
   double delayFor(const std::string &Site, uint64_t Key);
+
+  /// A pure auxiliary 64-bit draw from (seed, site, key) — no counters
+  /// touched, no fire recorded. For faults that need a deterministic
+  /// parameter beyond fire/no-fire (e.g. which byte of a reply frame
+  /// dist.frame.corrupt flips).
+  uint64_t drawFor(const std::string &Site, uint64_t Key) const;
 
   struct SiteStats {
     uint64_t Hits = 0;

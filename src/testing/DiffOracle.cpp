@@ -36,6 +36,9 @@ DiffOracle::DiffOracle(const lang::SerialProgram &P,
                        const OracleConfig &Cfg)
     : Prog(P), Plan(PlanIn), Compiled(P), CompiledPlanImpl(P, Plan),
       Pool(Cfg.Threads ? Cfg.Threads : 1), Policy(Cfg.Policy) {
+  if (Cfg.UseDist)
+    DistCoord =
+        std::make_unique<dist::DistCoordinator>(CompiledPlanImpl, Cfg.Dist);
   if (!Cfg.UseEmitted || !hostCompilerAvailable())
     return;
   codegen::CppEmitOptions EOpts;
@@ -224,6 +227,29 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
     TreeVal = Tree.query();
   }
 
+  // The multi-process path: real forked workers, real sockets, and —
+  // when the dist.* fault sites are armed — real kills mid-fold. The
+  // coordinator recovers however it must (reassignment, backups, serial
+  // refold); the answer still has to match the interpreter exactly.
+  bool DistOn = DistCoord != nullptr;
+  int64_t DistVal = 0;
+  if (DistOn) {
+    dist::DistRunReport DR = DistCoord->run(Views);
+    if (DR.Cancelled)
+      return V;
+    DistVal = DR.Output;
+    ++DistSt.Runs;
+    DistSt.WorkersKilled += DR.WorkersKilled;
+    DistSt.WorkersExited += DR.WorkersExited;
+    DistSt.WorkersRestarted += DR.WorkersRestarted;
+    DistSt.ShardsReassigned += DR.ShardsReassigned;
+    DistSt.SpeculativeLaunches += DR.SpeculativeLaunches;
+    DistSt.SpeculativeWins += DR.SpeculativeWins;
+    DistSt.CorruptFrames += DR.CorruptFrames;
+    DistSt.HangsDetected += DR.HangsDetected;
+    DistSt.SerialRefolds += DR.SerialRefolds;
+  }
+
   bool EmittedOk = true;
   int64_t EmSerial = 0, EmParallel = 0;
   std::string EmittedFailure;
@@ -244,6 +270,7 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
     Agree &= !R.Active || R.Value == V.Expected;
   Agree &= !SourceActive ||
            (SourceVal == V.Expected && TreeVal == V.Expected);
+  Agree &= !DistOn || DistVal == V.Expected;
   if (Agree)
     return V;
 
@@ -256,6 +283,8 @@ OracleVerdict DiffOracle::check(const SegmentedInput &Segs) {
   D << " plan+pool=" << Par;
   if (SourceActive)
     D << " source+pool=" << SourceVal << " merge-tree=" << TreeVal;
+  if (DistOn)
+    D << " dist=" << DistVal;
   if (EmittedReady || EmittedBroken) {
     if (EmittedOk)
       D << " emitted-serial=" << EmSerial << " emitted-parallel="

@@ -1,6 +1,6 @@
 //===- testing/DiffOracle.h - Differential oracle over execution paths ---===//
 //
-// One plan, up to nine executions of the same workload:
+// One plan, up to ten executions of the same workload:
 //
 //  1. the tree-walking reference interpreter (lang::runSerial) — the
 //     ground truth, a flat fold of f with no segmentation at all;
@@ -27,7 +27,12 @@
 //     file-input hook (skipped gracefully when no compiler is present
 //     or the plan has no translation; a compiler that *fails* on the
 //     translation, or an emitted binary that dies or won't run, is
-//     reported as a divergence, never a silent no-verdict).
+//     reported as a divergence, never a silent no-verdict);
+// 10. (opt-in, UseDist) the real multi-process distributed runtime
+//     (dist::DistCoordinator): forked worker processes over Unix
+//     sockets, one shard per segment — a genuinely independent
+//     process-isolated path, and the one chaos mode kills real workers
+//     under while demanding the same bit-identical answer.
 //
 // Running every tier on every fuzzed workload is what lets the runtime
 // trust neither the peephole optimizer nor the specialized kernels: a
@@ -43,6 +48,7 @@
 #ifndef GRASSP_TESTING_DIFFORACLE_H
 #define GRASSP_TESTING_DIFFORACLE_H
 
+#include "dist/Coordinator.h"
 #include "lang/Program.h"
 #include "runtime/Kernels.h"
 #include "runtime/Runner.h"
@@ -70,6 +76,12 @@ struct OracleConfig {
   /// Policy.Faults at a seeded injector: the oracle then checks that
   /// the fault-tolerant run is still bit-identical to the other paths.
   runtime::RunPolicy Policy;
+  /// Add the real multi-process runtime as an independent path. The
+  /// coordinator (and its forked workers) persist across checks; with
+  /// Dist.Faults armed at the dist.* sites, workers genuinely die
+  /// mid-fold and the oracle demands bit-identical recovery.
+  bool UseDist = false;
+  dist::DistConfig Dist;
 };
 
 struct OracleVerdict {
@@ -109,9 +121,10 @@ public:
       ++N;
     if (Compiled.tierAvailable(runtime::ExecTier::Specialized))
       ++N;
-    return N + (EmittedReady ? 1 : 0);
+    return N + (EmittedReady ? 1 : 0) + (DistCoord ? 1 : 0);
   }
   bool emittedActive() const { return EmittedReady; }
+  bool distActive() const { return DistCoord != nullptr; }
   /// True when the translation existed but the host compiler failed on
   /// it; every check() then reports the compile detail as a divergence.
   bool emittedBroken() const { return EmittedBroken; }
@@ -137,6 +150,24 @@ public:
   };
   const FaultStats &faultStats() const { return Faults; }
 
+  /// Distributed-path recovery activity accumulated over every check
+  /// (all zero unless UseDist). Every counter here describes a REAL
+  /// event: WorkersKilled saw WIFSIGNALED, CorruptFrames were checksum
+  /// rejects of actual wire bytes.
+  struct DistStats {
+    unsigned long Runs = 0;
+    unsigned long WorkersKilled = 0;
+    unsigned long WorkersExited = 0;
+    unsigned long WorkersRestarted = 0;
+    unsigned long ShardsReassigned = 0;
+    unsigned long SpeculativeLaunches = 0;
+    unsigned long SpeculativeWins = 0;
+    unsigned long CorruptFrames = 0;
+    unsigned long HangsDetected = 0;
+    unsigned long SerialRefolds = 0;
+  };
+  const DistStats &distStats() const { return DistSt; }
+
   /// "file.cpp:3 segments [1 2 | | 7]" — reproducer pretty-printer.
   static std::string formatInput(const SegmentedInput &Segs);
 
@@ -158,8 +189,10 @@ private:
   runtime::CompiledPlan CompiledPlanImpl;
   ThreadPool Pool;
   runtime::RunPolicy Policy;
+  std::unique_ptr<dist::DistCoordinator> DistCoord;
   unsigned long Checks = 0;
   FaultStats Faults;
+  DistStats DistSt;
 
   // Emitted-path state: a temp dir holding the compiled binary plus the
   // per-check workload/output files. Broken means a compiler exists but

@@ -2,6 +2,7 @@
 
 #include "testing/Fuzz.h"
 
+#include "dist/Worker.h"
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
 #include "runtime/Workload.h"
@@ -55,6 +56,36 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
     OC.Policy.MaxRetries = 3;
     OC.Policy.Speculate = true;
     OC.Policy.Faults = &Injector;
+  }
+  if (Opts.Dist) {
+    OC.UseDist = true;
+    OC.Dist.Workers = Opts.DistWorkers ? Opts.DistWorkers : 1;
+    OC.Dist.MaxRetries = 3;
+    // Tight deadlines keep injected hangs cheap: backup at 40ms, kill
+    // at 80ms, so a silent worker costs one beat of wall clock, not a
+    // stuck sweep.
+    OC.Dist.TaskDeadlineSeconds = 0.04;
+    OC.Dist.HangKillFactor = 2.0;
+    OC.Dist.BackoffJitterSeed = Opts.ChaosSeed;
+    // Chaos kills churn through many processes; the respawn budget must
+    // not degrade the whole sweep to serial refolds.
+    OC.Dist.MaxWorkerRestarts = 100000;
+    OC.Dist.Token = Opts.Token;
+    if (Opts.Chaos) {
+      OC.Dist.Faults = &Injector;
+      FaultSpec Kill;
+      Kill.Probability = Opts.DistKillPermille / 1000.0;
+      Injector.arm(dist::SiteWorkerKill, Kill);
+      FaultSpec Exit;
+      Exit.Probability = Opts.DistExitPermille / 1000.0;
+      Injector.arm(dist::SiteWorkerExit, Exit);
+      FaultSpec Hang;
+      Hang.Probability = Opts.DistHangPermille / 1000.0;
+      Injector.arm(dist::SiteWorkerHang, Hang);
+      FaultSpec Corrupt;
+      Corrupt.Probability = Opts.DistCorruptPermille / 1000.0;
+      Injector.arm(dist::SiteFrameCorrupt, Corrupt);
+    }
   }
   // Interruptible runs: a fired token wakes injected stragglers and
   // retry backoffs instead of letting them pin pool workers.
@@ -142,8 +173,12 @@ FuzzReport fuzzBenchmark(const lang::SerialProgram &Prog,
     Found = sweep(Opts.Seed + Round * kSeedStride);
 
   R.Checks = Oracle.checksRun();
+  // Dist fault fires happen in the forked WORKERS (their injector copy),
+  // so the parent's fire counters never see them; the honest measure is
+  // the coordinator's waitpid-verified recovery stats below.
   R.FaultFires = Injector.totalFires();
   R.Faults = Oracle.faultStats();
+  R.Dist = Oracle.distStats();
   return R;
 }
 
@@ -174,6 +209,11 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
                 "straggler %u/1000 @ %.1fms)\n",
                 (unsigned long long)Opts.ChaosSeed, Opts.ChaosFailPermille,
                 Opts.ChaosStragglerPermille, Opts.ChaosStragglerSec * 1e3);
+  if (Opts.Dist)
+    std::printf("fuzz: dist mode armed (%u worker processes%s)\n",
+                Opts.DistWorkers,
+                Opts.Chaos ? "; REAL faults: kill/exit/hang/corrupt-frame"
+                           : "");
   synth::ParallelDriver Driver(DriverOpts);
   std::vector<synth::TaskResult> Results = Driver.run(Progs);
 
@@ -191,6 +231,7 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
   unsigned Fuzzed = 0;
   uint64_t TotalFires = 0;
   unsigned long TotalRetries = 0, TotalRefolds = 0, TotalSpec = 0;
+  DiffOracle::DistStats Dist;
   for (size_t I = 0; I != Progs.size(); ++I) {
     if (Opts.Token.cancelled()) {
       Interrupted = true;
@@ -217,6 +258,16 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
     TotalRetries += R.Faults.Retries;
     TotalRefolds += R.Faults.SerialRefolds;
     TotalSpec += R.Faults.SpeculativeLaunches;
+    Dist.Runs += R.Dist.Runs;
+    Dist.WorkersKilled += R.Dist.WorkersKilled;
+    Dist.WorkersExited += R.Dist.WorkersExited;
+    Dist.WorkersRestarted += R.Dist.WorkersRestarted;
+    Dist.ShardsReassigned += R.Dist.ShardsReassigned;
+    Dist.SpeculativeLaunches += R.Dist.SpeculativeLaunches;
+    Dist.SpeculativeWins += R.Dist.SpeculativeWins;
+    Dist.CorruptFrames += R.Dist.CorruptFrames;
+    Dist.HangsDetected += R.Dist.HangsDetected;
+    Dist.SerialRefolds += R.Dist.SerialRefolds;
     if (!R.Diverged) {
       if (Opts.Chaos)
         std::printf("%-22s %-6s %-7u %-8lu ok (faults=%llu retries=%lu "
@@ -250,6 +301,17 @@ int fuzzMain(const std::vector<std::string> &Names, const FuzzOptions &Opts,
                 "bit-identical\n",
                 (unsigned long long)TotalFires, TotalRetries, TotalRefolds,
                 TotalSpec);
+  if (Opts.Dist)
+    std::printf("dist: %lu run(s); %lu worker(s) killed (WIFSIGNALED), "
+                "%lu crashed/exited, %lu restarted; %lu shard(s) "
+                "reassigned, %lu/%lu speculative win(s), %lu corrupt "
+                "frame(s) caught, %lu hang(s) detected, %lu serial "
+                "refold(s)%s\n",
+                Dist.Runs, Dist.WorkersKilled, Dist.WorkersExited,
+                Dist.WorkersRestarted, Dist.ShardsReassigned,
+                Dist.SpeculativeWins, Dist.SpeculativeLaunches,
+                Dist.CorruptFrames, Dist.HangsDetected, Dist.SerialRefolds,
+                AnyDivergence ? "" : "; outputs stayed bit-identical");
   if (AnyDivergence)
     return 1;
   if (Interrupted) {

@@ -57,6 +57,17 @@ struct FuzzOptions {
   /// and the modeled stall it suffers.
   unsigned ChaosStragglerPermille = 60;
   double ChaosStragglerSec = 0.004;
+  /// Distributed mode: run every check through the real multi-process
+  /// runtime as an extra oracle path. With Chaos also set, the dist.*
+  /// sites are armed too, so worker PROCESSES really _exit(137),
+  /// SIGKILL themselves, hang, and corrupt reply frames mid-sweep —
+  /// while every output must stay bit-identical.
+  bool Dist = false;
+  unsigned DistWorkers = 4;
+  unsigned DistKillPermille = 30;    // dist.worker.kill (raise SIGKILL)
+  unsigned DistExitPermille = 30;    // dist.worker.exit (_exit 137)
+  unsigned DistHangPermille = 4;     // dist.worker.hang (go silent)
+  unsigned DistCorruptPermille = 20; // dist.frame.corrupt (flip a byte)
   /// Cooperative cancellation (Ctrl-C): sweeps stop between oracle
   /// checks, chaos runs abandon their partial merges, and fuzzMain
   /// prints a clean summary of what completed and exits 130/143.
@@ -79,6 +90,8 @@ struct FuzzReport {
   /// the runner reported while every check stayed bit-identical.
   uint64_t FaultFires = 0;
   DiffOracle::FaultStats Faults;
+  /// Dist mode only: the distributed runtime's real recovery activity.
+  DiffOracle::DistStats Dist;
 };
 
 /// Fuzzes one benchmark/plan pair; stops at the first divergence.

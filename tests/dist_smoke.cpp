@@ -1,0 +1,524 @@
+//===- tests/dist_smoke.cpp - Multi-process runtime, real-fault tier ------==//
+//
+// The fixed-seed distributed-execution slice that runs on every ctest
+// invocation. Unlike chaos_smoke's simulated faults, everything here is
+// the genuine article: worker PROCESSES are forked, killed with real
+// SIGKILLs (verified via WIFSIGNALED in the coordinator's waitpid
+// decoding), hung, and made to ship checksum-corrupt frames — and every
+// recovery must still produce the bit-identical serial answer. Covered:
+//
+//  * wire protocol framing — roundtrip over a real socketpair, corrupt
+//    byte detection, bounds-checked payload decoding, message codecs;
+//  * decorrelated-jitter backoff — bounds, determinism, cap clamping
+//    (shared by runtime::RunPolicy retries and the dist coordinator);
+//  * ThreadPool::drain(Deadline) shedding — discardedTasks counts
+//    exactly the queued-but-unstarted tasks, in-flight tasks complete;
+//  * DistCoordinator recovery — planted kills/exits/corrupt frames/
+//    hangs with predictable counters, a seeded kill sweep, serial-refold
+//    last resort, pool reuse across runs, and cancellation.
+//
+// Every planted fault uses distAttemptKey(run, attempt, shard), so the
+// expected counter deltas are exact, not statistical.
+//
+// TSan note: the coordinator forks; all DistCoordinator tests run it
+// directly on the gtest thread with no ThreadPool alive in the parent,
+// so the fork children never hold foreign locks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Coordinator.h"
+#include "dist/Protocol.h"
+#include "dist/Worker.h"
+#include "lang/Benchmarks.h"
+#include "runtime/Runner.h"
+#include "runtime/Workload.h"
+#include "support/Cancel.h"
+#include "support/FaultInject.h"
+#include "support/ThreadPool.h"
+#include "synth/Grassp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace grassp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+struct SocketPair {
+  int Fd[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fd), 0);
+  }
+  ~SocketPair() {
+    if (Fd[0] >= 0)
+      ::close(Fd[0]);
+    if (Fd[1] >= 0)
+      ::close(Fd[1]);
+  }
+};
+
+TEST(DistProtocol, FrameRoundTripsOverARealSocket) {
+  SocketPair S;
+  std::vector<uint8_t> Payload = {1, 2, 3, 0xff, 0, 42};
+  ASSERT_TRUE(dist::writeFrame(S.Fd[0], dist::MsgType::Task, Payload));
+  dist::Frame F;
+  ASSERT_EQ(dist::readFrameBlocking(S.Fd[1], &F), dist::RecvStatus::Ok);
+  EXPECT_EQ(F.Type, dist::MsgType::Task);
+  EXPECT_EQ(F.Payload, Payload);
+
+  // Empty payloads are legal frames (Heartbeat, Shutdown).
+  ASSERT_TRUE(dist::writeFrame(S.Fd[0], dist::MsgType::Shutdown, {}));
+  ASSERT_EQ(dist::readFrameBlocking(S.Fd[1], &F), dist::RecvStatus::Ok);
+  EXPECT_EQ(F.Type, dist::MsgType::Shutdown);
+  EXPECT_TRUE(F.Payload.empty());
+}
+
+TEST(DistProtocol, CorruptedByteIsCaughtByTheChecksum) {
+  // Flip each byte position in turn: the receiver must classify every
+  // one as Corrupt, never deliver a damaged payload as Ok.
+  for (int64_t At = 0; At != 6; ++At) {
+    SocketPair S;
+    std::vector<uint8_t> Payload = {9, 8, 7, 6, 5, 4};
+    ASSERT_TRUE(
+        dist::writeFrame(S.Fd[0], dist::MsgType::Result, Payload, At));
+    dist::Frame F;
+    EXPECT_EQ(dist::readFrameBlocking(S.Fd[1], &F),
+              dist::RecvStatus::Corrupt)
+        << "byte " << At;
+  }
+}
+
+TEST(DistProtocol, EofAndCorruptAreSticky) {
+  SocketPair S;
+  ASSERT_TRUE(dist::writeFrame(S.Fd[0], dist::MsgType::Result, {1, 2}, 0));
+  dist::FrameReader Reader;
+  ASSERT_EQ(Reader.fill(S.Fd[1]), dist::RecvStatus::Ok);
+  dist::Frame F;
+  EXPECT_EQ(Reader.next(&F), dist::RecvStatus::Corrupt);
+  // Framing after a corrupt frame is untrusted: still Corrupt.
+  EXPECT_EQ(Reader.next(&F), dist::RecvStatus::Corrupt);
+
+  ::close(S.Fd[0]);
+  S.Fd[0] = -1;
+  dist::FrameReader Fresh;
+  EXPECT_EQ(Fresh.fill(S.Fd[1]), dist::RecvStatus::Eof);
+}
+
+TEST(DistProtocol, WireReaderRejectsTruncationAndOverrun) {
+  dist::WireWriter W;
+  W.vecI64({10, -20, 30});
+  std::vector<uint8_t> Bytes = W.bytes();
+
+  // Truncate mid-vector: decode must fail, not read garbage.
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    dist::WireReader R(Bytes.data(), Cut);
+    std::vector<int64_t> V;
+    EXPECT_FALSE(R.vecI64(&V) && Cut < Bytes.size()) << "cut " << Cut;
+  }
+  dist::WireReader R(Bytes);
+  std::vector<int64_t> V;
+  ASSERT_TRUE(R.vecI64(&V));
+  EXPECT_EQ(V, (std::vector<int64_t>{10, -20, 30}));
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(DistProtocol, MessageCodecsRoundTrip) {
+  dist::HelloMsg H;
+  H.Pid = 4242;
+  H.PlanHash = 0xdeadbeefcafe1234ULL;
+  dist::HelloMsg H2;
+  ASSERT_TRUE(dist::decodeHello(dist::encodeHello(H), &H2));
+  EXPECT_EQ(H2.Pid, H.Pid);
+  EXPECT_EQ(H2.PlanHash, H.PlanHash);
+
+  dist::TaskMsg T;
+  T.TaskId = 7;
+  T.ShardIndex = 3;
+  T.AttemptKey = dist::distAttemptKey(2, 1, 3);
+  T.Data = {5, -6, 7};
+  dist::TaskMsg T2;
+  ASSERT_TRUE(dist::decodeTask(dist::encodeTask(T), &T2));
+  EXPECT_EQ(T2.TaskId, T.TaskId);
+  EXPECT_EQ(T2.ShardIndex, T.ShardIndex);
+  EXPECT_EQ(T2.AttemptKey, T.AttemptKey);
+  EXPECT_EQ(T2.Data, T.Data);
+
+  // A Result carrying every WorkerOutput field, including the nested
+  // mode-argument table.
+  dist::ResultMsg M;
+  M.TaskId = 9;
+  M.ShardIndex = 1;
+  M.Out.Found = true;
+  M.Out.Boundary = -11;
+  M.Out.D = {1, 2, 3};
+  M.Out.CtrlCur = {0, 2};
+  M.Out.ModeArg = {{{1, 2}, {3, 4}}, {}, {{-5, 6}}};
+  M.Out.PrefixData = {42};
+  M.Out.Distinct = {7, 8};
+  dist::ResultMsg M2;
+  ASSERT_TRUE(dist::decodeResult(dist::encodeResult(M), &M2));
+  EXPECT_EQ(M2.TaskId, M.TaskId);
+  EXPECT_EQ(M2.Out.Found, M.Out.Found);
+  EXPECT_EQ(M2.Out.Boundary, M.Out.Boundary);
+  EXPECT_EQ(M2.Out.D, M.Out.D);
+  EXPECT_EQ(M2.Out.CtrlCur, M.Out.CtrlCur);
+  EXPECT_EQ(M2.Out.ModeArg, M.Out.ModeArg);
+  EXPECT_EQ(M2.Out.PrefixData, M.Out.PrefixData);
+  EXPECT_EQ(M2.Out.Distinct, M.Out.Distinct);
+
+  // Trailing junk after a well-formed message is corruption, not slack.
+  std::vector<uint8_t> Padded = dist::encodeHello(H);
+  Padded.push_back(0);
+  EXPECT_FALSE(dist::decodeHello(Padded, &H2));
+}
+
+//===----------------------------------------------------------------------===//
+// Decorrelated-jitter backoff (RunPolicy + coordinator shared helper)
+//===----------------------------------------------------------------------===//
+
+TEST(Backoff, StaysWithinBaseAndCap) {
+  const double Base = 0.001, Cap = 0.05;
+  double Prev = Base;
+  for (uint64_t Key = 0; Key != 1000; ++Key) {
+    double S = runtime::decorrelatedBackoff(Base, Cap, Prev, 42, Key);
+    EXPECT_GE(S, Base) << Key;
+    EXPECT_LE(S, Cap) << Key;
+    // Decorrelated jitter: next sleep is drawn from [Base, 3*Prev].
+    EXPECT_LE(S, std::min(Cap, 3.0 * std::max(Prev, Base)) + 1e-12) << Key;
+    Prev = S;
+  }
+}
+
+TEST(Backoff, DeterministicInSeedAndKey) {
+  double A = runtime::decorrelatedBackoff(0.001, 1.0, 0.004, 7, 123);
+  double B = runtime::decorrelatedBackoff(0.001, 1.0, 0.004, 7, 123);
+  EXPECT_EQ(A, B); // exact replay from (seed, key).
+  double C = runtime::decorrelatedBackoff(0.001, 1.0, 0.004, 8, 123);
+  double D = runtime::decorrelatedBackoff(0.001, 1.0, 0.004, 7, 124);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+}
+
+TEST(Backoff, GrowsTowardTheCapAndClampsThere) {
+  const double Base = 0.001, Cap = 0.02;
+  // Whatever the draws, 40 consecutive retries must have saturated well
+  // past the base, and never past the cap.
+  double Prev = Base, MaxSeen = 0;
+  for (uint64_t K = 0; K != 40; ++K) {
+    Prev = runtime::decorrelatedBackoff(Base, Cap, Prev, 1, K);
+    MaxSeen = std::max(MaxSeen, Prev);
+  }
+  EXPECT_LE(MaxSeen, Cap);
+  EXPECT_GT(MaxSeen, Base);
+  // A Prev beyond the cap is clamped back inside it.
+  EXPECT_LE(runtime::decorrelatedBackoff(Base, Cap, 10.0, 1, 0), Cap);
+}
+
+TEST(Backoff, ZeroBaseMeansNoSleep) {
+  EXPECT_EQ(runtime::decorrelatedBackoff(0.0, 1.0, 0.5, 1, 1), 0.0);
+  EXPECT_EQ(runtime::decorrelatedBackoff(-1.0, 1.0, 0.5, 1, 1), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool::drain(Deadline) shedding
+//===----------------------------------------------------------------------===//
+
+TEST(PoolDrain, ExpiredDeadlineShedsExactlyTheUnstartedTasks) {
+  ThreadPool Pool(2);
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Release = false;
+  std::atomic<unsigned> Ran{0};
+
+  // Two blockers occupy both threads; six queued tasks never start
+  // before the deadline expires.
+  for (int I = 0; I != 2; ++I)
+    Pool.submit([&] {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [&] { return Release; });
+      ++Ran;
+    });
+  // Give the blockers time to actually occupy the workers, so exactly
+  // six tasks sit queued-not-running.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int I = 0; I != 6; ++I)
+    Pool.submit([&] { ++Ran; });
+
+  std::thread Releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    std::lock_guard<std::mutex> Lock(Mu);
+    Release = true;
+    Cv.notify_all();
+  });
+  bool AllRan = Pool.drain(Deadline::after(0.05));
+  Releaser.join();
+
+  EXPECT_FALSE(AllRan);
+  // In-flight tasks completed; queued-but-unstarted were discarded.
+  EXPECT_EQ(Ran.load(), 2u);
+  EXPECT_EQ(Pool.discardedTasks(), 6u);
+
+  // The pool stays usable after a shedding drain.
+  Pool.submit([&] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 3u);
+  EXPECT_EQ(Pool.discardedTasks(), 6u);
+}
+
+TEST(PoolDrain, GenerousDeadlineRunsEverythingAndDiscardsNothing) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Ran{0};
+  for (int I = 0; I != 16; ++I)
+    Pool.submit([&] { ++Ran; });
+  EXPECT_TRUE(Pool.drain(Deadline::after(10.0)));
+  EXPECT_EQ(Ran.load(), 16u);
+  EXPECT_EQ(Pool.discardedTasks(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// DistCoordinator: real processes, real kills
+//===----------------------------------------------------------------------===//
+
+const synth::SynthesisResult &synthFor(const char *Name) {
+  static std::map<std::string, synth::SynthesisResult> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end())
+    It = Cache.emplace(Name, synth::synthesize(*lang::findBenchmark(Name)))
+             .first;
+  return It->second;
+}
+
+struct DistRun {
+  const lang::SerialProgram *P;
+  std::vector<int64_t> Data;
+  std::vector<runtime::SegmentView> Segs;
+  runtime::CompiledProgram CP;
+  runtime::CompiledPlan Plan;
+  int64_t Serial;
+
+  explicit DistRun(const char *Name = "sum", size_t N = 6000,
+                   unsigned Shards = 8)
+      : P(lang::findBenchmark(Name)),
+        Data(runtime::generateWorkload(*P, N, 21)),
+        Segs(runtime::partition(Data, Shards)), CP(*P),
+        Plan(*P, synthFor(Name).Plan), Serial(CP.runSerial(Segs)) {}
+};
+
+TEST(DistCoordinator, CleanRunsMatchSerialAcrossPlanShapes) {
+  // One benchmark per plan family: scalar fold, multi-state fold, bag
+  // (hash-set distinct), and an order-sensitive mode machine.
+  for (const char *Name :
+       {"sum", "second_max", "count_distinct", "count_102"}) {
+    DistRun R(Name);
+    dist::DistConfig Cfg;
+    Cfg.Workers = 3;
+    dist::DistCoordinator Coord(R.Plan, Cfg);
+    dist::DistRunReport Rep = Coord.run(R.Segs);
+    EXPECT_EQ(Rep.Output, R.Serial) << Name;
+    EXPECT_EQ(Rep.Shards, 8u) << Name;
+    EXPECT_EQ(Rep.ShardsCompleted, 8u) << Name;
+    EXPECT_EQ(Rep.WorkersKilled, 0u) << Name;
+    EXPECT_EQ(Rep.SerialRefolds, 0u) << Name;
+    EXPECT_GT(Rep.BytesShipped, 0u) << Name;
+  }
+}
+
+TEST(DistCoordinator, PlantedSigkillIsDetectedViaWifsignaled) {
+  DistRun R;
+  FaultInjector FI(5);
+  FaultSpec Kill;
+  // Shard 2's first attempt: the worker raise(SIGKILL)s itself.
+  Kill.Keys = {dist::distAttemptKey(0, 0, 2)};
+  FI.arm(dist::SiteWorkerKill, Kill);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.Faults = &FI;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  // The death was a real signal, decoded from waitpid status.
+  EXPECT_EQ(Rep.WorkersKilled, 1u);
+  EXPECT_EQ(Rep.WorkersExited, 0u);
+  EXPECT_GE(Rep.ShardsReassigned, 1u);
+  EXPECT_GE(Rep.Retries, 1u);
+  EXPECT_GE(Rep.WorkersRestarted, 1u);
+  EXPECT_EQ(Rep.SerialRefolds, 0u);
+}
+
+TEST(DistCoordinator, PlantedExit137IsDetectedViaWifexited) {
+  DistRun R;
+  FaultInjector FI(5);
+  FaultSpec Crash;
+  Crash.Keys = {dist::distAttemptKey(0, 0, 1)};
+  FI.arm(dist::SiteWorkerExit, Crash);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.Faults = &FI;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_EQ(Rep.WorkersExited, 1u); // _exit(137): exited, not signaled.
+  EXPECT_EQ(Rep.WorkersKilled, 0u);
+  EXPECT_GE(Rep.ShardsReassigned, 1u);
+}
+
+TEST(DistCoordinator, CorruptReplyFrameIsCaughtNeverMiscounted) {
+  DistRun R;
+  FaultInjector FI(5);
+  FaultSpec Corrupt;
+  Corrupt.Keys = {dist::distAttemptKey(0, 0, 3)};
+  FI.arm(dist::SiteFrameCorrupt, Corrupt);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.Faults = &FI;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  // The checksum rejected the damaged frame and the shard was redone —
+  // a corrupt frame may cost time, never correctness.
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_GE(Rep.CorruptFrames, 1u);
+  EXPECT_GE(Rep.Retries, 1u);
+}
+
+TEST(DistCoordinator, HungWorkerIsKilledOrOutracedBySpeculation) {
+  DistRun R;
+  FaultInjector FI(5);
+  FaultSpec Hang;
+  Hang.Keys = {dist::distAttemptKey(0, 0, 0)};
+  FI.arm(dist::SiteWorkerHang, Hang);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.Faults = &FI;
+  Cfg.TaskDeadlineSeconds = 0.04; // tight: the test stays fast.
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  // Either the backup committed first or the hang-kill fired (with the
+  // requeued attempt committing); both count the straggler machinery.
+  EXPECT_GE(Rep.SpeculativeLaunches + Rep.HangsDetected, 1u);
+  EXPECT_EQ(Rep.SerialRefolds, 0u);
+}
+
+TEST(DistCoordinator, EveryAttemptDyingFallsBackToSerialRefold) {
+  DistRun R("sum", 2000, 4);
+  FaultInjector FI(5);
+  FaultSpec Kill;
+  Kill.KeyModulo = 1; // every attempt of every shard dies.
+  FI.arm(dist::SiteWorkerExit, Kill);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.MaxRetries = 1;
+  Cfg.MaxWorkerRestarts = 64;
+  Cfg.Faults = &FI;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  // The guaranteed last resort: the coordinator refolds in-process and
+  // the answer is still exact.
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_EQ(Rep.SerialRefolds, 4u);
+  EXPECT_EQ(Rep.ShardsCompleted, 4u);
+}
+
+// The acceptance sweep: ~8 workers, seeded probabilistic kills across
+// several seeds; every run must be bit-identical to the serial fold and
+// the sweep as a whole must have killed real workers and reassigned
+// real shards (all verified through waitpid, not bookkeeping).
+TEST(DistCoordinator, SeededKillSweepStaysBitIdentical) {
+  DistRun R("second_max", 12000, 24);
+  unsigned Killed = 0, Reassigned = 0;
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u}) {
+    FaultInjector FI(Seed);
+    FaultSpec Kill;
+    Kill.Probability = 0.18;
+    FI.arm(dist::SiteWorkerKill, Kill);
+    FaultSpec Crash;
+    Crash.Probability = 0.12;
+    FI.arm(dist::SiteWorkerExit, Crash);
+
+    dist::DistConfig Cfg;
+    Cfg.Workers = 8;
+    Cfg.Faults = &FI;
+    Cfg.BackoffJitterSeed = Seed;
+    Cfg.MaxWorkerRestarts = 1000;
+    dist::DistCoordinator Coord(R.Plan, Cfg);
+    dist::DistRunReport Rep = Coord.run(R.Segs);
+    EXPECT_EQ(Rep.Output, R.Serial) << "seed " << Seed;
+    EXPECT_EQ(Rep.ShardsCompleted, 24u) << "seed " << Seed;
+    Killed += Rep.WorkersKilled + Rep.WorkersExited;
+    Reassigned += Rep.ShardsReassigned;
+  }
+  EXPECT_GT(Killed, 0u);
+  EXPECT_GT(Reassigned, 0u);
+}
+
+TEST(DistCoordinator, PoolAndFaultKeysAdvanceAcrossRuns) {
+  DistRun R;
+  FaultInjector FI(5);
+  FaultSpec Kill;
+  // Planted on run 0 only: run 1's keys have RunIndex 1 << 32 mixed in,
+  // so the same shard's first attempt must NOT die again.
+  Kill.Keys = {dist::distAttemptKey(0, 0, 2)};
+  FI.arm(dist::SiteWorkerKill, Kill);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 3;
+  Cfg.Faults = &FI;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  EXPECT_EQ(Coord.runIndex(), 0u);
+  dist::DistRunReport First = Coord.run(R.Segs);
+  EXPECT_EQ(First.Output, R.Serial);
+  EXPECT_EQ(First.WorkersKilled, 1u);
+
+  EXPECT_EQ(Coord.runIndex(), 1u);
+  EXPECT_GE(Coord.liveWorkers(), 1u);
+  dist::DistRunReport Second = Coord.run(R.Segs);
+  EXPECT_EQ(Second.Output, R.Serial);
+  EXPECT_EQ(Second.WorkersKilled, 0u); // the pattern did not repeat.
+  EXPECT_EQ(Second.ShardsCompleted, 8u);
+}
+
+TEST(DistCoordinator, PreFiredTokenCancelsWithoutCommitting) {
+  DistRun R;
+  CancelToken Token = CancelToken::root();
+  Token.cancel();
+  dist::DistConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.Token = Token;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_TRUE(Rep.Cancelled);
+  EXPECT_LT(Rep.ShardsCompleted, 8u);
+}
+
+TEST(DistCoordinator, ShutdownIsIdempotentAndReapsEveryWorker) {
+  DistRun R;
+  dist::DistConfig Cfg;
+  Cfg.Workers = 3;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  EXPECT_EQ(Coord.run(R.Segs).Output, R.Serial);
+  EXPECT_GE(Coord.liveWorkers(), 1u);
+  Coord.shutdown();
+  EXPECT_EQ(Coord.liveWorkers(), 0u);
+  Coord.shutdown(); // second call is a no-op, not a crash.
+  EXPECT_EQ(Coord.liveWorkers(), 0u);
+}
+
+} // namespace

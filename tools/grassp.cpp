@@ -32,12 +32,21 @@
 //   grassp emit-chc <name>          print the CHC system (SMT-LIB2)
 //   grassp certify <name> [ms]      Spacer certification
 //   grassp fuzz [opts]              differential oracle over all paths
-//   grassp chaos [opts]             fuzz under seeded fault injection
+//   grassp chaos [opts]             fuzz under seeded fault injection;
+//                                   --dist adds the multi-process
+//                                   runtime and kills REAL workers
+//   grassp dist-run <name> [N]      run a workload on the multi-process
+//                                   runtime (forked workers over Unix
+//                                   sockets) with optional real fault
+//                                   injection; prints the recovery
+//                                   report next to the serial answer
 //
 //===----------------------------------------------------------------------===//
 
 #include "chc/Certify.h"
 #include "codegen/CppCodegen.h"
+#include "dist/Coordinator.h"
+#include "dist/Worker.h"
 #include "lang/Benchmarks.h"
 #include "lang/Interp.h"
 #include "runtime/MergeTree.h"
@@ -46,6 +55,7 @@
 #include "runtime/Workload.h"
 #include "support/Args.h"
 #include "support/Cancel.h"
+#include "support/FaultInject.h"
 #include "support/Timing.h"
 #include "synth/Grassp.h"
 #include "synth/ParallelDriver.h"
@@ -58,6 +68,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 
 using namespace grassp;
 
@@ -84,9 +95,16 @@ int usage(const char *Prog) {
                "<name> | emit-chc <name> "
                "| certify <name> [timeout-ms] |\n"
                "       fuzz [--seconds N] [--seed S] [--segments M] "
-               "[--no-emit] [--jobs N] [--faults] [--fault-seed S] "
-               "[name...] |\n"
-               "       chaos [same options as fuzz; --faults implied]\n",
+               "[--no-emit] [--jobs N] [--faults] [--fault-seed S]\n"
+               "            [--dist] [--dist-workers W] [--kill-permille K] "
+               "[--exit-permille K] [--hang-permille K]\n"
+               "            [--corrupt-permille K] [name...] |\n"
+               "       chaos [same options as fuzz; --faults implied; "
+               "--dist kills real worker processes] |\n"
+               "       dist-run <name> [N] [--workers W] [--shards S] "
+               "[--fault-seed S] [--kill-permille K]\n"
+               "                [--exit-permille K] [--hang-permille K] "
+               "[--corrupt-permille K] [--no-specialize] [--no-native]\n",
                Prog);
   return 2;
 }
@@ -227,11 +245,18 @@ int main(int argc, char **argv) {
           numericOpt("--segments", &FOpts.Segments) ||
           numericOpt("--jobs", &DOpts.Jobs) ||
           numericOpt("--fail-permille", &FOpts.ChaosFailPermille) ||
+          numericOpt("--dist-workers", &FOpts.DistWorkers) ||
+          numericOpt("--kill-permille", &FOpts.DistKillPermille) ||
+          numericOpt("--exit-permille", &FOpts.DistExitPermille) ||
+          numericOpt("--hang-permille", &FOpts.DistHangPermille) ||
+          numericOpt("--corrupt-permille", &FOpts.DistCorruptPermille) ||
           seedOpt("--seed", &FOpts.Seed) ||
           seedOpt("--fault-seed", &FOpts.ChaosSeed))
         continue;
       if (std::strcmp(argv[I], "--faults") == 0) {
         FOpts.Chaos = true;
+      } else if (std::strcmp(argv[I], "--dist") == 0) {
+        FOpts.Dist = true;
       } else if (std::strcmp(argv[I], "--no-emit") == 0) {
         FOpts.UseEmitted = false;
       } else if (argv[I][0] == '-') {
@@ -439,6 +464,120 @@ int main(int argc, char **argv) {
                 runtime::modeledSpeedup(SerialSec, PR, Workers), Workers);
     return SerialOut == PR.Output ? 0 : 1;
   }
+  if (std::strcmp(Cmd, "dist-run") == 0) {
+    size_t N = 1000000;
+    unsigned Workers = 4;
+    unsigned Shards = 0; // 0 = pick 4 shards per worker below.
+    uint64_t FaultSeed = 7;
+    unsigned KillPm = 0, ExitPm = 0, HangPm = 0, CorruptPm = 0;
+    bool Specialize = true;
+    bool Native = true;
+    unsigned Positional = 0;
+    for (int I = 3; I < argc; ++I) {
+      auto numericOpt = [&](const char *Flag, unsigned *Out) {
+        if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
+          return false;
+        if (!parseUnsigned(argv[++I], Out)) {
+          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                       Flag, argv[I]);
+          std::exit(2);
+        }
+        return true;
+      };
+      if (numericOpt("--workers", &Workers) ||
+          numericOpt("--shards", &Shards) ||
+          numericOpt("--kill-permille", &KillPm) ||
+          numericOpt("--exit-permille", &ExitPm) ||
+          numericOpt("--hang-permille", &HangPm) ||
+          numericOpt("--corrupt-permille", &CorruptPm))
+        continue;
+      if (std::strcmp(argv[I], "--fault-seed") == 0 && I + 1 < argc &&
+          parseSeed(argv[I + 1], &FaultSeed)) {
+        ++I;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--no-specialize") == 0) {
+        Specialize = false;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--no-native") == 0) {
+        Native = false;
+        continue;
+      }
+      if (Positional == 0 && parseSize(argv[I], &N)) {
+        ++Positional;
+        continue;
+      }
+      return usage(argv[0]);
+    }
+    if (Workers == 0) {
+      std::fprintf(stderr, "error: --workers must be positive\n");
+      return 2;
+    }
+    if (Shards == 0)
+      Shards = Workers * 4;
+    synth::SynthesisResult R = synthOrDie(*P);
+    runtime::CompiledProgram CP(*P, Specialize, Native);
+    runtime::CompiledPlan Plan(*P, R.Plan, Specialize, Native);
+    std::printf("tier     = %s\n", runtime::execTierName(CP.tier()));
+
+    std::vector<int64_t> Data = runtime::generateWorkload(*P, N, 1);
+    std::vector<runtime::SegmentView> Segs =
+        runtime::partition(Data, Shards);
+    double SerialSec = 0;
+    int64_t SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
+
+    // Any nonzero permille arms the REAL fault sites: worker processes
+    // consult the (fork-inherited) injector and genuinely _exit(137),
+    // SIGKILL themselves, hang, or corrupt their reply frame.
+    bool Chaos = KillPm || ExitPm || HangPm || CorruptPm;
+    FaultInjector Injector(FaultSeed);
+    dist::DistConfig DC;
+    DC.Workers = Workers;
+    DC.BackoffJitterSeed = FaultSeed;
+    DC.Token = installSignalSource();
+    if (Chaos) {
+      DC.Faults = &Injector;
+      // Tight deadlines bound the wall-clock cost of injected hangs;
+      // a generous restart budget keeps recovery distributed instead
+      // of degrading to serial refolds.
+      DC.TaskDeadlineSeconds = 0.05;
+      DC.MaxWorkerRestarts = 100000;
+      auto armSite = [&](const char *Site, unsigned Permille) {
+        FaultSpec Spec;
+        Spec.Probability = Permille / 1000.0;
+        Injector.arm(Site, Spec);
+      };
+      armSite(dist::SiteWorkerKill, KillPm);
+      armSite(dist::SiteWorkerExit, ExitPm);
+      armSite(dist::SiteWorkerHang, HangPm);
+      armSite(dist::SiteFrameCorrupt, CorruptPm);
+      std::printf("faults   = seed %llu, permille kill=%u exit=%u "
+                  "hang=%u corrupt=%u\n",
+                  (unsigned long long)FaultSeed, KillPm, ExitPm, HangPm,
+                  CorruptPm);
+    }
+
+    dist::DistCoordinator Coord(Plan, DC);
+    dist::DistRunReport Rep = Coord.run(Segs);
+    if (Rep.Cancelled) {
+      std::printf("cancelled before merge commit\n");
+      if (int Sig = signalExitCode())
+        return Sig;
+      return 130;
+    }
+    std::printf("serial   = %lld (%s)\ndist     = %lld over %u shard(s) "
+                "on %u worker(s)\n%s\n",
+                (long long)SerialOut, formatSeconds(SerialSec).c_str(),
+                (long long)Rep.Output, Rep.Shards, Workers,
+                Rep.describe().c_str());
+    if (SerialOut != Rep.Output) {
+      std::fprintf(stderr, "error: MISMATCH: dist=%lld serial=%lld\n",
+                   (long long)Rep.Output, (long long)SerialOut);
+      return 1;
+    }
+    return 0;
+  }
   if (std::strcmp(Cmd, "stream") == 0) {
     bool Specialize = true;
     bool Native = true;
@@ -527,6 +666,12 @@ int main(int argc, char **argv) {
       return Appended[I - FileChunks];
     };
 
+    // Every malformed line gets a typed one-line diagnostic
+    // (error[code]: ...) and the session keeps going; the codes are the
+    // stable surface scripted drivers match on. A piped session that
+    // hits EOF without an explicit `quit` exits nonzero — the driver's
+    // input was truncated mid-conversation and silence would hide it.
+    bool SawQuit = false;
     std::string Line;
     while (std::getline(std::cin, Line)) {
       std::istringstream In(Line);
@@ -534,12 +679,15 @@ int main(int argc, char **argv) {
       if (!(In >> Op) || Op[0] == '#')
         continue;
       try {
-        if (Op == "quit")
+        if (Op == "quit") {
+          SawQuit = true;
           break;
+        }
         if (Op == "append" || Op == "edit") {
           size_t Idx = 0;
           if (Op == "edit" && !(In >> Idx)) {
-            std::printf("error: edit expects a chunk index\n");
+            std::printf("error[bad-index]: edit expects a numeric chunk "
+                        "index\n");
             continue;
           }
           std::vector<int64_t> Vals;
@@ -547,7 +695,9 @@ int main(int argc, char **argv) {
           while (In >> V)
             Vals.push_back(V);
           if (Vals.empty() || !In.eof()) {
-            std::printf("error: %s expects integer elements\n", Op.c_str());
+            std::printf("error[bad-element]: %s expects integer "
+                        "elements\n",
+                        Op.c_str());
             continue;
           }
           runtime::SegmentView View = {Vals.data(), Vals.size()};
@@ -588,14 +738,21 @@ int main(int argc, char **argv) {
                           ? "log-path"
                           : "linear-merge");
         } else {
-          std::printf("error: unknown command '%s' (append/edit/query/"
+          std::printf("error[unknown-command]: '%s' (append/edit/query/"
                       "verify/stats/quit)\n",
                       Op.c_str());
         }
       } catch (const std::exception &E) {
-        std::printf("error: %s\n", E.what());
+        std::printf("error[runtime]: %s\n", E.what());
       }
       std::fflush(stdout);
+    }
+    // Interactive Ctrl-D is a normal goodbye; a script whose piped input
+    // ran out before `quit` was cut off mid-command stream.
+    if (!SawQuit && !isatty(STDIN_FILENO)) {
+      std::fflush(stdout);
+      std::fprintf(stderr, "error[eof]: input ended without 'quit'\n");
+      return 1;
     }
     return 0;
   }
