@@ -128,6 +128,12 @@ void DistCoordinator::destroyProc(Proc &P, bool Graceful) {
   P.HelloOk = false;
 }
 
+void DistCoordinator::prewarm() {
+  while (liveWorkers() < Cfg.Workers)
+    if (!spawn())
+      break;
+}
+
 void DistCoordinator::shutdown() {
   if (ShutdownDone)
     return;
@@ -323,11 +329,25 @@ DistRunReport DistCoordinator::runImpl(
       break;
     }
 
+    // A dead pool with restart budget left must not spin: spawn() can
+    // fail outright (fork/socketpair exhaustion) in the initial loop or
+    // on the last worker's respawn, leaving zero workers with nothing
+    // on the event loop that would ever bring one back. Retry here;
+    // failed attempts burn the budget so the serial-refold last resort
+    // below is guaranteed to fire once it runs out.
+    while (liveWorkers() == 0 && TotalRestarts < Cfg.MaxWorkerRestarts) {
+      ++TotalRestarts;
+      if (spawn()) {
+        ++R.WorkersRestarted;
+        ++R.WorkersSpawned;
+        break;
+      }
+    }
+
     // Guaranteed last resort: a shard that exhausted its attempts (or
     // outlived the worker pool) refolds serially right here, with no
     // injection — mirroring runParallel's refold path.
-    bool NoWorkers =
-        liveWorkers() == 0 && TotalRestarts >= Cfg.MaxWorkerRestarts;
+    bool NoWorkers = liveWorkers() == 0;
     for (size_t I = 0; I != N; ++I) {
       ShardState &S = Shards[I];
       if (S.Done || S.Outstanding != 0)
@@ -389,8 +409,11 @@ DistRunReport DistCoordinator::runImpl(
 
     // Hang detection: a busy worker past HangKillFactor x deadline is
     // SIGKILLed (it stopped responding; EOF alone would never come),
-    // and an idle worker that stopped heartbeating likewise.
-    for (Proc &P : Procs) {
+    // and an idle worker that stopped heartbeating likewise. Indexed
+    // sweep: handleDeath respawns, and spawn's push_back can
+    // reallocate Procs, which would invalidate a range-for here.
+    for (size_t Pi = 0; Pi != Procs.size(); ++Pi) {
+      Proc &P = Procs[Pi];
       if (P.Fd < 0)
         continue;
       if (P.Shard >= 0 && Now - P.TaskStartNs > HangNs)

@@ -13,6 +13,16 @@
 // runtime fork-safe and TSan-clean, and makes every recovery decision
 // sequential and replayable.
 //
+// Fork-safety in multi-threaded embedders: when the EMBEDDING process
+// has other threads (DiffOracle's ThreadPool during chaos --dist),
+// fork() + non-async-signal-safe work in the child is POSIX-undefined
+// but safe on the glibc/Linux target this runtime assumes — glibc
+// re-arms its allocator locks via atfork handlers, and the child
+// touches no other shared state before exec-free workerMain. Embedders
+// should still prewarm() the pool before starting threads so the bulk
+// of forks happens from a single-threaded parent; only chaos respawns
+// then depend on the glibc guarantee.
+//
 // Failure handling (the robustness core):
 //
 //   detection                  | signal                     | response
@@ -157,6 +167,13 @@ public:
   /// (constant-prefix repair heads are prefetched exactly like
   /// runParallel's out-of-core overload).
   DistRunReport run(const runtime::SegmentSource &Src);
+
+  /// Forks the initial worker pool immediately (idempotent; run() tops
+  /// the pool up regardless). Call it before the embedding process
+  /// starts any threads — see the fork-safety note above: prewarmed
+  /// pools keep the bulk of forks single-threaded-parent clean, leaving
+  /// only crash-recovery respawns on the glibc fork guarantee.
+  void prewarm();
 
   /// Workers currently alive (for tests).
   unsigned liveWorkers() const;

@@ -25,6 +25,18 @@
 namespace grassp {
 namespace testing {
 
+namespace {
+
+std::unique_ptr<dist::DistCoordinator>
+makePrewarmedCoordinator(const runtime::CompiledPlan &Plan,
+                         const dist::DistConfig &Cfg) {
+  auto C = std::make_unique<dist::DistCoordinator>(Plan, Cfg);
+  C->prewarm();
+  return C;
+}
+
+} // namespace
+
 bool DiffOracle::hostCompilerAvailable() {
   // One probe for the whole process (shared with the native jit tier):
   // $CXX when set, g++ otherwise.
@@ -35,10 +47,13 @@ DiffOracle::DiffOracle(const lang::SerialProgram &P,
                        const synth::ParallelPlan &PlanIn,
                        const OracleConfig &Cfg)
     : Prog(P), Plan(PlanIn), Compiled(P), CompiledPlanImpl(P, Plan),
+      // Coordinator (with its worker pool prewarmed) strictly before
+      // Pool in member order: the initial forks happen while this
+      // process is still single-threaded.
+      DistCoord(Cfg.UseDist
+                    ? makePrewarmedCoordinator(CompiledPlanImpl, Cfg.Dist)
+                    : nullptr),
       Pool(Cfg.Threads ? Cfg.Threads : 1), Policy(Cfg.Policy) {
-  if (Cfg.UseDist)
-    DistCoord =
-        std::make_unique<dist::DistCoordinator>(CompiledPlanImpl, Cfg.Dist);
   if (!Cfg.UseEmitted || !hostCompilerAvailable())
     return;
   codegen::CppEmitOptions EOpts;

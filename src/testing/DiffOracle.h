@@ -187,9 +187,14 @@ private:
   synth::ParallelPlan Plan; // owned: CompiledPlan holds a reference.
   runtime::CompiledProgram Compiled;
   runtime::CompiledPlan CompiledPlanImpl;
+  // Declared (and so constructed) BEFORE Pool: the coordinator prewarms
+  // its worker pool at construction, putting the bulk of its fork()s
+  // before any ThreadPool thread exists. Chaos-mode respawns still fork
+  // with Pool threads live — POSIX-undefined but safe on the
+  // glibc/Linux target (see the fork-safety note in dist/Coordinator.h).
+  std::unique_ptr<dist::DistCoordinator> DistCoord;
   ThreadPool Pool;
   runtime::RunPolicy Policy;
-  std::unique_ptr<dist::DistCoordinator> DistCoord;
   unsigned long Checks = 0;
   FaultStats Faults;
   DistStats DistSt;

@@ -521,4 +521,48 @@ TEST(DistCoordinator, ShutdownIsIdempotentAndReapsEveryWorker) {
   EXPECT_EQ(Coord.liveWorkers(), 0u);
 }
 
+TEST(DistCoordinator, PrewarmForksTheFullPoolBeforeAnyRun) {
+  // Multi-threaded embedders (DiffOracle) prewarm before starting their
+  // ThreadPool so the bulk of forks comes from a single-threaded parent.
+  DistRun R;
+  dist::DistConfig Cfg;
+  Cfg.Workers = 3;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  EXPECT_EQ(Coord.liveWorkers(), 0u);
+  Coord.prewarm();
+  EXPECT_EQ(Coord.liveWorkers(), 3u);
+  Coord.prewarm(); // idempotent: the pool is already full.
+  EXPECT_EQ(Coord.liveWorkers(), 3u);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_EQ(Rep.WorkersSpawned, 0u); // run() had nothing left to fork.
+}
+
+TEST(DistCoordinator, SimultaneousHangsSurviveMidSweepRespawns) {
+  // Every attempt of every shard hangs, so one hang sweep routinely
+  // reaps SEVERAL workers back to back, and each handleDeath respawns
+  // into Procs — dead entries accumulate and the vector reallocates
+  // mid-run. Pins the indexed sweep: a range-for here is a
+  // use-after-free the moment a respawn's push_back reallocates.
+  DistRun R("sum", 2000, 6);
+  FaultInjector FI(5);
+  FaultSpec Hang;
+  Hang.KeyModulo = 1;
+  FI.arm(dist::SiteWorkerHang, Hang);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 3;
+  Cfg.MaxRetries = 1;
+  Cfg.Faults = &FI;
+  Cfg.TaskDeadlineSeconds = 0.02; // hang-kill at 40ms: the test stays fast.
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  // No attempt ever commits, so every shard lands on the last resort —
+  // and the answer is still exact.
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_EQ(Rep.SerialRefolds, 6u);
+  EXPECT_GE(Rep.HangsDetected, 6u);
+  EXPECT_GE(Rep.WorkersRestarted, 6u);
+}
+
 } // namespace
