@@ -11,7 +11,12 @@
 #     and the per-update latency vs a from-scratch refold at 256
 #     chunks, every update differentially verified);
 #  3. bench_parallel_cpp    ->  printed to stdout (the Table-2 style
-#     serial-vs-parallel comparison on emitted C++).
+#     serial-vs-parallel comparison on emitted C++);
+#  4. bench_dist --json     ->  BENCH_dist.json at the repo root
+#     (the multi-process runtime on both transports: cold/warm wall
+#     time, the shm-vs-inline warm speedup, and socket bytes per
+#     element — ~8 B/elem inline vs O(1) bytes per shard on the
+#     zero-copy shared-memory transport).
 #
 # Deterministic inputs (fixed N and seed) keep runs comparable across
 # commits; see EXPERIMENTS.md for how to read the numbers.
@@ -27,7 +32,7 @@ SEED=99
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$JOBS" \
-    --target bench_kernels bench_stream bench_parallel_cpp
+    --target bench_kernels bench_stream bench_parallel_cpp bench_dist
 
 echo "== kernel tier throughput (N=$N seed=$SEED) -> BENCH_kernels.json =="
 "$BUILD"/bench/bench_kernels --json --n "$N" --seed "$SEED" \
@@ -53,4 +58,11 @@ echo "== emitted parallel C++ (bench_parallel_cpp) =="
 "$BUILD"/bench/bench_parallel_cpp
 
 echo
-echo "baseline written to BENCH_kernels.json and BENCH_stream.json"
+echo "== dist runtime, shm vs inline transport (N=2M, 8 workers) =="
+echo "==   -> BENCH_dist.json =="
+"$BUILD"/bench/bench_dist 2000000 --workers 8 --shards 32 \
+    --json BENCH_dist.json
+
+echo
+echo "baseline written to BENCH_kernels.json, BENCH_stream.json, and" \
+     "BENCH_dist.json"

@@ -10,9 +10,11 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <ctime>
 #include <sstream>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
@@ -33,16 +35,18 @@ int64_t nowNs() {
 
 std::string DistRunReport::describe() const {
   std::ostringstream OS;
-  OS << "shards " << ShardsCompleted << "/" << Shards << "; workers "
-     << WorkersSpawned << " spawned, " << WorkersKilled << " killed(signal), "
-     << WorkersExited << " exited, " << WorkersRestarted << " restarted"
+  OS << "shards " << ShardsCompleted << "/" << Shards << " ["
+     << (UsedShm ? "shm" : "inline") << "]; workers " << WorkersSpawned
+     << " spawned, " << WorkersKilled << " killed(signal), " << WorkersExited
+     << " exited, " << WorkersRestarted << " restarted"
      << "; reassigned " << ShardsReassigned << ", retries " << Retries
      << ", speculative " << SpeculativeWins << "/" << SpeculativeLaunches
      << ", corrupt " << CorruptFrames << ", hangs " << HangsDetected
      << ", refolds " << SerialRefolds << "; shipped " << BytesShipped
-     << " B, merge " << static_cast<int64_t>(MergeSeconds * 1e6)
-     << " us, recovery " << static_cast<int64_t>(RecoverySeconds * 1e6)
-     << " us";
+     << " B, mapped " << BytesMapped << " B in " << TaskFrames
+     << " task + " << PublishFrames << " publish frames, merge "
+     << static_cast<int64_t>(MergeSeconds * 1e6) << " us, recovery "
+     << static_cast<int64_t>(RecoverySeconds * 1e6) << " us";
   if (Cancelled)
     OS << " [cancelled]";
   return OS.str();
@@ -53,9 +57,15 @@ DistCoordinator::DistCoordinator(const runtime::CompiledPlan &Plan,
     : Plan(Plan), Cfg(Cfg), PlanHash(Plan.compiled().bytecodeHash()) {
   if (this->Cfg.Workers == 0)
     this->Cfg.Workers = 1;
+  if (this->Cfg.BatchShards == 0)
+    this->Cfg.BatchShards = 1;
+  ShmEnabled = this->Cfg.UseShm && std::getenv("GRASSP_DIST_NO_SHM") == nullptr;
 }
 
-DistCoordinator::~DistCoordinator() { shutdown(); }
+DistCoordinator::~DistCoordinator() {
+  shutdown();
+  Map.reset();
+}
 
 unsigned DistCoordinator::liveWorkers() const {
   unsigned N = 0;
@@ -63,6 +73,51 @@ unsigned DistCoordinator::liveWorkers() const {
     if (P.Fd >= 0)
       ++N;
   return N;
+}
+
+bool DistCoordinator::publishSegments(
+    const std::vector<runtime::SegmentView> &Segs, uint64_t TotalElems) {
+  Map.reset();
+  if (!ShmEnabled || TotalElems == 0 || !shmTransportAvailable())
+    return false;
+  int Fd = shmCreateBuffer();
+  if (Fd < 0)
+    return false;
+  for (const runtime::SegmentView &S : Segs)
+    if (S.Size != 0 && !shmAppend(Fd, S.Data, S.Size * sizeof(int64_t))) {
+      ::close(Fd);
+      return false;
+    }
+  if (!shmSeal(Fd)) {
+    ::close(Fd);
+    return false;
+  }
+  Map.Fd = Fd;
+  Map.OwnsFd = true;
+  Map.Generation = NextGeneration++;
+  Map.ByteOffset = 0;
+  Map.Elems = TotalElems;
+  Map.Token = shmToken(Map.Generation, TotalElems, PlanHash);
+  return true;
+}
+
+bool DistCoordinator::publishFileRegion(int Fd, uint64_t ByteOffset,
+                                        uint64_t TotalElems) {
+  Map.reset();
+  if (!ShmEnabled || TotalElems == 0 || Fd < 0)
+    return false;
+  // Own a dup: the source object (and its fd) may be destroyed between
+  // this run and the next publication.
+  int D = ::fcntl(Fd, F_DUPFD_CLOEXEC, 0);
+  if (D < 0)
+    return false;
+  Map.Fd = D;
+  Map.OwnsFd = true;
+  Map.Generation = NextGeneration++;
+  Map.ByteOffset = ByteOffset;
+  Map.Elems = TotalElems;
+  Map.Token = shmToken(Map.Generation, TotalElems, PlanHash);
+  return true;
 }
 
 bool DistCoordinator::spawn() {
@@ -78,12 +133,14 @@ bool DistCoordinator::spawn() {
   if (Pid == 0) {
     // Child. Drop the parent's ends of every sibling channel so a
     // coordinator death EOFs all workers, then run the protocol loop.
+    // The current mapping's fd (if any) is inherited right here —
+    // workers forked after a publication never need a Publish frame.
     // workerMain never returns.
     ::close(Sv[0]);
     for (const Proc &Sib : Procs)
       if (Sib.Fd >= 0)
         ::close(Sib.Fd);
-    workerMain(Sv[1], Plan, Cfg.Faults, Cfg.HeartbeatSeconds);
+    workerMain(Sv[1], Plan, Cfg.Faults, Cfg.HeartbeatSeconds, Map);
   }
   ::close(Sv[1]);
   Proc P;
@@ -124,8 +181,9 @@ void DistCoordinator::destroyProc(Proc &P, bool Graceful) {
       P.Pid = -1;
     }
   }
-  P.Shard = -1;
+  P.Queue.clear();
   P.HelloOk = false;
+  P.MapGeneration = 0;
 }
 
 void DistCoordinator::prewarm() {
@@ -170,11 +228,15 @@ void DistCoordinator::handleDeath(Proc &P, DeathReason Reason,
   else if (Reason == DeathReason::Hang)
     ++R.HangsDetected;
 
-  if (P.Shard >= 0) {
-    ShardState &S = Shards[static_cast<size_t>(P.Shard)];
+  // Every assignment the worker held — the one it was folding and
+  // everything batched behind it — is lost with it.
+  for (const Assign &A : P.Queue) {
+    if (A.Shard < 0)
+      continue;
+    ShardState &S = Shards[static_cast<size_t>(A.Shard)];
     if (S.Outstanding > 0)
       --S.Outstanding;
-    if (P.IsBackup)
+    if (A.IsBackup)
       S.BackupActive = false;
     if (!S.Done && S.Outstanding == 0) {
       // The shard lost its last running attempt: requeue it behind a
@@ -186,16 +248,19 @@ void DistCoordinator::handleDeath(Proc &P, DeathReason Reason,
           S.PrevSleep > 0 ? S.PrevSleep : Cfg.BackoffSeconds,
           Cfg.BackoffJitterSeed,
           distAttemptKey(RunIndex, S.Attempts,
-                         static_cast<uint64_t>(P.Shard)));
+                         static_cast<uint64_t>(A.Shard)));
       S.EligibleNs = nowNs() + static_cast<int64_t>(S.PrevSleep * 1e9);
     }
   }
-  P.Shard = -1;
+  P.Queue.clear();
   P.HelloOk = false;
+  P.MapGeneration = 0;
   P.Reader = FrameReader();
 
   if (TotalRestarts < Cfg.MaxWorkerRestarts) {
     ++TotalRestarts;
+    // NOTE: spawn() push_backs into Procs and may reallocate it — P is
+    // dangling from here on. Callers re-index after handleDeath.
     if (spawn()) {
       ++R.WorkersRestarted;
       ++R.WorkersSpawned;
@@ -204,33 +269,79 @@ void DistCoordinator::handleDeath(Proc &P, DeathReason Reason,
   R.RecoverySeconds += Rec.seconds();
 }
 
-bool DistCoordinator::dispatch(
-    Proc &P, size_t Shard, bool IsBackup, DistRunReport &R,
-    std::vector<ShardState> &Shards,
-    const std::function<runtime::SegmentView(size_t)> &Chunk) {
-  ShardState &S = Shards[Shard];
-  TaskMsg T;
-  T.TaskId = NextTaskId++;
-  T.ShardIndex = Shard;
-  T.AttemptKey = distAttemptKey(RunIndex, S.Attempts, Shard);
-  runtime::SegmentView V = Chunk(Shard);
-  T.Data.assign(V.Data, V.Data + V.Size);
-  std::vector<uint8_t> Payload = encodeTask(T);
-  if (!writeFrame(P.Fd, MsgType::Task, Payload))
-    return false; // caller reaps the dead worker.
-  if (S.Attempts > 0 && !IsBackup)
-    ++R.Retries;
-  ++S.Attempts;
-  ++S.Outstanding;
-  if (IsBackup) {
-    S.BackupActive = true;
-    ++R.SpeculativeLaunches;
+bool DistCoordinator::dispatchBatch(
+    Proc &P, const std::vector<size_t> &Batch, bool IsBackup,
+    DistRunReport &R, std::vector<ShardState> &Shards,
+    const std::function<runtime::SegmentView(size_t)> &Chunk,
+    const DescTable *Desc) {
+  // A worker whose mapping generation is stale gets the current region
+  // re-published first — fd via SCM_RIGHTS on the Publish frame, and
+  // SOCK_STREAM ordering guarantees it adopts the mapping before the
+  // Task frame below arrives.
+  if (Desc && P.MapGeneration != Map.Generation) {
+    PublishMsg Pub;
+    Pub.Generation = Map.Generation;
+    Pub.Token = Map.Token;
+    Pub.ByteOffset = Map.ByteOffset;
+    Pub.Elems = Map.Elems;
+    encodePublish(Pub, P.Writer.payload());
+    if (!P.Writer.sendWithFd(P.Fd, MsgType::Publish, Map.Fd))
+      return false; // caller reaps the dead worker.
+    P.MapGeneration = Map.Generation;
+    ++R.PublishFrames;
+    R.BytesShipped += P.Writer.lastFrameBytes();
   }
-  P.Shard = static_cast<int>(Shard);
-  P.TaskId = T.TaskId;
-  P.IsBackup = IsBackup;
-  P.TaskStartNs = nowNs();
-  R.BytesShipped += Payload.size() + FrameHeaderBytes;
+
+  TaskMsg T;
+  T.Items.reserve(Batch.size());
+  for (size_t Shard : Batch) {
+    ShardState &S = Shards[Shard];
+    TaskItem It;
+    It.TaskId = NextTaskId++;
+    It.ShardIndex = Shard;
+    It.AttemptKey = distAttemptKey(RunIndex, S.Attempts, Shard);
+    if (Desc) {
+      It.Kind = ShardTransport::Shm;
+      It.Generation = Map.Generation;
+      It.Offset = (*Desc)[Shard].first;
+      It.Count = (*Desc)[Shard].second;
+    } else {
+      runtime::SegmentView V = Chunk(Shard);
+      It.Data.assign(V.Data, V.Data + V.Size);
+    }
+    T.Items.push_back(std::move(It));
+  }
+  encodeTask(T, P.Writer.payload());
+  if (!P.Writer.send(P.Fd, MsgType::Task))
+    return false;
+  ++R.TaskFrames;
+  R.BytesShipped += P.Writer.lastFrameBytes();
+
+  int64_t Now = nowNs();
+  bool WasIdle = P.Queue.empty();
+  for (const TaskItem &It : T.Items) {
+    size_t Shard = static_cast<size_t>(It.ShardIndex);
+    ShardState &S = Shards[Shard];
+    if (S.Attempts > 0 && !IsBackup)
+      ++R.Retries;
+    ++S.Attempts;
+    ++S.Outstanding;
+    if (IsBackup) {
+      S.BackupActive = true;
+      ++R.SpeculativeLaunches;
+    }
+    if (Desc)
+      R.BytesMapped += It.Count * sizeof(int64_t);
+    Assign A;
+    A.TaskId = It.TaskId;
+    A.Shard = static_cast<int>(Shard);
+    A.IsBackup = IsBackup;
+    A.DispatchNs = Now;
+    A.Elems = It.elems();
+    P.Queue.push_back(A);
+  }
+  if (WasIdle)
+    P.BusySinceNs = Now;
   return true;
 }
 
@@ -255,6 +366,17 @@ void DistCoordinator::drainFrames(Proc &P, DistRunReport &R,
         handleDeath(P, DeathReason::Corrupt, R, Shards);
         return;
       }
+      if (M.ShmGeneration == Map.Generation && Map.valid() &&
+          M.ShmToken != Map.Token) {
+        // Claims the current generation with the wrong identity stamp:
+        // an aliased or stale inherited mapping. Fail loudly before any
+        // descriptor is dealt to it.
+        handleDeath(P, DeathReason::Corrupt, R, Shards);
+        return;
+      }
+      // Any other generation (older, or none) is fine: the first
+      // descriptor dispatch re-publishes the current mapping.
+      P.MapGeneration = M.ShmGeneration;
       P.HelloOk = true;
       break;
     }
@@ -267,12 +389,19 @@ void DistCoordinator::drainFrames(Proc &P, DistRunReport &R,
         return;
       }
       R.BytesShipped += F.Payload.size() + FrameHeaderBytes;
-      if (P.Shard < 0 || M.TaskId != P.TaskId)
+      auto QIt = std::find_if(
+          P.Queue.begin(), P.Queue.end(),
+          [&](const Assign &A) { return A.TaskId == M.TaskId; });
+      if (QIt == P.Queue.end())
         break; // stale result (task was reassigned); drop it.
-      ShardState &S = Shards[static_cast<size_t>(P.Shard)];
+      Assign A = *QIt;
+      P.Queue.erase(QIt);
+      // The worker has moved on to its next queued item (if any).
+      P.BusySinceNs = P.LastSeenNs;
+      ShardState &S = Shards[static_cast<size_t>(A.Shard)];
       if (S.Outstanding > 0)
         --S.Outstanding;
-      if (P.IsBackup)
+      if (A.IsBackup)
         S.BackupActive = false;
       if (!S.Done) {
         // First commit wins — the same atomic-slot discipline as
@@ -280,30 +409,31 @@ void DistCoordinator::drainFrames(Proc &P, DistRunReport &R,
         S.Out = std::move(M.Out);
         S.Done = true;
         ++*DonePtr;
-        if (P.IsBackup)
+        if (A.IsBackup)
           ++R.SpeculativeWins;
       }
-      P.Shard = -1;
       break;
     }
     default:
-      break; // Task/Shutdown are coordinator->worker only; ignore.
+      break; // Task/Shutdown/Publish are coordinator->worker only.
     }
   }
 }
 
 DistRunReport DistCoordinator::runImpl(
     size_t N, const std::function<runtime::SegmentView(size_t)> &Chunk,
-    const std::vector<runtime::SegmentView> &MergeSegs) {
+    const std::vector<runtime::SegmentView> &MergeSegs,
+    const DescTable *Desc) {
   DistRunReport R;
   R.Shards = static_cast<unsigned>(N);
+  R.UsedShm = Desc != nullptr;
   Stopwatch Total;
   ShutdownDone = false;
 
-  // A cancelled previous run may have left workers mid-task; their
+  // A cancelled previous run may have left workers mid-batch; their
   // eventual results would be stale, so restart them clean.
   for (Proc &P : Procs)
-    if (P.Fd >= 0 && P.Shard >= 0)
+    if (P.Fd >= 0 && !P.Queue.empty())
       destroyProc(P, /*Graceful=*/false);
   Procs.erase(std::remove_if(Procs.begin(), Procs.end(),
                              [](const Proc &P) { return P.Fd < 0; }),
@@ -316,10 +446,6 @@ DistRunReport DistCoordinator::runImpl(
 
   std::vector<ShardState> Shards(N);
   size_t Done = 0;
-  const int64_t DeadlineNs =
-      static_cast<int64_t>(Cfg.TaskDeadlineSeconds * 1e9);
-  const int64_t HangNs =
-      static_cast<int64_t>(Cfg.TaskDeadlineSeconds * Cfg.HangKillFactor * 1e9);
   const int64_t HbTimeoutNs =
       static_cast<int64_t>(Cfg.HeartbeatTimeoutSeconds * 1e9);
 
@@ -364,62 +490,106 @@ DistRunReport DistCoordinator::runImpl(
 
     int64_t Now = nowNs();
 
-    // Dispatch pending shards to idle, handshaken workers.
-    for (size_t I = 0; I != N; ++I) {
-      ShardState &S = Shards[I];
-      if (S.Done || S.Outstanding != 0 || S.Attempts > Cfg.MaxRetries ||
-          Now < S.EligibleNs)
-        continue;
-      Proc *Idle = nullptr;
-      for (Proc &P : Procs)
-        if (P.Fd >= 0 && P.HelloOk && P.Shard < 0) {
-          Idle = &P;
-          break;
+    // Deal pending shards to idle, handshaken workers — batched, but
+    // split evenly across the idle pool first so a small run is never
+    // serialized onto one worker by a large BatchShards.
+    size_t IdleCount = 0;
+    for (const Proc &P : Procs)
+      if (P.Fd >= 0 && P.HelloOk && P.Queue.empty())
+        ++IdleCount;
+    if (IdleCount != 0) {
+      std::vector<size_t> Pending;
+      for (size_t I = 0; I != N; ++I) {
+        ShardState &S = Shards[I];
+        if (S.Done || S.Outstanding != 0 || S.Attempts > Cfg.MaxRetries ||
+            Now < S.EligibleNs)
+          continue;
+        Pending.push_back(I);
+      }
+      if (!Pending.empty()) {
+        size_t Per = std::min<size_t>(
+            Cfg.BatchShards, (Pending.size() + IdleCount - 1) / IdleCount);
+        size_t Next = 0;
+        for (size_t Pi = 0; Pi != Procs.size() && Next != Pending.size();
+             ++Pi) {
+          Proc &P = Procs[Pi];
+          if (P.Fd < 0 || !P.HelloOk || !P.Queue.empty())
+            continue;
+          std::vector<size_t> Batch(
+              Pending.begin() + Next,
+              Pending.begin() +
+                  std::min(Pending.size(), Next + Per));
+          Next += Batch.size();
+          if (!dispatchBatch(P, Batch, /*IsBackup=*/false, R, Shards, Chunk,
+                             Desc))
+            handleDeath(P, DeathReason::Eof, R, Shards);
+          // handleDeath may respawn (Procs realloc): P is stale now;
+          // the indexed loop re-derives it next iteration.
         }
-      if (!Idle)
-        break;
-      if (!dispatch(*Idle, I, /*IsBackup=*/false, R, Shards, Chunk))
-        handleDeath(*Idle, DeathReason::Eof, R, Shards);
-    }
-
-    // Stragglers: one speculative backup per overdue primary, first
-    // commit wins.
-    if (Cfg.Speculate) {
-      for (size_t Pi = 0; Pi != Procs.size(); ++Pi) {
-        Proc &P = Procs[Pi];
-        if (P.Fd < 0 || P.Shard < 0 || P.IsBackup)
-          continue;
-        ShardState &S = Shards[static_cast<size_t>(P.Shard)];
-        if (S.Done || S.BackupActive || S.Attempts > Cfg.MaxRetries ||
-            Now - P.TaskStartNs <= DeadlineNs)
-          continue;
-        Proc *Idle = nullptr;
-        for (Proc &Q : Procs)
-          if (Q.Fd >= 0 && Q.HelloOk && Q.Shard < 0) {
-            Idle = &Q;
-            break;
-          }
-        if (!Idle)
-          break;
-        if (!dispatch(*Idle, static_cast<size_t>(P.Shard),
-                      /*IsBackup=*/true, R, Shards, Chunk))
-          handleDeath(*Idle, DeathReason::Eof, R, Shards);
       }
     }
 
-    // Hang detection: a busy worker past HangKillFactor x deadline is
-    // SIGKILLed (it stopped responding; EOF alone would never come),
-    // and an idle worker that stopped heartbeating likewise. Indexed
-    // sweep: handleDeath respawns, and spawn's push_back can
-    // reallocate Procs, which would invalidate a range-for here.
+    // Stragglers: one speculative backup per overdue assignment, first
+    // commit wins. Candidates are collected first — dispatching can
+    // kill a worker and reallocate Procs, which would invalidate any
+    // reference held across it.
+    if (Cfg.Speculate) {
+      std::vector<size_t> Overdue;
+      for (const Proc &P : Procs) {
+        if (P.Fd < 0)
+          continue;
+        for (const Assign &A : P.Queue) {
+          if (A.IsBackup || A.Shard < 0)
+            continue;
+          ShardState &S = Shards[static_cast<size_t>(A.Shard)];
+          if (S.Done || S.BackupActive || S.Attempts > Cfg.MaxRetries)
+            continue;
+          if (Now - A.DispatchNs <= taskDeadlineNs(Cfg, A.Elems))
+            continue;
+          if (std::find(Overdue.begin(), Overdue.end(),
+                        static_cast<size_t>(A.Shard)) == Overdue.end())
+            Overdue.push_back(static_cast<size_t>(A.Shard));
+        }
+      }
+      for (size_t Shard : Overdue) {
+        ShardState &S = Shards[Shard];
+        if (S.Done || S.BackupActive || S.Attempts > Cfg.MaxRetries)
+          continue;
+        size_t IdleIdx = Procs.size();
+        for (size_t Qi = 0; Qi != Procs.size(); ++Qi)
+          if (Procs[Qi].Fd >= 0 && Procs[Qi].HelloOk &&
+              Procs[Qi].Queue.empty()) {
+            IdleIdx = Qi;
+            break;
+          }
+        if (IdleIdx == Procs.size())
+          break;
+        if (!dispatchBatch(Procs[IdleIdx], {Shard}, /*IsBackup=*/true, R,
+                           Shards, Chunk, Desc))
+          handleDeath(Procs[IdleIdx], DeathReason::Eof, R, Shards);
+      }
+    }
+
+    // Hang detection: a busy worker whose CURRENT item has run past
+    // HangKillFactor x its (size-scaled) deadline is SIGKILLed (it
+    // stopped responding; EOF alone would never come), and an idle
+    // worker that stopped heartbeating likewise. Indexed sweep:
+    // handleDeath respawns, and spawn's push_back can reallocate Procs,
+    // which would invalidate a range-for here.
     for (size_t Pi = 0; Pi != Procs.size(); ++Pi) {
       Proc &P = Procs[Pi];
       if (P.Fd < 0)
         continue;
-      if (P.Shard >= 0 && Now - P.TaskStartNs > HangNs)
+      if (!P.Queue.empty()) {
+        int64_t HangNs = static_cast<int64_t>(
+            static_cast<double>(
+                taskDeadlineNs(Cfg, P.Queue.front().Elems)) *
+            Cfg.HangKillFactor);
+        if (Now - P.BusySinceNs > HangNs)
+          handleDeath(P, DeathReason::Hang, R, Shards);
+      } else if (Now - P.LastSeenNs > HbTimeoutNs) {
         handleDeath(P, DeathReason::Hang, R, Shards);
-      else if (P.Shard < 0 && Now - P.LastSeenNs > HbTimeoutNs)
-        handleDeath(P, DeathReason::Hang, R, Shards);
+      }
     }
 
     // Wait for bytes (results, heartbeats, hellos) or the next timer.
@@ -467,8 +637,23 @@ DistRunReport DistCoordinator::runImpl(
 
 DistRunReport
 DistCoordinator::run(const std::vector<runtime::SegmentView> &Segs) {
+  uint64_t Total = 0;
+  for (const runtime::SegmentView &S : Segs)
+    Total += S.Size;
+  DescTable Desc;
+  const DescTable *DescPtr = nullptr;
+  if (publishSegments(Segs, Total)) {
+    // The memfd lays segments end to end; descriptors are prefix sums.
+    Desc.resize(Segs.size());
+    uint64_t Off = 0;
+    for (size_t I = 0; I != Segs.size(); ++I) {
+      Desc[I] = {Off, Segs[I].Size};
+      Off += Segs[I].Size;
+    }
+    DescPtr = &Desc;
+  }
   return runImpl(
-      Segs.size(), [&](size_t I) { return Segs[I]; }, Segs);
+      Segs.size(), [&](size_t I) { return Segs[I]; }, Segs, DescPtr);
 }
 
 DistRunReport DistCoordinator::run(const runtime::SegmentSource &Src) {
@@ -489,11 +674,27 @@ DistRunReport DistCoordinator::run(const runtime::SegmentSource &Src) {
     }
     HeadViews[I] = {Heads[I].data(), Src.chunkElems(I)};
   }
+  // Zero-copy fast path: a source backed by one contiguous byte region
+  // (binary workload files) is published AS the mapping — workers mmap
+  // the workload file itself by chunk offset, and nothing is copied
+  // anywhere. Other sources (in-memory vectors, text files) fall back
+  // to inline chunk payloads.
+  DescTable Desc;
+  const DescTable *DescPtr = nullptr;
+  int RegFd = -1;
+  uint64_t RegOff = 0;
+  if (ShmEnabled && Src.contiguousByteRegion(&RegFd, &RegOff) &&
+      publishFileRegion(RegFd, RegOff, Src.elements())) {
+    Desc.resize(N);
+    for (size_t I = 0; I != N; ++I)
+      Desc[I] = {Src.chunkBegin(I), Src.chunkElems(I)};
+    DescPtr = &Desc;
+  }
   // One cursor serves every dispatch: the event loop is single-threaded
   // and each chunk view is consumed (copied into its task frame or
   // refolded) before the next is requested.
   return runImpl(
-      N, [&](size_t I) { return C->chunk(I); }, HeadViews);
+      N, [&](size_t I) { return C->chunk(I); }, HeadViews, DescPtr);
 }
 
 } // namespace dist

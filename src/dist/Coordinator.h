@@ -13,6 +13,25 @@
 // runtime fork-safe and TSan-clean, and makes every recovery decision
 // sequential and replayable.
 //
+// Transport: by default the input is published once per run as a
+// read-only shared mapping (dist/Shm.h — a sealed memfd for in-memory
+// inputs, the workload file's own fd for binary file sources) and Task
+// frames carry only (generation, offset, count) descriptors, so bytes
+// over the socket are O(1) per shard instead of O(n). Workers forked
+// after publication inherit the mapping; pool workers that predate it
+// receive the fd via an SCM_RIGHTS Publish frame. Descriptors are
+// validated against the mapping generation on the worker (and the
+// inherited generation's token in the Hello handshake), so a stale
+// mapping is a loud worker death, never a silent wrong fold. The PR 8
+// inline-payload transport remains as the always-tested fallback:
+// UseShm=false, GRASSP_DIST_NO_SHM in the environment, memfd/sealing
+// unavailable, or a source that exposes no contiguous byte region.
+//
+// Shards are dealt in BATCHES: one Task frame carries up to BatchShards
+// assignments (split evenly across idle workers), the worker folds them
+// in order and replies one Result per item — halving round-trips
+// without giving up per-shard speculation or first-commit-wins.
+//
 // Fork-safety in multi-threaded embedders: when the EMBEDDING process
 // has other threads (DiffOracle's ThreadPool during chaos --dist),
 // fork() + non-async-signal-safe work in the child is POSIX-undefined
@@ -28,12 +47,20 @@
 //   detection                  | signal                     | response
 //   ---------------------------+----------------------------+---------
 //   socket EOF / write failure | worker died; waitpid says  | requeue
-//     (child closed its end)   | HOW: WIFSIGNALED = killed, | shard,
+//     (child closed its end)   | HOW: WIFSIGNALED = killed, | batch,
 //                              | WIFEXITED = crashed/exited | respawn
 //   corrupt frame (checksum)   | bad bytes; framing past it | SIGKILL +
 //     — sticky in FrameReader  | is untrusted               | respawn
+//   stale-map exit (status     | worker held the wrong      | requeue
+//     113)                     | mapping generation         | batch,
+//                              |                            | respawn
+//                              |                            | (which
+//                              |                            | inherits
+//                              |                            | the
+//                              |                            | current
+//                              |                            | mapping)
 //   task deadline exceeded     | straggler                  | backup on
-//                              |                            | a peer,
+//     (scaled by shard size)   |                            | a peer,
 //                              |                            | first-
 //                              |                            | commit-
 //                              |                            | wins
@@ -57,12 +84,14 @@
 #define GRASSP_DIST_COORDINATOR_H
 
 #include "dist/Protocol.h"
+#include "dist/Shm.h"
 #include "runtime/Kernels.h"
 #include "runtime/Runner.h"
 #include "support/Cancel.h"
 #include "support/FaultInject.h"
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <sys/types.h>
@@ -90,11 +119,17 @@ struct DistConfig {
   /// Extra dispatches granted per shard before the serial-refold
   /// fallback (first dispatch + MaxRetries retries).
   unsigned MaxRetries = 3;
-  /// A task running longer than this is a straggler: a speculative
-  /// backup is dispatched to an idle peer (first commit wins).
+  /// Base of the per-task deadline: a task running longer than
+  /// taskDeadlineNs(elems) is a straggler and a speculative backup is
+  /// dispatched to an idle peer (first commit wins).
   double TaskDeadlineSeconds = 0.25;
-  /// A task running longer than HangKillFactor * TaskDeadlineSeconds is
-  /// hung: the worker is SIGKILLed and the shard requeued.
+  /// Per-element addition to the deadline. A legitimately long fold
+  /// over a big mapped shard must not be reaped as hung, so the
+  /// deadline (and with it the hang-kill bound) scales with the
+  /// shard's element count. 0 restores the fixed PR 8 deadline.
+  double DeadlineNsPerElem = 100.0;
+  /// A task running longer than HangKillFactor * taskDeadlineNs(elems)
+  /// is hung: the worker is SIGKILLed and its batch requeued.
   double HangKillFactor = 2.0;
   /// Idle workers heartbeat at this period...
   double HeartbeatSeconds = 0.02;
@@ -102,6 +137,16 @@ struct DistConfig {
   double HeartbeatTimeoutSeconds = 0.5;
   /// Launch speculative backups for stragglers.
   bool Speculate = true;
+  /// Publish the input as a shared read-only mapping and deal
+  /// descriptors instead of inline bytes. Auto-falls back to inline
+  /// when memfd/sealing is unavailable, when GRASSP_DIST_NO_SHM is set
+  /// in the environment, or per-run when the input exposes no
+  /// contiguous byte region (text-backed sources).
+  bool UseShm = true;
+  /// Max shard assignments per batched Task frame. Dealing splits
+  /// pending shards evenly across idle workers first, so small runs
+  /// still use the whole pool.
+  unsigned BatchShards = 4;
   /// Decorrelated-jitter backoff before redispatching a failed shard
   /// (runtime::decorrelatedBackoff; 0 = immediate).
   double BackoffSeconds = 0.0002;
@@ -137,7 +182,15 @@ struct DistRunReport {
   unsigned SerialRefolds = 0;    // shards recovered in the coordinator.
   unsigned Retries = 0;          // redispatches after a lost attempt.
 
+  /// True when this run dealt shared-memory descriptors (false = the
+  /// inline fallback carried the bytes).
+  bool UsedShm = false;
   uint64_t BytesShipped = 0;     // frame bytes in both directions.
+  /// Bytes workers folded via the shared mapping — referenced by
+  /// descriptor, never pushed through the socket.
+  uint64_t BytesMapped = 0;
+  unsigned TaskFrames = 0;       // batched Task frames sent.
+  unsigned PublishFrames = 0;    // mapping re-publications to live workers.
   double WallSeconds = 0;
   double MergeSeconds = 0;
   /// Time spent inside death handling: waitpid, requeue, respawn.
@@ -148,9 +201,10 @@ struct DistRunReport {
 };
 
 /// The coordinator. Reusable: run() may be called repeatedly (the
-/// worker pool persists between runs, and attempt keys advance with an
-/// internal run index so fault patterns do not repeat). Not
-/// thread-safe — one event loop, one thread.
+/// worker pool persists between runs, the mapping generation advances
+/// with every publication, and attempt keys advance with an internal
+/// run index so fault patterns do not repeat). Not thread-safe — one
+/// event loop, one thread.
 class DistCoordinator {
 public:
   DistCoordinator(const runtime::CompiledPlan &Plan, const DistConfig &Cfg);
@@ -158,13 +212,17 @@ public:
   DistCoordinator(const DistCoordinator &) = delete;
   DistCoordinator &operator=(const DistCoordinator &) = delete;
 
-  /// Distributed run over in-memory segments: one shard per segment,
-  /// shipped inline over the socket.
+  /// Distributed run over in-memory segments: one shard per segment.
+  /// On the shm transport the segments are copied once into a sealed
+  /// memfd; the inline fallback ships each shard in its Task frame.
   DistRunReport run(const std::vector<runtime::SegmentView> &Segs);
 
-  /// Distributed run over a SegmentSource: one shard per chunk, each
-  /// chunk materialized only while its task frame is being written
-  /// (constant-prefix repair heads are prefetched exactly like
+  /// Distributed run over a SegmentSource: one shard per chunk. Binary
+  /// file sources expose their GRSPWB01 region directly
+  /// (SegmentSource::contiguousByteRegion) and workers mmap windows of
+  /// the workload file itself — nothing is copied anywhere. Other
+  /// sources materialize each chunk only while its task frame is being
+  /// written (constant-prefix repair heads are prefetched exactly like
   /// runParallel's out-of-core overload).
   DistRunReport run(const runtime::SegmentSource &Src);
 
@@ -179,22 +237,48 @@ public:
   unsigned liveWorkers() const;
   /// The run index the next run() will stamp into attempt keys.
   uint64_t runIndex() const { return RunIndex; }
+  /// True when this coordinator can publish shared mappings at all
+  /// (config + environment + host support).
+  bool shmEnabled() const { return ShmEnabled; }
 
   /// Graceful teardown: Shutdown frames, bounded wait, SIGKILL
   /// stragglers. Idempotent; the destructor calls it.
   void shutdown();
 
+  /// The effective deadline for one task over \p Elems elements.
+  static int64_t taskDeadlineNs(const DistConfig &Cfg, uint64_t Elems) {
+    return static_cast<int64_t>(Cfg.TaskDeadlineSeconds * 1e9 +
+                                static_cast<double>(Elems) *
+                                    Cfg.DeadlineNsPerElem);
+  }
+
 private:
+  /// One shard assignment a worker currently holds. A worker's queue
+  /// front is the item it is folding NOW (workers execute batches in
+  /// order); everything behind it is requeued wholesale if the worker
+  /// dies.
+  struct Assign {
+    uint64_t TaskId = 0;
+    int Shard = -1;
+    bool IsBackup = false;
+    int64_t DispatchNs = 0;
+    uint64_t Elems = 0;
+  };
+
   struct Proc {
     pid_t Pid = -1;
     int Fd = -1;
     FrameReader Reader;
+    FrameWriter Writer; // per-connection reusable encode buffers.
     bool HelloOk = false;
-    int Shard = -1; // assigned shard index; -1 = idle.
-    uint64_t TaskId = 0;
-    bool IsBackup = false;
-    int64_t TaskStartNs = 0;
+    std::deque<Assign> Queue;
+    /// When the queue-front item started running on the worker (its
+    /// dispatch, or the previous item's Result).
+    int64_t BusySinceNs = 0;
     int64_t LastSeenNs = 0; // last frame of any kind.
+    /// Mapping generation the worker holds (0 = none), learned from its
+    /// Hello and advanced by Publish frames we send it.
+    uint64_t MapGeneration = 0;
   };
 
   struct ShardState {
@@ -207,9 +291,23 @@ private:
     runtime::WorkerOutput Out;
   };
 
+  /// Per-shard descriptor table for the shm transport: element offset +
+  /// count into the published mapping. Null = inline transport.
+  using DescTable = std::vector<std::pair<uint64_t, uint64_t>>;
+
   DistRunReport
   runImpl(size_t N, const std::function<runtime::SegmentView(size_t)> &Chunk,
-          const std::vector<runtime::SegmentView> &MergeSegs);
+          const std::vector<runtime::SegmentView> &MergeSegs,
+          const DescTable *Desc);
+
+  /// Copies \p Segs into a sealed memfd and installs it as the current
+  /// mapping. Returns false (mapping reset) on any failure — the run
+  /// then uses the inline transport.
+  bool publishSegments(const std::vector<runtime::SegmentView> &Segs,
+                       uint64_t TotalElems);
+  /// Installs a borrowed file region (dup()ed fd) as the current
+  /// mapping.
+  bool publishFileRegion(int Fd, uint64_t ByteOffset, uint64_t TotalElems);
 
   bool spawn();
   void destroyProc(Proc &P, bool Graceful);
@@ -217,15 +315,24 @@ private:
   enum class DeathReason { Eof, Corrupt, Hang };
   void handleDeath(Proc &P, DeathReason Reason, DistRunReport &R,
                    std::vector<ShardState> &Shards);
-  bool dispatch(Proc &P, size_t Shard, bool IsBackup, DistRunReport &R,
-                std::vector<ShardState> &Shards,
-                const std::function<runtime::SegmentView(size_t)> &Chunk);
+  /// Sends one batched Task frame (re-publishing the mapping first when
+  /// the worker's generation is stale). Returns false on send failure —
+  /// the caller reaps the dead worker.
+  bool dispatchBatch(Proc &P, const std::vector<size_t> &Batch, bool IsBackup,
+                     DistRunReport &R, std::vector<ShardState> &Shards,
+                     const std::function<runtime::SegmentView(size_t)> &Chunk,
+                     const DescTable *Desc);
   void drainFrames(Proc &P, DistRunReport &R,
                    std::vector<ShardState> &Shards, size_t *DonePtr);
 
   const runtime::CompiledPlan &Plan;
   DistConfig Cfg;
   uint64_t PlanHash;
+  /// The currently published input region (invalid when the last run
+  /// used the inline transport).
+  ShmRegion Map;
+  bool ShmEnabled = false;
+  uint64_t NextGeneration = 1;
   std::vector<Proc> Procs;
   uint64_t NextTaskId = 1;
   uint64_t RunIndex = 0;

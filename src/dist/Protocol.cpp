@@ -49,10 +49,13 @@ uint64_t getLe64(const uint8_t *P) {
 /// The frame checksum covers type + length + payload, so a corrupted
 /// header word is as detectable as a corrupted payload byte.
 uint64_t frameChecksum(MsgType Type, const std::vector<uint8_t> &Payload) {
-  std::vector<uint8_t> Head;
-  putLe32(Head, static_cast<uint32_t>(Type));
-  putLe64(Head, Payload.size());
-  uint64_t H = fnv1aBytes(Head.data(), Head.size());
+  uint8_t Head[12];
+  for (int I = 0; I != 4; ++I)
+    Head[I] = static_cast<uint8_t>(static_cast<uint32_t>(Type) >> (8 * I));
+  uint64_t Len = Payload.size();
+  for (int I = 0; I != 8; ++I)
+    Head[4 + I] = static_cast<uint8_t>(Len >> (8 * I));
+  uint64_t H = fnv1aBytes(Head, sizeof(Head));
   // Continue the same FNV stream over the payload.
   for (uint8_t B : Payload) {
     H ^= B;
@@ -145,31 +148,122 @@ bool WireReader::vecU32(std::vector<uint32_t> *V) {
   return true;
 }
 
-bool writeFrame(int Fd, MsgType Type, const std::vector<uint8_t> &Payload,
-                int64_t CorruptByteAt) {
-  std::vector<uint8_t> Head;
-  Head.reserve(FrameHeaderBytes);
+bool FrameWriter::sendPrepared(int Fd, MsgType Type, int64_t CorruptByteAt,
+                               int AttachFd) {
+  std::vector<uint8_t> &P = Payload.buffer();
+  Head.clear();
   putLe32(Head, FrameMagic);
   putLe32(Head, static_cast<uint32_t>(Type));
-  putLe64(Head, Payload.size());
-  putLe64(Head, frameChecksum(Type, Payload));
-  if (!sendAll(Fd, Head.data(), Head.size()))
-    return false;
-  if (CorruptByteAt >= 0 && !Payload.empty()) {
-    // The injected fault: the checksum above described the true payload;
-    // the bytes on the wire differ in exactly one position.
-    std::vector<uint8_t> Bad = Payload;
-    Bad[static_cast<size_t>(CorruptByteAt) % Bad.size()] ^= 0x5a;
-    return sendAll(Fd, Bad.data(), Bad.size());
+  putLe64(Head, P.size());
+  putLe64(Head, frameChecksum(Type, P));
+  LastBytes = Head.size() + P.size();
+  // The injected fault: the checksum above described the true payload;
+  // the bytes on the wire differ in exactly one position. Flipped in
+  // place and restored after the send — no copy.
+  size_t FlipAt = 0;
+  bool Flip = CorruptByteAt >= 0 && !P.empty();
+  if (Flip) {
+    FlipAt = static_cast<size_t>(CorruptByteAt) % P.size();
+    P[FlipAt] ^= 0x5a;
   }
-  return sendAll(Fd, Payload.data(), Payload.size());
+  bool Ok;
+  if (AttachFd >= 0) {
+    // The fd is attached to the frame's first byte: receivers see it no
+    // later than they see the frame, and SOCK_STREAM ordering does the
+    // rest.
+    struct iovec Iov[2];
+    Iov[0].iov_base = Head.data();
+    Iov[0].iov_len = Head.size();
+    Iov[1].iov_base = P.data();
+    Iov[1].iov_len = P.size();
+    alignas(struct cmsghdr) char Ctrl[CMSG_SPACE(sizeof(int))];
+    std::memset(Ctrl, 0, sizeof(Ctrl));
+    struct msghdr Msg;
+    std::memset(&Msg, 0, sizeof(Msg));
+    Msg.msg_iov = Iov;
+    Msg.msg_iovlen = P.empty() ? 1 : 2;
+    Msg.msg_control = Ctrl;
+    Msg.msg_controllen = CMSG_SPACE(sizeof(int));
+    struct cmsghdr *Cm = CMSG_FIRSTHDR(&Msg);
+    Cm->cmsg_level = SOL_SOCKET;
+    Cm->cmsg_type = SCM_RIGHTS;
+    Cm->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(Cm), &AttachFd, sizeof(int));
+    ssize_t W;
+    do {
+      W = ::sendmsg(Fd, &Msg, MSG_NOSIGNAL);
+    } while (W < 0 && errno == EINTR);
+    if (W < 0) {
+      Ok = false;
+    } else {
+      // The fd went with the first byte; push any remainder plainly.
+      size_t Sent = static_cast<size_t>(W);
+      Ok = true;
+      if (Sent < Head.size()) {
+        Ok = sendAll(Fd, Head.data() + Sent, Head.size() - Sent) &&
+             sendAll(Fd, P.data(), P.size());
+      } else if (Sent - Head.size() < P.size()) {
+        size_t Done = Sent - Head.size();
+        Ok = sendAll(Fd, P.data() + Done, P.size() - Done);
+      }
+    }
+  } else {
+    Ok = sendAll(Fd, Head.data(), Head.size()) &&
+         sendAll(Fd, P.data(), P.size());
+  }
+  if (Flip)
+    P[FlipAt] ^= 0x5a;
+  return Ok;
 }
 
-RecvStatus FrameReader::fill(int Fd) {
+bool FrameWriter::send(int Fd, MsgType Type, int64_t CorruptByteAt) {
+  return sendPrepared(Fd, Type, CorruptByteAt, -1);
+}
+
+bool FrameWriter::sendWithFd(int Fd, MsgType Type, int AttachFd) {
+  return sendPrepared(Fd, Type, -1, AttachFd);
+}
+
+bool writeFrame(int Fd, MsgType Type, const std::vector<uint8_t> &Payload,
+                int64_t CorruptByteAt) {
+  FrameWriter W;
+  W.payload().buffer() = Payload;
+  return W.send(Fd, Type, CorruptByteAt);
+}
+
+RecvStatus FrameReader::fill(int Fd, std::vector<int> *Fds) {
   if (Broken)
     return RecvStatus::Corrupt;
   uint8_t Tmp[1 << 16];
-  ssize_t R = ::read(Fd, Tmp, sizeof(Tmp));
+  struct iovec Iov;
+  Iov.iov_base = Tmp;
+  Iov.iov_len = sizeof(Tmp);
+  // Room for a handful of SCM_RIGHTS fds per read; Publish attaches one
+  // per frame, so this never truncates in practice.
+  alignas(struct cmsghdr) char Ctrl[CMSG_SPACE(8 * sizeof(int))];
+  struct msghdr Msg;
+  std::memset(&Msg, 0, sizeof(Msg));
+  Msg.msg_iov = &Iov;
+  Msg.msg_iovlen = 1;
+  Msg.msg_control = Ctrl;
+  Msg.msg_controllen = sizeof(Ctrl);
+  ssize_t R = ::recvmsg(Fd, &Msg, MSG_CMSG_CLOEXEC);
+  if (R >= 0) {
+    for (struct cmsghdr *Cm = CMSG_FIRSTHDR(&Msg); Cm;
+         Cm = CMSG_NXTHDR(&Msg, Cm)) {
+      if (Cm->cmsg_level != SOL_SOCKET || Cm->cmsg_type != SCM_RIGHTS)
+        continue;
+      size_t NFds = (Cm->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+      for (size_t I = 0; I != NFds; ++I) {
+        int NewFd;
+        std::memcpy(&NewFd, CMSG_DATA(Cm) + I * sizeof(int), sizeof(int));
+        if (Fds)
+          Fds->push_back(NewFd);
+        else
+          ::close(NewFd);
+      }
+    }
+  }
   if (R == 0)
     return RecvStatus::Eof;
   if (R < 0)
@@ -201,7 +295,7 @@ RecvStatus FrameReader::next(Frame *Out) {
   uint64_t Sum = getLe64(H + 16);
   if (Len > MaxFramePayloadBytes ||
       (Type < static_cast<uint32_t>(MsgType::Hello) ||
-       Type > static_cast<uint32_t>(MsgType::Shutdown))) {
+       Type > static_cast<uint32_t>(MsgType::Publish))) {
     Broken = true;
     return RecvStatus::Corrupt;
   }
@@ -230,35 +324,78 @@ RecvStatus readFrameBlocking(int Fd, Frame *Out) {
   }
 }
 
-std::vector<uint8_t> encodeHello(const HelloMsg &M) {
-  WireWriter W;
+void encodeHello(const HelloMsg &M, WireWriter &W) {
   W.u64(M.Pid);
   W.u64(M.PlanHash);
+  W.u64(M.ShmGeneration);
+  W.u64(M.ShmToken);
+}
+
+std::vector<uint8_t> encodeHello(const HelloMsg &M) {
+  WireWriter W;
+  encodeHello(M, W);
   return W.take();
 }
 
 bool decodeHello(const std::vector<uint8_t> &P, HelloMsg *M) {
   WireReader R(P);
-  return R.u64(&M->Pid) && R.u64(&M->PlanHash) && R.atEnd();
+  return R.u64(&M->Pid) && R.u64(&M->PlanHash) && R.u64(&M->ShmGeneration) &&
+         R.u64(&M->ShmToken) && R.atEnd();
+}
+
+void encodeTask(const TaskMsg &M, WireWriter &W) {
+  W.u64(M.Items.size());
+  for (const TaskItem &It : M.Items) {
+    W.u64(It.TaskId);
+    W.u64(It.ShardIndex);
+    W.u64(It.AttemptKey);
+    W.u8(static_cast<uint8_t>(It.Kind));
+    if (It.Kind == ShardTransport::Shm) {
+      W.u64(It.Generation);
+      W.u64(It.Offset);
+      W.u64(It.Count);
+    } else {
+      W.vecI64(It.Data);
+    }
+  }
 }
 
 std::vector<uint8_t> encodeTask(const TaskMsg &M) {
   WireWriter W;
-  W.u64(M.TaskId);
-  W.u64(M.ShardIndex);
-  W.u64(M.AttemptKey);
-  W.vecI64(M.Data);
+  encodeTask(M, W);
   return W.take();
 }
 
 bool decodeTask(const std::vector<uint8_t> &P, TaskMsg *M) {
   WireReader R(P);
-  return R.u64(&M->TaskId) && R.u64(&M->ShardIndex) &&
-         R.u64(&M->AttemptKey) && R.vecI64(&M->Data) && R.atEnd();
+  uint64_t N;
+  if (!R.u64(&N) || N == 0 || N > MaxTaskItems)
+    return false;
+  M->Items.clear();
+  M->Items.resize(static_cast<size_t>(N));
+  for (TaskItem &It : M->Items) {
+    uint8_t Kind;
+    if (!R.u64(&It.TaskId) || !R.u64(&It.ShardIndex) ||
+        !R.u64(&It.AttemptKey) || !R.u8(&Kind))
+      return false;
+    if (Kind > static_cast<uint8_t>(ShardTransport::Shm))
+      return false;
+    It.Kind = static_cast<ShardTransport>(Kind);
+    if (It.Kind == ShardTransport::Shm) {
+      if (!R.u64(&It.Generation) || !R.u64(&It.Offset) || !R.u64(&It.Count))
+        return false;
+      // A count no mapping could satisfy is a corrupt word, not a
+      // descriptor; the per-mapping bound is checked by the worker.
+      if (It.Count > MaxFramePayloadBytes / sizeof(int64_t))
+        return false;
+    } else if (!R.vecI64(&It.Data)) {
+      return false;
+    }
+  }
+  return R.atEnd();
 }
 
-std::vector<uint8_t> encodeResult(const ResultMsg &M) {
-  WireWriter W;
+void encodeResult(const ResultMsg &M, WireWriter &W) {
   W.u64(M.TaskId);
   W.u64(M.ShardIndex);
   const runtime::WorkerOutput &O = M.Out;
@@ -276,6 +413,11 @@ std::vector<uint8_t> encodeResult(const ResultMsg &M) {
   }
   W.vecI64(O.PrefixData);
   W.vecI64(O.Distinct);
+}
+
+std::vector<uint8_t> encodeResult(const ResultMsg &M) {
+  WireWriter W;
+  encodeResult(M, W);
   return W.take();
 }
 
@@ -301,6 +443,25 @@ bool decodeResult(const std::vector<uint8_t> &P, ResultMsg *M) {
         return false;
   }
   return R.vecI64(&O.PrefixData) && R.vecI64(&O.Distinct) && R.atEnd();
+}
+
+void encodePublish(const PublishMsg &M, WireWriter &W) {
+  W.u64(M.Generation);
+  W.u64(M.Token);
+  W.u64(M.ByteOffset);
+  W.u64(M.Elems);
+}
+
+std::vector<uint8_t> encodePublish(const PublishMsg &M) {
+  WireWriter W;
+  encodePublish(M, W);
+  return W.take();
+}
+
+bool decodePublish(const std::vector<uint8_t> &P, PublishMsg *M) {
+  WireReader R(P);
+  return R.u64(&M->Generation) && R.u64(&M->Token) && R.u64(&M->ByteOffset) &&
+         R.u64(&M->Elems) && R.atEnd();
 }
 
 } // namespace dist

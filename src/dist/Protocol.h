@@ -21,13 +21,26 @@
 //   Hello      worker -> coord   pid + the plan's canonical bytecode
 //                                hash (the fork handshake: a worker
 //                                whose inherited plan hash differs from
-//                                the coordinator's is refused)
-//   Task       coord -> worker   task id, shard index, attempt key (the
-//                                fault-injection key), inline shard data
+//                                the coordinator's is refused) + the
+//                                generation/token of any shared mapping
+//                                the worker inherited across fork()
+//   Task       coord -> worker   a BATCH of shard assignments; each
+//                                item is (task id, shard index, attempt
+//                                key) plus either inline shard data or
+//                                a shared-memory descriptor
+//                                (generation, offset, count). The
+//                                worker folds items in order and sends
+//                                one Result per item as it completes.
 //   Result     worker -> coord   task id, shard index, serialized
 //                                runtime::WorkerOutput
 //   Heartbeat  worker -> coord   liveness counter (sent while idle)
 //   Shutdown   coord -> worker   clean exit request
+//   Publish    coord -> worker   a new mapping's (generation, token,
+//                                byte offset, elems); the region's fd
+//                                rides the same frame via SCM_RIGHTS.
+//                                SOCK_STREAM ordering guarantees the
+//                                worker adopts it before any Task frame
+//                                sent afterwards arrives.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +61,9 @@ inline constexpr size_t FrameHeaderBytes = 24;
 /// Upper bound a receiver accepts for one payload; anything larger is a
 /// corrupt length word, not a legitimate frame.
 inline constexpr uint64_t MaxFramePayloadBytes = uint64_t{1} << 31;
+/// Upper bound on shard assignments in one batched Task frame; a count
+/// above it decodes as Corrupt.
+inline constexpr uint64_t MaxTaskItems = uint64_t{1} << 12;
 
 enum class MsgType : uint32_t {
   Hello = 1,
@@ -55,6 +71,7 @@ enum class MsgType : uint32_t {
   Result = 3,
   Heartbeat = 4,
   Shutdown = 5,
+  Publish = 6,
 };
 
 struct Frame {
@@ -76,6 +93,11 @@ public:
   void vecU32(const std::vector<uint32_t> &V);
   const std::vector<uint8_t> &bytes() const { return Buf; }
   std::vector<uint8_t> take() { return std::move(Buf); }
+  /// Drops the contents but keeps the allocation — the FrameWriter
+  /// reuse contract.
+  void clear() { Buf.clear(); }
+  /// Mutable access for in-place corruption injection.
+  std::vector<uint8_t> &buffer() { return Buf; }
 
 private:
   std::vector<uint8_t> Buf;
@@ -103,11 +125,45 @@ private:
   const uint8_t *End;
 };
 
-/// Blocking frame write (loops over partial sends, MSG_NOSIGNAL so a
-/// dead peer surfaces as an error, not SIGPIPE). Returns false on any
-/// send failure. \p CorruptByteAt >= 0 flips that payload byte *after*
-/// the checksum is computed — the dist.frame.corrupt fault — so the
-/// receiver's checksum must catch it.
+/// Per-connection frame sender that owns its encode buffers and reuses
+/// them across frames. The PR 8 transport built a fresh payload vector
+/// per frame and copied it once more to plant corruption — two
+/// allocations and up to two full copies per Result; this class does
+/// zero once warm (corruption is an in-place XOR, undone after send).
+class FrameWriter {
+public:
+  /// Clears (capacity-preserving) and hands out the payload buffer;
+  /// encode the message into it, then call send().
+  WireWriter &payload() {
+    Payload.clear();
+    return Payload;
+  }
+
+  /// Frames the buffered payload and sends it (loops over partial
+  /// sends, MSG_NOSIGNAL so a dead peer surfaces as an error, not
+  /// SIGPIPE). \p CorruptByteAt >= 0 flips that payload byte *after*
+  /// the checksum is computed — the dist.frame.corrupt fault — so the
+  /// receiver's checksum must catch it. Returns false on send failure.
+  bool send(int Fd, MsgType Type, int64_t CorruptByteAt = -1);
+
+  /// Same, but attaches \p AttachFd to the frame's first byte via
+  /// SCM_RIGHTS (the Publish frame's mapping fd).
+  bool sendWithFd(int Fd, MsgType Type, int AttachFd);
+
+  /// Header + payload bytes of the last frame sent (for byte
+  /// accounting).
+  uint64_t lastFrameBytes() const { return LastBytes; }
+
+private:
+  bool sendPrepared(int Fd, MsgType Type, int64_t CorruptByteAt, int AttachFd);
+
+  WireWriter Payload;
+  std::vector<uint8_t> Head;
+  uint64_t LastBytes = 0;
+};
+
+/// One-shot frame write for tests and cold paths; production senders
+/// keep a FrameWriter per connection instead.
 bool writeFrame(int Fd, MsgType Type, const std::vector<uint8_t> &Payload,
                 int64_t CorruptByteAt = -1);
 
@@ -125,8 +181,12 @@ enum class RecvStatus : uint8_t {
 /// be trusted, so the owner must discard the connection.
 class FrameReader {
 public:
-  /// One read(2) into the buffer; classifies EOF and errors.
-  RecvStatus fill(int Fd);
+  /// One recvmsg(2) into the buffer; classifies EOF and errors. Any
+  /// SCM_RIGHTS fds that arrive are appended to \p Fds in order (the
+  /// worker's Publish queue) — or closed immediately when \p Fds is
+  /// null, so an unexpected fd can never leak.
+  RecvStatus fill(int Fd, std::vector<int> *Fds);
+  RecvStatus fill(int Fd) { return fill(Fd, nullptr); }
   /// Extracts the next complete frame, if any.
   RecvStatus next(Frame *Out);
 
@@ -140,24 +200,54 @@ private:
 /// frame or reports Eof/Corrupt/Error).
 RecvStatus readFrameBlocking(int Fd, Frame *Out);
 
-// Message payload codecs. Encoders append to a fresh writer; decoders
-// report false on any truncation/overrun (treat as Corrupt).
+// Message payload codecs. Encoders append to the given writer (the
+// vector-returning forms are conveniences for tests); decoders report
+// false on any truncation/overrun (treat as Corrupt).
 
 struct HelloMsg {
   uint64_t Pid = 0;
   uint64_t PlanHash = 0;
+  /// Generation/token of the shared mapping the worker inherited across
+  /// fork(), both 0 when it holds none. A token that contradicts the
+  /// coordinator's record for that generation is refused at handshake —
+  /// the "stale mapping fails loudly" guarantee starts here.
+  uint64_t ShmGeneration = 0;
+  uint64_t ShmToken = 0;
 };
+void encodeHello(const HelloMsg &M, WireWriter &W);
 std::vector<uint8_t> encodeHello(const HelloMsg &M);
 bool decodeHello(const std::vector<uint8_t> &P, HelloMsg *M);
 
-struct TaskMsg {
+/// Transport selector for one task item.
+enum class ShardTransport : uint8_t {
+  Inline = 0, ///< Elements serialized in the frame (the PR 8 path).
+  Shm = 1,    ///< Descriptor into the published mapping.
+};
+
+/// One shard assignment inside a batched Task frame.
+struct TaskItem {
   uint64_t TaskId = 0;
   uint64_t ShardIndex = 0;
   /// Fault-injection key for this attempt: pure in (run, attempt,
   /// shard), so chaos runs replay their fault pattern exactly.
   uint64_t AttemptKey = 0;
+  ShardTransport Kind = ShardTransport::Inline;
+  /// Inline transport: the shard's elements.
   std::vector<int64_t> Data;
+  /// Shm transport: which mapping, and the element window within it.
+  uint64_t Generation = 0;
+  uint64_t Offset = 0;
+  uint64_t Count = 0;
+
+  uint64_t elems() const {
+    return Kind == ShardTransport::Shm ? Count : Data.size();
+  }
 };
+
+struct TaskMsg {
+  std::vector<TaskItem> Items;
+};
+void encodeTask(const TaskMsg &M, WireWriter &W);
 std::vector<uint8_t> encodeTask(const TaskMsg &M);
 bool decodeTask(const std::vector<uint8_t> &P, TaskMsg *M);
 
@@ -166,8 +256,21 @@ struct ResultMsg {
   uint64_t ShardIndex = 0;
   runtime::WorkerOutput Out;
 };
+void encodeResult(const ResultMsg &M, WireWriter &W);
 std::vector<uint8_t> encodeResult(const ResultMsg &M);
 bool decodeResult(const std::vector<uint8_t> &P, ResultMsg *M);
+
+/// Announces a new shared mapping; the fd itself rides SCM_RIGHTS on
+/// the same frame (FrameWriter::sendWithFd).
+struct PublishMsg {
+  uint64_t Generation = 0;
+  uint64_t Token = 0;
+  uint64_t ByteOffset = 0;
+  uint64_t Elems = 0;
+};
+void encodePublish(const PublishMsg &M, WireWriter &W);
+std::vector<uint8_t> encodePublish(const PublishMsg &M);
+bool decodePublish(const std::vector<uint8_t> &P, PublishMsg *M);
 
 } // namespace dist
 } // namespace grassp

@@ -1,0 +1,124 @@
+//===- dist/Shm.h - Shared-memory shard transport for the dist runtime ---===//
+//
+// The zero-copy half of the distributed transport. Instead of
+// serializing every shard into its Task frame (~8 B/elem through the
+// socket, which dominates cheap kernels), the coordinator publishes the
+// whole input ONCE as a read-only mapping and Task frames carry only
+// descriptors — (generation, element offset, element count). Workers
+// mmap the referenced window, fold it in place, and unmap.
+//
+// Two ways a region comes to exist:
+//
+//   * in-memory inputs: the coordinator streams the elements into a
+//     memfd (memfd_create + F_SEAL_WRITE|F_SEAL_SHRINK|F_SEAL_GROW), so
+//     the bytes workers map are immutable by construction — a sealed
+//     memfd cannot be rewritten by anyone, including the publisher;
+//   * file-backed binary SegmentSources: the workload file already IS
+//     the region (GRSPWB01: 16-byte header, then LE int64 words), so
+//     the coordinator just ships the source's O_RDONLY fd and the byte
+//     offset of element 0. Nothing is copied at all.
+//
+// A region's fd reaches workers two ways: inherited across fork() for
+// workers spawned after publication, and re-published over the socket
+// via SCM_RIGHTS (a Publish frame) for pool workers that predate it.
+// Either way the worker validates every descriptor's generation against
+// the mapping it holds and dies loudly (StaleMapExitStatus) on a
+// mismatch — a stale mapping must never be silently folded.
+//
+// Everything here degrades to the inline-payload transport: if
+// memfd_create or sealing is unavailable (or GRASSP_DIST_NO_SHM is
+// set), publish() fails closed and the coordinator ships bytes inline
+// exactly as PR 8 did.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_DIST_SHM_H
+#define GRASSP_DIST_SHM_H
+
+#include "runtime/Workload.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace grassp {
+namespace dist {
+
+/// Exit status a worker dies with when a Task descriptor references a
+/// mapping generation (or window) it does not hold. Stale mappings fail
+/// loudly: the coordinator decodes this as a worker fault, requeues the
+/// shard, and the respawned worker inherits the current mapping.
+inline constexpr int StaleMapExitStatus = 113;
+
+/// One published read-only input region, as seen by either side.
+struct ShmRegion {
+  int Fd = -1;
+  /// True when this side must close Fd (memfds we created, dup()ed
+  /// workload-file fds, fds received over SCM_RIGHTS). False only for
+  /// transient borrows.
+  bool OwnsFd = false;
+  /// Monotonic per-coordinator publication counter; descriptor
+  /// validation is generation equality, so a worker holding last run's
+  /// mapping can never fold this run's descriptors.
+  uint64_t Generation = 0;
+  /// Identity stamp mixed from (generation, elems, plan hash); the
+  /// Hello handshake echoes it so an aliased or stale inherited mapping
+  /// is refused at handshake time, before any task is dealt.
+  uint64_t Token = 0;
+  /// Byte offset of element 0 within Fd (0 for memfds,
+  /// BinaryWorkloadHeaderBytes for GRSPWB01 files).
+  uint64_t ByteOffset = 0;
+  /// Total elements the region holds; every descriptor must satisfy
+  /// Offset + Count <= Elems.
+  uint64_t Elems = 0;
+
+  bool valid() const { return Fd >= 0; }
+  /// Closes the fd when owned; resets to the invalid state.
+  void reset();
+};
+
+/// True when this host can create sealed memfds (probed once, cached).
+/// False routes every in-memory publish to the inline fallback.
+bool shmTransportAvailable();
+
+/// Creates an anonymous sealable memfd. Returns -1 when unavailable.
+int shmCreateBuffer();
+
+/// Appends \p N bytes to the buffer fd (loops over partial writes).
+bool shmAppend(int Fd, const void *Data, size_t N);
+
+/// Seals the buffer against write/shrink/grow. After this returns true
+/// the bytes workers will map are immutable system-wide.
+bool shmSeal(int Fd);
+
+/// The identity stamp for a publication.
+uint64_t shmToken(uint64_t Generation, uint64_t Elems, uint64_t PlanHash);
+
+/// One mapped descriptor window on the worker side. Maps are
+/// page-aligned (mmap requires it; descriptors are element-granular),
+/// MAP_PRIVATE + PROT_READ, and torn down per task so a worker's
+/// address-space footprint is one in-flight shard, not the whole input
+/// — the same discipline the out-of-core MmapFileSource keeps.
+class ShmWindow {
+public:
+  ShmWindow() = default;
+  ~ShmWindow() { unmap(); }
+  ShmWindow(const ShmWindow &) = delete;
+  ShmWindow &operator=(const ShmWindow &) = delete;
+
+  /// Maps elements [Offset, Offset+Count) of \p R and points \p Out at
+  /// them. Count == 0 yields an empty view without touching mmap.
+  /// Returns false (Out untouched) when the descriptor overruns the
+  /// region or mmap fails.
+  bool map(const ShmRegion &R, uint64_t Offset, uint64_t Count,
+           runtime::SegmentView *Out);
+  void unmap();
+
+private:
+  void *Base = nullptr;
+  size_t Len = 0;
+};
+
+} // namespace dist
+} // namespace grassp
+
+#endif // GRASSP_DIST_SHM_H

@@ -17,10 +17,12 @@ namespace dist {
 namespace {
 
 /// One complete frame off the socket, buffering across poll wakeups.
-/// Returns false on EOF/error/corrupt — the worker treats any of those
-/// as "coordinator gone" and exits.
-bool readFrame(FrameReader &Reader, int Fd, Frame *F,
-               double HeartbeatSeconds, uint64_t *HeartbeatCounter) {
+/// SCM_RIGHTS fds that ride in with Publish frames land on \p PendingFds
+/// in arrival order. Returns false on EOF/error/corrupt — the worker
+/// treats any of those as "coordinator gone" and exits.
+bool readFrame(FrameReader &Reader, int Fd, Frame *F, double HeartbeatSeconds,
+               uint64_t *HeartbeatCounter, FrameWriter &Writer,
+               std::vector<int> *PendingFds) {
   for (;;) {
     RecvStatus S = Reader.next(F);
     if (S == RecvStatus::Ok)
@@ -37,13 +39,12 @@ bool readFrame(FrameReader &Reader, int Fd, Frame *F,
     if (Rc < 0)
       continue; // EINTR
     if (Rc == 0) {
-      WireWriter W;
-      W.u64((*HeartbeatCounter)++);
-      if (!writeFrame(Fd, MsgType::Heartbeat, W.bytes()))
+      Writer.payload().u64((*HeartbeatCounter)++);
+      if (!Writer.send(Fd, MsgType::Heartbeat))
         return false;
       continue;
     }
-    S = Reader.fill(Fd);
+    S = Reader.fill(Fd, PendingFds);
     if (S == RecvStatus::Eof || S == RecvStatus::Error ||
         S == RecvStatus::Corrupt)
       return false;
@@ -53,23 +54,52 @@ bool readFrame(FrameReader &Reader, int Fd, Frame *F,
 } // namespace
 
 void workerMain(int Fd, const runtime::CompiledPlan &Plan,
-                FaultInjector *Faults, double HeartbeatSeconds) {
+                FaultInjector *Faults, double HeartbeatSeconds,
+                const ShmRegion &Inherited) {
+  // The worker's copy of the published mapping. The inherited fd is the
+  // child's own descriptor (fork dup'd it), so this side owns it.
+  ShmRegion Map = Inherited;
+  Map.OwnsFd = Map.valid();
+
+  FrameWriter Writer;
+
   // The fork handshake: the coordinator refuses a worker whose inherited
-  // plan hashes differently from its own.
+  // plan hashes differently from its own, or whose inherited mapping
+  // token contradicts the coordinator's record for that generation.
   HelloMsg Hello;
   Hello.Pid = static_cast<uint64_t>(::getpid());
   Hello.PlanHash = Plan.compiled().bytecodeHash();
-  if (!writeFrame(Fd, MsgType::Hello, encodeHello(Hello)))
+  Hello.ShmGeneration = Map.Generation;
+  Hello.ShmToken = Map.Token;
+  encodeHello(Hello, Writer.payload());
+  if (!Writer.send(Fd, MsgType::Hello))
     ::_exit(0);
 
   FrameReader Reader;
+  std::vector<int> PendingFds;
   uint64_t Heartbeats = 0;
   for (;;) {
     Frame F;
-    if (!readFrame(Reader, Fd, &F, HeartbeatSeconds, &Heartbeats))
+    if (!readFrame(Reader, Fd, &F, HeartbeatSeconds, &Heartbeats, Writer,
+                   &PendingFds))
       ::_exit(0); // coordinator gone (or untrusted channel): clean end.
     if (F.Type == MsgType::Shutdown)
       ::_exit(0);
+
+    if (F.Type == MsgType::Publish) {
+      PublishMsg Pub;
+      if (!decodePublish(F.Payload, &Pub) || PendingFds.empty())
+        ::_exit(0); // checksummed but undecodable, or the fd went astray.
+      Map.reset();
+      Map.Fd = PendingFds.front();
+      PendingFds.erase(PendingFds.begin());
+      Map.OwnsFd = true;
+      Map.Generation = Pub.Generation;
+      Map.Token = Pub.Token;
+      Map.ByteOffset = Pub.ByteOffset;
+      Map.Elems = Pub.Elems;
+      continue;
+    }
     if (F.Type != MsgType::Task)
       continue; // ignore stray frames; the protocol stays in lockstep.
 
@@ -77,35 +107,52 @@ void workerMain(int Fd, const runtime::CompiledPlan &Plan,
     if (!decodeTask(F.Payload, &Task))
       ::_exit(0); // a frame that checksummed but won't decode: give up.
 
-    // The REAL faults. Decisions are pure in (seed, site, AttemptKey),
-    // so a chaos run replays its exact kill pattern from its seed.
-    if (Faults) {
-      if (Faults->shouldFailKeyed(SiteWorkerExit, Task.AttemptKey))
-        ::_exit(WorkerFaultExitStatus);
-      if (Faults->shouldFailKeyed(SiteWorkerKill, Task.AttemptKey)) {
-        ::raise(SIGKILL);
-        ::_exit(WorkerFaultExitStatus); // unreachable; belt and braces.
+    // A batch executes strictly in order, one Result per item as it
+    // completes; anything queued behind a crash or hang is requeued by
+    // the coordinator's death handling.
+    for (const TaskItem &It : Task.Items) {
+      // The REAL faults. Decisions are pure in (seed, site, AttemptKey),
+      // so a chaos run replays its exact kill pattern from its seed.
+      if (Faults) {
+        if (Faults->shouldFailKeyed(SiteWorkerExit, It.AttemptKey))
+          ::_exit(WorkerFaultExitStatus);
+        if (Faults->shouldFailKeyed(SiteWorkerKill, It.AttemptKey)) {
+          ::raise(SIGKILL);
+          ::_exit(WorkerFaultExitStatus); // unreachable; belt and braces.
+        }
+        if (Faults->shouldFailKeyed(SiteWorkerHang, It.AttemptKey)) {
+          // Go silent: no result, no heartbeat. The coordinator's
+          // per-task deadline must detect this and SIGKILL us.
+          for (;;)
+            ::pause();
+        }
       }
-      if (Faults->shouldFailKeyed(SiteWorkerHang, Task.AttemptKey)) {
-        // Go silent: no result, no heartbeat. The coordinator's per-task
-        // deadline must detect this and SIGKILL us.
-        for (;;)
-          ::pause();
+
+      runtime::SegmentView Seg{It.Data.data(), It.Data.size()};
+      ShmWindow Window;
+      if (It.Kind == ShardTransport::Shm) {
+        // Descriptor validation: the generation must be the mapping we
+        // hold and the window must fit it. Any mismatch means we would
+        // fold the wrong bytes — die loudly instead; the coordinator
+        // requeues the shard and respawns us with the current mapping.
+        if (It.Generation != Map.Generation ||
+            !Window.map(Map, It.Offset, It.Count, &Seg))
+          ::_exit(StaleMapExitStatus);
       }
+
+      ResultMsg Res;
+      Res.TaskId = It.TaskId;
+      Res.ShardIndex = It.ShardIndex;
+      Res.Out = Plan.runWorker(Seg);
+
+      int64_t CorruptAt = -1;
+      if (Faults && Faults->shouldFailKeyed(SiteFrameCorrupt, It.AttemptKey))
+        CorruptAt = static_cast<int64_t>(
+            Faults->drawFor(SiteFrameCorrupt, It.AttemptKey) & 0x7fffffff);
+      encodeResult(Res, Writer.payload());
+      if (!Writer.send(Fd, MsgType::Result, CorruptAt))
+        ::_exit(0);
     }
-
-    ResultMsg Res;
-    Res.TaskId = Task.TaskId;
-    Res.ShardIndex = Task.ShardIndex;
-    Res.Out = Plan.runWorker(
-        runtime::SegmentView{Task.Data.data(), Task.Data.size()});
-
-    int64_t CorruptAt = -1;
-    if (Faults && Faults->shouldFailKeyed(SiteFrameCorrupt, Task.AttemptKey))
-      CorruptAt = static_cast<int64_t>(
-          Faults->drawFor(SiteFrameCorrupt, Task.AttemptKey) & 0x7fffffff);
-    if (!writeFrame(Fd, MsgType::Result, encodeResult(Res), CorruptAt))
-      ::_exit(0);
   }
 }
 

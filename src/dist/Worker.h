@@ -8,23 +8,35 @@
 // The worker is deliberately THREADLESS: a fork()ed child of a
 // potentially multi-threaded parent may only rely on async-signal-safe
 // state plus what glibc guarantees (malloc works after fork). A single
-// poll()-driven loop sends idle heartbeats, receives Task frames,
-// executes them through the plan's tier ladder, and ships Result frames
-// back. Hang detection is therefore the COORDINATOR's job (per-task
-// deadlines) — a busy worker sends nothing until its result is ready.
+// poll()-driven loop sends idle heartbeats, receives batched Task
+// frames, executes each item through the plan's tier ladder — mapping
+// shared-memory descriptor windows in place of inline payloads — and
+// ships one Result frame per item as it completes. Hang detection is
+// therefore the COORDINATOR's job (per-task deadlines) — a busy worker
+// sends nothing until its next result is ready.
 //
-// Real fault injection: on receipt of a task the worker consults the
-// dist.* fault sites keyed by the task's attempt key, and then actually
-// _exit(137)s, raise(SIGKILL)s itself, hangs forever, or flips one byte
-// of its reply frame. These are genuine process deaths and genuine bad
-// bytes on a real socket — the coordinator's recovery machinery is
-// exercised against exactly what it was designed for.
+// Shard bytes arrive two ways. Inline items carry the elements in the
+// frame (the PR 8 transport, kept as the always-tested fallback).
+// Descriptor items reference the published read-only mapping (see
+// dist/Shm.h): the worker validates the descriptor's generation against
+// the mapping it holds — inherited across fork() or adopted from a
+// Publish frame — and _exit(StaleMapExitStatus)s on any mismatch, so a
+// stale mapping is a loud worker death the coordinator recovers from,
+// never a silent fold over the wrong bytes.
+//
+// Real fault injection: on receipt of a task item the worker consults
+// the dist.* fault sites keyed by the item's attempt key, and then
+// actually _exit(137)s, raise(SIGKILL)s itself, hangs forever, or flips
+// one byte of its reply frame. These are genuine process deaths and
+// genuine bad bytes on a real socket — the coordinator's recovery
+// machinery is exercised against exactly what it was designed for.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef GRASSP_DIST_WORKER_H
 #define GRASSP_DIST_WORKER_H
 
+#include "dist/Shm.h"
 #include "support/FaultInject.h"
 
 namespace grassp {
@@ -46,14 +58,17 @@ inline constexpr const char *SiteFrameCorrupt = "dist.frame.corrupt";
 inline constexpr int WorkerFaultExitStatus = 137;
 
 /// The worker protocol loop. Runs in the forked child on \p Fd; sends
-/// Hello (pid + the plan's canonical bytecode hash), then serves Task
-/// frames until Shutdown or coordinator EOF. Sends a Heartbeat every
-/// \p HeartbeatSeconds while idle. Never returns — always _exit()s
-/// (clean protocol end: 0) so the child cannot fall back into the
-/// parent's stack, atexit handlers, or gtest machinery.
+/// Hello (pid + the plan's canonical bytecode hash + the inherited
+/// mapping's generation/token), then serves Task frames until Shutdown
+/// or coordinator EOF. Sends a Heartbeat every \p HeartbeatSeconds
+/// while idle. \p Inherited is the shared mapping published before this
+/// worker was forked (invalid when none); Publish frames replace it.
+/// Never returns — always _exit()s (clean protocol end: 0; stale
+/// descriptor: StaleMapExitStatus) so the child cannot fall back into
+/// the parent's stack, atexit handlers, or gtest machinery.
 [[noreturn]] void workerMain(int Fd, const runtime::CompiledPlan &Plan,
-                             FaultInjector *Faults,
-                             double HeartbeatSeconds);
+                             FaultInjector *Faults, double HeartbeatSeconds,
+                             const ShmRegion &Inherited = ShmRegion());
 
 } // namespace dist
 } // namespace grassp

@@ -91,6 +91,21 @@ public:
   /// "memory" / "mmap" / "chunked" — for tier/source reporting.
   virtual const char *kind() const = 0;
 
+  /// Zero-copy export for the distributed runtime: when the whole
+  /// element stream is one contiguous run of little-endian int64 words
+  /// inside one open file, reports the (O_RDONLY) fd and the byte
+  /// offset of element 0 and returns true. Chunk geometry then gives
+  /// every chunk a stable byte offset — ByteOffset + chunkBegin(I) * 8
+  /// — that remote workers can mmap directly. Binary workload files
+  /// (GRSPWB01) qualify with ByteOffset = BinaryWorkloadHeaderBytes;
+  /// the default (in-memory vectors, text files) reports false and the
+  /// caller falls back to copying transports.
+  virtual bool contiguousByteRegion(int *Fd, uint64_t *ByteOffset) const {
+    (void)Fd;
+    (void)ByteOffset;
+    return false;
+  }
+
 protected:
   /// Near-equal chunk geometry over \p N elements: every chunk holds
   /// Base or Base+1 elements (the partition() split generalized to a
@@ -144,6 +159,11 @@ public:
   size_t chunkCount() const override { return NumChunks; }
   std::unique_ptr<SegmentCursor> cursor() const override;
   const char *kind() const override { return "mmap"; }
+  bool contiguousByteRegion(int *OutFd, uint64_t *ByteOffset) const override {
+    *OutFd = Fd;
+    *ByteOffset = BinaryWorkloadHeaderBytes;
+    return true;
+  }
 
   const std::string &path() const { return Path; }
 
@@ -171,6 +191,16 @@ public:
   size_t chunkCount() const override { return NumChunks; }
   std::unique_ptr<SegmentCursor> cursor() const override;
   const char *kind() const override { return "chunked"; }
+  /// Binary files are a contiguous word region past the header; text
+  /// files are line-encoded and must be reparsed, so they do not
+  /// qualify.
+  bool contiguousByteRegion(int *OutFd, uint64_t *ByteOffset) const override {
+    if (Text)
+      return false;
+    *OutFd = Fd;
+    *ByteOffset = BinaryWorkloadHeaderBytes;
+    return true;
+  }
 
   const std::string &path() const { return Path; }
   bool isText() const { return Text; }

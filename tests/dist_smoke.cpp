@@ -28,9 +28,11 @@
 
 #include "dist/Coordinator.h"
 #include "dist/Protocol.h"
+#include "dist/Shm.h"
 #include "dist/Worker.h"
 #include "lang/Benchmarks.h"
 #include "runtime/Runner.h"
+#include "runtime/SegmentSource.h"
 #include "runtime/Workload.h"
 #include "support/Cancel.h"
 #include "support/FaultInject.h"
@@ -42,10 +44,13 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <string>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
 
@@ -139,22 +144,57 @@ TEST(DistProtocol, MessageCodecsRoundTrip) {
   dist::HelloMsg H;
   H.Pid = 4242;
   H.PlanHash = 0xdeadbeefcafe1234ULL;
+  H.ShmGeneration = 3;
+  H.ShmToken = 0x1122334455667788ULL;
   dist::HelloMsg H2;
   ASSERT_TRUE(dist::decodeHello(dist::encodeHello(H), &H2));
   EXPECT_EQ(H2.Pid, H.Pid);
   EXPECT_EQ(H2.PlanHash, H.PlanHash);
+  EXPECT_EQ(H2.ShmGeneration, H.ShmGeneration);
+  EXPECT_EQ(H2.ShmToken, H.ShmToken);
 
+  // A batched Task mixing both transports: one inline shard, one
+  // shared-memory descriptor.
   dist::TaskMsg T;
-  T.TaskId = 7;
-  T.ShardIndex = 3;
-  T.AttemptKey = dist::distAttemptKey(2, 1, 3);
-  T.Data = {5, -6, 7};
+  dist::TaskItem A;
+  A.TaskId = 7;
+  A.ShardIndex = 3;
+  A.AttemptKey = dist::distAttemptKey(2, 1, 3);
+  A.Kind = dist::ShardTransport::Inline;
+  A.Data = {5, -6, 7};
+  dist::TaskItem B;
+  B.TaskId = 8;
+  B.ShardIndex = 4;
+  B.AttemptKey = dist::distAttemptKey(2, 0, 4);
+  B.Kind = dist::ShardTransport::Shm;
+  B.Generation = 5;
+  B.Offset = 1024;
+  B.Count = 4096;
+  T.Items = {A, B};
   dist::TaskMsg T2;
   ASSERT_TRUE(dist::decodeTask(dist::encodeTask(T), &T2));
-  EXPECT_EQ(T2.TaskId, T.TaskId);
-  EXPECT_EQ(T2.ShardIndex, T.ShardIndex);
-  EXPECT_EQ(T2.AttemptKey, T.AttemptKey);
-  EXPECT_EQ(T2.Data, T.Data);
+  ASSERT_EQ(T2.Items.size(), 2u);
+  EXPECT_EQ(T2.Items[0].TaskId, A.TaskId);
+  EXPECT_EQ(T2.Items[0].ShardIndex, A.ShardIndex);
+  EXPECT_EQ(T2.Items[0].AttemptKey, A.AttemptKey);
+  EXPECT_EQ(T2.Items[0].Kind, dist::ShardTransport::Inline);
+  EXPECT_EQ(T2.Items[0].Data, A.Data);
+  EXPECT_EQ(T2.Items[1].Kind, dist::ShardTransport::Shm);
+  EXPECT_EQ(T2.Items[1].Generation, B.Generation);
+  EXPECT_EQ(T2.Items[1].Offset, B.Offset);
+  EXPECT_EQ(T2.Items[1].Count, B.Count);
+
+  dist::PublishMsg Pub;
+  Pub.Generation = 9;
+  Pub.Token = 0xfeedf00ddeadbeefULL;
+  Pub.ByteOffset = 16;
+  Pub.Elems = 1 << 20;
+  dist::PublishMsg Pub2;
+  ASSERT_TRUE(dist::decodePublish(dist::encodePublish(Pub), &Pub2));
+  EXPECT_EQ(Pub2.Generation, Pub.Generation);
+  EXPECT_EQ(Pub2.Token, Pub.Token);
+  EXPECT_EQ(Pub2.ByteOffset, Pub.ByteOffset);
+  EXPECT_EQ(Pub2.Elems, Pub.Elems);
 
   // A Result carrying every WorkerOutput field, including the nested
   // mode-argument table.
@@ -563,6 +603,493 @@ TEST(DistCoordinator, SimultaneousHangsSurviveMidSweepRespawns) {
   EXPECT_EQ(Rep.SerialRefolds, 6u);
   EXPECT_GE(Rep.HangsDetected, 6u);
   EXPECT_GE(Rep.WorkersRestarted, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-memory transport: codec fuzz, mapping windows, fd passing
+//===----------------------------------------------------------------------===//
+
+TEST(DistProtocol, TaskCodecRejectsMalformedPayloads) {
+  dist::TaskMsg T;
+  dist::TaskItem A;
+  A.TaskId = 1;
+  A.ShardIndex = 0;
+  A.AttemptKey = 7;
+  A.Kind = dist::ShardTransport::Inline;
+  A.Data = {1, 2, 3};
+  dist::TaskItem B;
+  B.TaskId = 2;
+  B.ShardIndex = 1;
+  B.AttemptKey = 8;
+  B.Kind = dist::ShardTransport::Shm;
+  B.Generation = 4;
+  B.Offset = 100;
+  B.Count = 50;
+  T.Items = {A, B};
+  std::vector<uint8_t> P = dist::encodeTask(T);
+
+  // Truncation at every byte boundary must decode false, never crash or
+  // deliver a partial batch.
+  for (size_t N = 0; N != P.size(); ++N) {
+    std::vector<uint8_t> Cut(P.begin(), P.begin() + N);
+    dist::TaskMsg Out;
+    EXPECT_FALSE(dist::decodeTask(Cut, &Out)) << "truncated at " << N;
+  }
+  // Trailing junk fails the final atEnd() check.
+  {
+    std::vector<uint8_t> Junk = P;
+    Junk.push_back(0xab);
+    dist::TaskMsg Out;
+    EXPECT_FALSE(dist::decodeTask(Junk, &Out));
+  }
+  // An empty batch is not a legal Task frame.
+  {
+    dist::TaskMsg Empty;
+    dist::TaskMsg Out;
+    EXPECT_FALSE(dist::decodeTask(dist::encodeTask(Empty), &Out));
+  }
+  // Item counts beyond MaxTaskItems are a corrupt length word.
+  {
+    dist::WireWriter W;
+    W.u64(dist::MaxTaskItems + 1);
+    dist::TaskMsg Out;
+    EXPECT_FALSE(dist::decodeTask(W.take(), &Out));
+  }
+  // Unknown transport kinds are refused.
+  {
+    std::vector<uint8_t> Bad = dist::encodeTask(T);
+    // Item A's layout: TaskId, ShardIndex, AttemptKey (3x u64 after the
+    // u64 count), then the transport kind byte.
+    Bad[8 + 24] = 9;
+    dist::TaskMsg Out;
+    EXPECT_FALSE(dist::decodeTask(Bad, &Out));
+  }
+  // A descriptor whose Count could never fit a frame is refused even
+  // though no payload bytes back it.
+  {
+    dist::TaskMsg Huge = T;
+    Huge.Items[1].Count = dist::MaxFramePayloadBytes; // elems, not bytes.
+    dist::TaskMsg Out;
+    EXPECT_FALSE(dist::decodeTask(dist::encodeTask(Huge), &Out));
+  }
+}
+
+TEST(DistProtocol, PublishCodecRejectsTruncationAndJunk) {
+  dist::PublishMsg M;
+  M.Generation = 2;
+  M.Token = 0x0123456789abcdefULL;
+  M.ByteOffset = 16;
+  M.Elems = 777;
+  std::vector<uint8_t> P = dist::encodePublish(M);
+  for (size_t N = 0; N != P.size(); ++N) {
+    std::vector<uint8_t> Cut(P.begin(), P.begin() + N);
+    dist::PublishMsg Out;
+    EXPECT_FALSE(dist::decodePublish(Cut, &Out)) << "truncated at " << N;
+  }
+  std::vector<uint8_t> Junk = P;
+  Junk.push_back(0);
+  dist::PublishMsg Out;
+  EXPECT_FALSE(dist::decodePublish(Junk, &Out));
+}
+
+TEST(DistProtocol, FrameWriterReusesBuffersAndRestoresCorruption) {
+  // One writer, three frames: a clean one, a corrupted one, then a
+  // clean one again. The corruption is an in-place flip that must be
+  // undone after the send — if it leaked into the reused buffer, the
+  // third frame would either carry the flipped byte or double-flip.
+  // Fresh socketpair per frame: Corrupt is sticky per-reader by design,
+  // and readFrameBlocking discards whatever a burst left buffered.
+  dist::FrameWriter W;
+
+  dist::ResultMsg R;
+  R.TaskId = 11;
+  R.ShardIndex = 2;
+  R.Out.D = {5, -9};
+
+  uint64_t CleanBytes = 0;
+  {
+    SocketPair S;
+    dist::encodeResult(R, W.payload());
+    ASSERT_TRUE(W.send(S.Fd[0], dist::MsgType::Result));
+    CleanBytes = W.lastFrameBytes();
+    EXPECT_GT(CleanBytes, dist::FrameHeaderBytes);
+    dist::Frame F;
+    ASSERT_EQ(dist::readFrameBlocking(S.Fd[1], &F), dist::RecvStatus::Ok);
+    dist::ResultMsg Got;
+    ASSERT_TRUE(dist::decodeResult(F.Payload, &Got));
+    EXPECT_EQ(Got.Out.D, R.Out.D);
+  }
+  {
+    SocketPair S;
+    dist::encodeResult(R, W.payload());
+    ASSERT_TRUE(W.send(S.Fd[0], dist::MsgType::Result, /*CorruptByteAt=*/3));
+    EXPECT_EQ(W.lastFrameBytes(), CleanBytes);
+    dist::Frame F;
+    EXPECT_EQ(dist::readFrameBlocking(S.Fd[1], &F), dist::RecvStatus::Corrupt);
+  }
+  {
+    // The corrupting flip was undone after the send: the next frame out
+    // of the SAME writer decodes byte-for-byte clean.
+    SocketPair S;
+    dist::encodeResult(R, W.payload());
+    ASSERT_TRUE(W.send(S.Fd[0], dist::MsgType::Result));
+    EXPECT_EQ(W.lastFrameBytes(), CleanBytes);
+    dist::Frame F;
+    ASSERT_EQ(dist::readFrameBlocking(S.Fd[1], &F), dist::RecvStatus::Ok);
+    dist::ResultMsg Got;
+    ASSERT_TRUE(dist::decodeResult(F.Payload, &Got));
+    EXPECT_EQ(Got.TaskId, R.TaskId);
+    EXPECT_EQ(Got.Out.D, R.Out.D);
+  }
+}
+
+TEST(DistShm, TokenIsDeterministicAndInputSensitive) {
+  uint64_t T = dist::shmToken(1, 1000, 0xabcdef);
+  EXPECT_EQ(dist::shmToken(1, 1000, 0xabcdef), T);
+  EXPECT_NE(dist::shmToken(2, 1000, 0xabcdef), T);
+  EXPECT_NE(dist::shmToken(1, 1001, 0xabcdef), T);
+  EXPECT_NE(dist::shmToken(1, 1000, 0xabcdee), T);
+}
+
+TEST(DistShm, WindowMapsSealedBufferAndBoundsChecks) {
+  if (!dist::shmTransportAvailable())
+    GTEST_SKIP() << "no sealable memfd on this kernel";
+  std::vector<int64_t> Vals(3000);
+  for (size_t I = 0; I != Vals.size(); ++I)
+    Vals[I] = static_cast<int64_t>(I) * 7 - 100;
+
+  dist::ShmRegion R;
+  R.Fd = dist::shmCreateBuffer();
+  ASSERT_GE(R.Fd, 0);
+  R.OwnsFd = true;
+  ASSERT_TRUE(dist::shmAppend(R.Fd, Vals.data(), Vals.size() * 8));
+  ASSERT_TRUE(dist::shmSeal(R.Fd));
+  R.Generation = 1;
+  R.Elems = Vals.size();
+  R.ByteOffset = 0;
+
+  dist::ShmWindow Win;
+  runtime::SegmentView V;
+  // Whole region.
+  ASSERT_TRUE(Win.map(R, 0, Vals.size(), &V));
+  ASSERT_EQ(V.Size, Vals.size());
+  EXPECT_TRUE(std::equal(Vals.begin(), Vals.end(), V.Data));
+  // An interior window whose byte offset is not page-aligned.
+  ASSERT_TRUE(Win.map(R, 513, 1000, &V));
+  ASSERT_EQ(V.Size, 1000u);
+  EXPECT_EQ(V.Data[0], Vals[513]);
+  EXPECT_EQ(V.Data[999], Vals[1512]);
+  // Empty windows are legal and need no mapping.
+  ASSERT_TRUE(Win.map(R, 100, 0, &V));
+  EXPECT_EQ(V.Size, 0u);
+  // Out-of-range descriptors are refused, including overflow-bait.
+  EXPECT_FALSE(Win.map(R, Vals.size() + 1, 0, &V));
+  EXPECT_FALSE(Win.map(R, 0, Vals.size() + 1, &V));
+  EXPECT_FALSE(Win.map(R, 2999, 2, &V));
+  EXPECT_FALSE(Win.map(R, UINT64_MAX - 1, 4, &V));
+}
+
+TEST(DistProtocol, PublishFrameCarriesTheMappingFdViaScmRights) {
+  if (!dist::shmTransportAvailable())
+    GTEST_SKIP() << "no sealable memfd on this kernel";
+  // The coordinator side: build a sealed region and Publish it with the
+  // fd attached. The worker side: receive frame + fd together, then map
+  // a window through the RECEIVED fd and read the actual values back.
+  std::vector<int64_t> Vals = {4, 8, 15, 16, 23, 42};
+  int Fd = dist::shmCreateBuffer();
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(dist::shmAppend(Fd, Vals.data(), Vals.size() * 8));
+  ASSERT_TRUE(dist::shmSeal(Fd));
+
+  SocketPair S;
+  dist::FrameWriter W;
+  dist::PublishMsg M;
+  M.Generation = 5;
+  M.Token = dist::shmToken(5, Vals.size(), 99);
+  M.Elems = Vals.size();
+  dist::encodePublish(M, W.payload());
+  ASSERT_TRUE(W.sendWithFd(S.Fd[0], dist::MsgType::Publish, Fd));
+  ::close(Fd); // Sender's copy; the in-flight duplicate survives.
+
+  dist::FrameReader Reader;
+  std::vector<int> GotFds;
+  ASSERT_EQ(Reader.fill(S.Fd[1], &GotFds), dist::RecvStatus::Ok);
+  dist::Frame F;
+  ASSERT_EQ(Reader.next(&F), dist::RecvStatus::Ok);
+  EXPECT_EQ(F.Type, dist::MsgType::Publish);
+  dist::PublishMsg Got;
+  ASSERT_TRUE(dist::decodePublish(F.Payload, &Got));
+  EXPECT_EQ(Got.Generation, M.Generation);
+  EXPECT_EQ(Got.Token, M.Token);
+  ASSERT_EQ(GotFds.size(), 1u);
+
+  dist::ShmRegion R;
+  R.Fd = GotFds[0];
+  R.OwnsFd = true;
+  R.Generation = Got.Generation;
+  R.ByteOffset = Got.ByteOffset;
+  R.Elems = Got.Elems;
+  dist::ShmWindow Win;
+  runtime::SegmentView V;
+  ASSERT_TRUE(Win.map(R, 2, 3, &V));
+  ASSERT_EQ(V.Size, 3u);
+  EXPECT_EQ(V.Data[0], 15);
+  EXPECT_EQ(V.Data[2], 23);
+}
+
+TEST(DistProtocol, UnsolicitedFdsAreClosedNotLeaked) {
+  if (!dist::shmTransportAvailable())
+    GTEST_SKIP() << "no sealable memfd on this kernel";
+  // A peer that attaches an fd to a frame the receiver reads with the
+  // fd-less fill() must not leak the descriptor into the process.
+  int Fd = dist::shmCreateBuffer();
+  ASSERT_GE(Fd, 0);
+  int64_t One = 1;
+  ASSERT_TRUE(dist::shmAppend(Fd, &One, 8));
+
+  SocketPair S;
+  dist::FrameWriter W;
+  W.payload().u64(0);
+  ASSERT_TRUE(W.sendWithFd(S.Fd[0], dist::MsgType::Heartbeat, Fd));
+  ::close(Fd);
+
+  dist::FrameReader Reader;
+  ASSERT_EQ(Reader.fill(S.Fd[1]), dist::RecvStatus::Ok);
+  dist::Frame F;
+  ASSERT_EQ(Reader.next(&F), dist::RecvStatus::Ok);
+  // The received duplicate was closed inside fill(); the next fd the
+  // process opens reuses the lowest free slot, which would have been
+  // occupied had the duplicate leaked. (Exact-fd assertions are too
+  // brittle; just prove the system still hands out descriptors and no
+  // EMFILE creep started.)
+  int Probe = ::dup(S.Fd[1]);
+  EXPECT_GE(Probe, 0);
+  ::close(Probe);
+}
+
+//===----------------------------------------------------------------------===//
+// Shm transport end-to-end: identity with inline, staleness, deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(DistCoordinator, ShmTransportIsUsedAndAccountsMappedBytes) {
+  if (!dist::shmTransportAvailable())
+    GTEST_SKIP() << "no sealable memfd on this kernel";
+  DistRun R;
+  dist::DistConfig Cfg;
+  Cfg.Workers = 3;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  ASSERT_TRUE(Coord.shmEnabled());
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_TRUE(Rep.UsedShm);
+  // Every shard travelled as a descriptor: the socket carried frames,
+  // not elements. 6000 elements * 8 B map through the region; the
+  // frames themselves stay far under one element-payload's size.
+  EXPECT_EQ(Rep.BytesMapped, R.Data.size() * 8);
+  EXPECT_GT(Rep.TaskFrames, 0u);
+  EXPECT_LT(Rep.BytesShipped, R.Data.size() * 8);
+
+  // Prewarmed pools get the mapping by Publish frame instead of fork
+  // inheritance — and a second run republishes to the (now stale) pool.
+  dist::DistRunReport Rep2 = Coord.run(R.Segs);
+  EXPECT_EQ(Rep2.Output, R.Serial);
+  EXPECT_TRUE(Rep2.UsedShm);
+  EXPECT_GT(Rep2.PublishFrames, 0u);
+}
+
+TEST(DistCoordinator, InlineFallbackConfigMatchesShmUnderPlantedKills) {
+  // The always-tested fallback: same workload, same planted SIGKILL,
+  // once over shm and once inline — bit-identical answers and identical
+  // recovery counters.
+  DistRun R;
+  int64_t Outputs[2];
+  for (int UseShm = 0; UseShm != 2; ++UseShm) {
+    FaultInjector FI(5);
+    FaultSpec Kill;
+    Kill.Keys = {dist::distAttemptKey(0, 0, 2)};
+    FI.arm(dist::SiteWorkerKill, Kill);
+    dist::DistConfig Cfg;
+    Cfg.Workers = 3;
+    Cfg.UseShm = UseShm != 0;
+    Cfg.Faults = &FI;
+    dist::DistCoordinator Coord(R.Plan, Cfg);
+    EXPECT_EQ(Coord.shmEnabled(),
+              UseShm != 0 && dist::shmTransportAvailable());
+    dist::DistRunReport Rep = Coord.run(R.Segs);
+    Outputs[UseShm] = Rep.Output;
+    EXPECT_EQ(Rep.Output, R.Serial);
+    EXPECT_EQ(Rep.WorkersKilled, 1u);
+    EXPECT_EQ(Rep.ShardsCompleted, 8u);
+    if (!Cfg.UseShm) {
+      EXPECT_FALSE(Rep.UsedShm);
+      EXPECT_EQ(Rep.BytesMapped, 0u);
+    }
+  }
+  EXPECT_EQ(Outputs[0], Outputs[1]);
+}
+
+TEST(DistCoordinator, NoShmEnvVarForcesTheInlineTransport) {
+  ASSERT_EQ(::setenv("GRASSP_DIST_NO_SHM", "1", 1), 0);
+  DistRun R;
+  dist::DistConfig Cfg;
+  Cfg.Workers = 2;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  EXPECT_FALSE(Coord.shmEnabled());
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  ASSERT_EQ(::unsetenv("GRASSP_DIST_NO_SHM"), 0);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_FALSE(Rep.UsedShm);
+  EXPECT_EQ(Rep.BytesMapped, 0u);
+  // Inline transport ships the elements themselves.
+  EXPECT_GE(Rep.BytesShipped, R.Data.size() * 8);
+}
+
+TEST(DistWorker, StaleGenerationDescriptorExitsLoudly) {
+  if (!dist::shmTransportAvailable())
+    GTEST_SKIP() << "no sealable memfd on this kernel";
+  // A worker holding generation 3 that receives a generation-4
+  // descriptor must refuse to fold (its mapping's bytes are not the
+  // coordinator's input) and exit with the dedicated status the
+  // coordinator's waitpid decoder recognizes.
+  DistRun R("sum", 100, 2);
+
+  dist::ShmRegion Inherited;
+  Inherited.Fd = dist::shmCreateBuffer();
+  ASSERT_GE(Inherited.Fd, 0);
+  ASSERT_TRUE(dist::shmAppend(Inherited.Fd, R.Data.data(), R.Data.size() * 8));
+  ASSERT_TRUE(dist::shmSeal(Inherited.Fd));
+  Inherited.OwnsFd = true;
+  Inherited.Generation = 3;
+  Inherited.Token = dist::shmToken(3, R.Data.size(), R.Plan.compiled().bytecodeHash());
+  Inherited.Elems = R.Data.size();
+
+  SocketPair S;
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    ::close(S.Fd[0]);
+    dist::workerMain(S.Fd[1], R.Plan, nullptr, 0.02, Inherited);
+  }
+  ::close(S.Fd[1]);
+  S.Fd[1] = -1;
+
+  // The Hello handshake reports the inherited mapping.
+  dist::Frame F;
+  ASSERT_EQ(dist::readFrameBlocking(S.Fd[0], &F), dist::RecvStatus::Ok);
+  ASSERT_EQ(F.Type, dist::MsgType::Hello);
+  dist::HelloMsg H;
+  ASSERT_TRUE(dist::decodeHello(F.Payload, &H));
+  EXPECT_EQ(H.ShmGeneration, 3u);
+  EXPECT_EQ(H.ShmToken, Inherited.Token);
+
+  dist::TaskMsg T;
+  dist::TaskItem It;
+  It.TaskId = 1;
+  It.ShardIndex = 0;
+  It.AttemptKey = dist::distAttemptKey(0, 0, 0);
+  It.Kind = dist::ShardTransport::Shm;
+  It.Generation = 4; // Not the mapping the worker holds.
+  It.Offset = 0;
+  It.Count = 10;
+  T.Items = {It};
+  ASSERT_TRUE(dist::writeFrame(S.Fd[0], dist::MsgType::Task,
+                               dist::encodeTask(T)));
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), dist::StaleMapExitStatus);
+}
+
+TEST(DistCoordinator, TaskDeadlineScalesWithShardElementCount) {
+  dist::DistConfig Cfg;
+  Cfg.TaskDeadlineSeconds = 0.25;
+  Cfg.DeadlineNsPerElem = 100.0;
+  // The base floor plus 100 ns per element: a million-element shard
+  // earns 100 ms on top of the floor instead of tripping the straggler
+  // detector at the same threshold as a thousand-element one.
+  EXPECT_EQ(dist::DistCoordinator::taskDeadlineNs(Cfg, 0), 250000000);
+  EXPECT_EQ(dist::DistCoordinator::taskDeadlineNs(Cfg, 1000000), 350000000);
+  Cfg.DeadlineNsPerElem = 0.0;
+  EXPECT_EQ(dist::DistCoordinator::taskDeadlineNs(Cfg, 1000000), 250000000);
+}
+
+TEST(DistCoordinator, ScaledDeadlineSuppressesFalseHangKills) {
+  // A deliberately slow tier (no specialization, no native JIT) under a
+  // tiny base deadline: without per-element scaling the hang sweep
+  // would reap honest workers mid-fold; with it the run must finish
+  // with zero kills. Speculation stays on — backups are cheap; kills
+  // are the false positive this satellite fixes.
+  DistRun R("sum", 40000, 4);
+  runtime::CompiledPlan Slow(*R.P, synthFor("sum").Plan,
+                             /*AllowSpecialize=*/false,
+                             /*AllowNative=*/false);
+  dist::DistConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.TaskDeadlineSeconds = 0.002; // 2ms floor: absurd on its own.
+  Cfg.DeadlineNsPerElem = 2000.0;  // ...but 2us/elem covers the slow tier.
+  Cfg.Speculate = false;
+  Cfg.MaxRetries = 0;
+  dist::DistCoordinator Coord(Slow, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_EQ(Rep.HangsDetected, 0u);
+  EXPECT_EQ(Rep.WorkersKilled, 0u);
+  EXPECT_EQ(Rep.SerialRefolds, 0u);
+}
+
+TEST(DistCoordinator, FileBackedSourceMapsTheWorkloadFileDirectly) {
+  if (!dist::shmTransportAvailable())
+    GTEST_SKIP() << "no sealable memfd on this kernel";
+  // A binary workload file run through run(Src): workers mmap the
+  // GRSPWB01 region by byte offset — zero element bytes cross the
+  // socket and none are staged through an extra memfd copy.
+  DistRun R("sum", 5000, 4);
+  std::string Path = "dist_smoke_filemap.grsp.bin";
+  {
+    runtime::BinaryWorkloadWriter W(Path);
+    W.append(R.Data);
+    W.close();
+  }
+  runtime::SourceOptions Opts;
+  Opts.ChunkElems = 1000;
+  runtime::MmapFileSource Src(Path, Opts);
+
+  dist::DistConfig Cfg;
+  Cfg.Workers = 3;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(Src);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_TRUE(Rep.UsedShm);
+  EXPECT_EQ(Rep.BytesMapped, R.Data.size() * 8);
+  EXPECT_LT(Rep.BytesShipped, R.Data.size() * 8);
+
+  // And the identical run with shm disabled streams chunks inline —
+  // same answer, different transport.
+  dist::DistConfig CfgInline = Cfg;
+  CfgInline.UseShm = false;
+  dist::DistCoordinator CoordInline(R.Plan, CfgInline);
+  dist::DistRunReport RepInline = CoordInline.run(Src);
+  EXPECT_EQ(RepInline.Output, R.Serial);
+  EXPECT_FALSE(RepInline.UsedShm);
+  ::remove(Path.c_str());
+}
+
+TEST(DistCoordinator, BatchedFramesCoverAllShardsWithFewerTasks) {
+  if (!dist::shmTransportAvailable())
+    GTEST_SKIP() << "no sealable memfd on this kernel";
+  // 16 shards over 2 workers with BatchShards=4: the initial deal packs
+  // descriptors 4-per-frame, so the whole run needs far fewer Task
+  // frames than shards — while every shard still completes and merges
+  // in certified order.
+  DistRun R("second_max", 8000, 16);
+  dist::DistConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.BatchShards = 4;
+  dist::DistCoordinator Coord(R.Plan, Cfg);
+  dist::DistRunReport Rep = Coord.run(R.Segs);
+  EXPECT_EQ(Rep.Output, R.Serial);
+  EXPECT_EQ(Rep.ShardsCompleted, 16u);
+  EXPECT_LE(Rep.TaskFrames, 8u);
 }
 
 } // namespace

@@ -102,9 +102,11 @@ int usage(const char *Prog) {
                "       chaos [same options as fuzz; --faults implied; "
                "--dist kills real worker processes] |\n"
                "       dist-run <name> [N] [--workers W] [--shards S] "
-               "[--fault-seed S] [--kill-permille K]\n"
-               "                [--exit-permille K] [--hang-permille K] "
-               "[--corrupt-permille K] [--no-specialize] [--no-native]\n",
+               "[--batch-shards B] [--input FILE] [--json] [--no-shm]\n"
+               "                [--fault-seed S] [--kill-permille K] "
+               "[--exit-permille K] [--hang-permille K]\n"
+               "                [--corrupt-permille K] [--no-specialize] "
+               "[--no-native]\n",
                Prog);
   return 2;
 }
@@ -468,10 +470,14 @@ int main(int argc, char **argv) {
     size_t N = 1000000;
     unsigned Workers = 4;
     unsigned Shards = 0; // 0 = pick 4 shards per worker below.
+    unsigned BatchShards = 0; // 0 = the coordinator default.
     uint64_t FaultSeed = 7;
     unsigned KillPm = 0, ExitPm = 0, HangPm = 0, CorruptPm = 0;
     bool Specialize = true;
     bool Native = true;
+    bool Json = false;
+    bool NoShm = false;
+    const char *InputFile = nullptr;
     unsigned Positional = 0;
     for (int I = 3; I < argc; ++I) {
       auto numericOpt = [&](const char *Flag, unsigned *Out) {
@@ -486,6 +492,7 @@ int main(int argc, char **argv) {
       };
       if (numericOpt("--workers", &Workers) ||
           numericOpt("--shards", &Shards) ||
+          numericOpt("--batch-shards", &BatchShards) ||
           numericOpt("--kill-permille", &KillPm) ||
           numericOpt("--exit-permille", &ExitPm) ||
           numericOpt("--hang-permille", &HangPm) ||
@@ -496,12 +503,24 @@ int main(int argc, char **argv) {
         ++I;
         continue;
       }
+      if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc) {
+        InputFile = argv[++I];
+        continue;
+      }
       if (std::strcmp(argv[I], "--no-specialize") == 0) {
         Specialize = false;
         continue;
       }
       if (std::strcmp(argv[I], "--no-native") == 0) {
         Native = false;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--json") == 0) {
+        Json = true;
+        continue;
+      }
+      if (std::strcmp(argv[I], "--no-shm") == 0) {
+        NoShm = true;
         continue;
       }
       if (Positional == 0 && parseSize(argv[I], &N)) {
@@ -519,13 +538,38 @@ int main(int argc, char **argv) {
     synth::SynthesisResult R = synthOrDie(*P);
     runtime::CompiledProgram CP(*P, Specialize, Native);
     runtime::CompiledPlan Plan(*P, R.Plan, Specialize, Native);
-    std::printf("tier     = %s\n", runtime::execTierName(CP.tier()));
+    if (!Json)
+      std::printf("tier     = %s\n", runtime::execTierName(CP.tier()));
 
-    std::vector<int64_t> Data = runtime::generateWorkload(*P, N, 1);
-    std::vector<runtime::SegmentView> Segs =
-        runtime::partition(Data, Shards);
+    // A file input runs through a SegmentSource (one shard per chunk;
+    // binary files let workers mmap the GRSPWB01 region directly); the
+    // default generated workload is partitioned in memory.
+    std::unique_ptr<runtime::SegmentSource> Src;
+    std::vector<int64_t> Data;
+    std::vector<runtime::SegmentView> Segs;
     double SerialSec = 0;
-    int64_t SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
+    int64_t SerialOut = 0;
+    if (InputFile) {
+      try {
+        runtime::SourceOptions SOpts;
+        SOpts.MinChunks = Shards;
+        Src = runtime::openSegmentSource(InputFile,
+                                         runtime::SourceKind::Auto, SOpts);
+      } catch (const std::exception &E) {
+        std::fprintf(stderr, "error: %s\n", E.what());
+        return 2;
+      }
+      N = Src->elements();
+      if (!Json)
+        std::printf("source   = %s (%llu elements, %zu chunks)\n",
+                    Src->kind(), (unsigned long long)Src->elements(),
+                    Src->chunkCount());
+      SerialOut = runtime::runSerialSourceTimed(CP, *Src, &SerialSec);
+    } else {
+      Data = runtime::generateWorkload(*P, N, 1);
+      Segs = runtime::partition(Data, Shards);
+      SerialOut = runtime::runSerialTimed(CP, Segs, &SerialSec);
+    }
 
     // Any nonzero permille arms the REAL fault sites: worker processes
     // consult the (fork-inherited) injector and genuinely _exit(137),
@@ -534,6 +578,9 @@ int main(int argc, char **argv) {
     FaultInjector Injector(FaultSeed);
     dist::DistConfig DC;
     DC.Workers = Workers;
+    DC.UseShm = !NoShm;
+    if (BatchShards)
+      DC.BatchShards = BatchShards;
     DC.BackoffJitterSeed = FaultSeed;
     DC.Token = installSignalSource();
     if (Chaos) {
@@ -552,26 +599,77 @@ int main(int argc, char **argv) {
       armSite(dist::SiteWorkerExit, ExitPm);
       armSite(dist::SiteWorkerHang, HangPm);
       armSite(dist::SiteFrameCorrupt, CorruptPm);
-      std::printf("faults   = seed %llu, permille kill=%u exit=%u "
-                  "hang=%u corrupt=%u\n",
-                  (unsigned long long)FaultSeed, KillPm, ExitPm, HangPm,
-                  CorruptPm);
+      if (!Json)
+        std::printf("faults   = seed %llu, permille kill=%u exit=%u "
+                    "hang=%u corrupt=%u\n",
+                    (unsigned long long)FaultSeed, KillPm, ExitPm, HangPm,
+                    CorruptPm);
     }
 
     dist::DistCoordinator Coord(Plan, DC);
-    dist::DistRunReport Rep = Coord.run(Segs);
+    dist::DistRunReport Rep = Src ? Coord.run(*Src) : Coord.run(Segs);
     if (Rep.Cancelled) {
       std::printf("cancelled before merge commit\n");
       if (int Sig = signalExitCode())
         return Sig;
       return 130;
     }
-    std::printf("serial   = %lld (%s)\ndist     = %lld over %u shard(s) "
-                "on %u worker(s)\n%s\n",
-                (long long)SerialOut, formatSeconds(SerialSec).c_str(),
-                (long long)Rep.Output, Rep.Shards, Workers,
-                Rep.describe().c_str());
-    if (SerialOut != Rep.Output) {
+    bool Match = SerialOut == Rep.Output;
+    if (Json) {
+      // Machine-readable report: one object, stable keys, suitable for
+      // CI assertions and the bench_baseline.sh artifact.
+      std::printf(
+          "{\n"
+          "  \"benchmark\": \"%s\",\n"
+          "  \"n\": %llu,\n"
+          "  \"workers\": %u,\n"
+          "  \"shards\": %u,\n"
+          "  \"transport\": \"%s\",\n"
+          "  \"output\": %lld,\n"
+          "  \"serial\": %lld,\n"
+          "  \"match\": %s,\n"
+          "  \"serial_seconds\": %.6f,\n"
+          "  \"wall_seconds\": %.6f,\n"
+          "  \"merge_seconds\": %.6f,\n"
+          "  \"recovery_seconds\": %.6f,\n"
+          "  \"bytes_shipped\": %llu,\n"
+          "  \"bytes_mapped\": %llu,\n"
+          "  \"bytes_shipped_per_elem\": %.4f,\n"
+          "  \"task_frames\": %u,\n"
+          "  \"publish_frames\": %u,\n"
+          "  \"shards_completed\": %u,\n"
+          "  \"workers_spawned\": %u,\n"
+          "  \"workers_killed\": %u,\n"
+          "  \"workers_exited\": %u,\n"
+          "  \"workers_restarted\": %u,\n"
+          "  \"shards_reassigned\": %u,\n"
+          "  \"speculative_launches\": %u,\n"
+          "  \"speculative_wins\": %u,\n"
+          "  \"corrupt_frames\": %u,\n"
+          "  \"hangs_detected\": %u,\n"
+          "  \"serial_refolds\": %u,\n"
+          "  \"retries\": %u\n"
+          "}\n",
+          argv[2], (unsigned long long)N, Workers, Rep.Shards,
+          Rep.UsedShm ? "shm" : "inline", (long long)Rep.Output,
+          (long long)SerialOut, Match ? "true" : "false", SerialSec,
+          Rep.WallSeconds, Rep.MergeSeconds, Rep.RecoverySeconds,
+          (unsigned long long)Rep.BytesShipped,
+          (unsigned long long)Rep.BytesMapped,
+          N ? (double)Rep.BytesShipped / (double)N : 0.0, Rep.TaskFrames,
+          Rep.PublishFrames, Rep.ShardsCompleted, Rep.WorkersSpawned,
+          Rep.WorkersKilled, Rep.WorkersExited, Rep.WorkersRestarted,
+          Rep.ShardsReassigned, Rep.SpeculativeLaunches,
+          Rep.SpeculativeWins, Rep.CorruptFrames, Rep.HangsDetected,
+          Rep.SerialRefolds, Rep.Retries);
+    } else {
+      std::printf("serial   = %lld (%s)\ndist     = %lld over %u shard(s) "
+                  "on %u worker(s)\n%s\n",
+                  (long long)SerialOut, formatSeconds(SerialSec).c_str(),
+                  (long long)Rep.Output, Rep.Shards, Workers,
+                  Rep.describe().c_str());
+    }
+    if (!Match) {
       std::fprintf(stderr, "error: MISMATCH: dist=%lld serial=%lld\n",
                    (long long)Rep.Output, (long long)SerialOut);
       return 1;
