@@ -16,7 +16,11 @@
 #     (the multi-process runtime on both transports: cold/warm wall
 #     time, the shm-vs-inline warm speedup, and socket bytes per
 #     element — ~8 B/elem inline vs O(1) bytes per shard on the
-#     zero-copy shared-memory transport).
+#     zero-copy shared-memory transport);
+#  5. bench_serve --json    ->  BENCH_serve.json at the repo root
+#     (the synthesis service: cache-hit latency vs cold synth per hot
+#     benchmark, and the shed/served split plus hit p50/p99 while a
+#     synth flood saturates the solver pool).
 #
 # Deterministic inputs (fixed N and seed) keep runs comparable across
 # commits; see EXPERIMENTS.md for how to read the numbers.
@@ -32,7 +36,8 @@ SEED=99
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$JOBS" \
-    --target bench_kernels bench_stream bench_parallel_cpp bench_dist
+    --target bench_kernels bench_stream bench_parallel_cpp bench_dist \
+             bench_serve
 
 echo "== kernel tier throughput (N=$N seed=$SEED) -> BENCH_kernels.json =="
 "$BUILD"/bench/bench_kernels --json --n "$N" --seed "$SEED" \
@@ -64,5 +69,9 @@ echo "==   -> BENCH_dist.json =="
     --json BENCH_dist.json
 
 echo
-echo "baseline written to BENCH_kernels.json, BENCH_stream.json, and" \
-     "BENCH_dist.json"
+echo "== serve hot-path latency + overload shedding -> BENCH_serve.json =="
+"$BUILD"/bench/bench_serve --json BENCH_serve.json
+
+echo
+echo "baseline written to BENCH_kernels.json, BENCH_stream.json," \
+     "BENCH_dist.json, and BENCH_serve.json"

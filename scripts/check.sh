@@ -17,6 +17,11 @@ cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+echo "== serve smoke: the synthesis service end to end (30s cap) =="
+# Also registered with ctest as serve_smoke_cli; this explicit run keeps
+# the service-layer gate visible even under a filtered ctest invocation.
+timeout 30 scripts/serve_smoke.sh "$BUILD"
+
 echo "== execution tiers selected per benchmark =="
 cmake --build "$BUILD" -j "$JOBS" --target bench_kernels >/dev/null
 "$BUILD"/bench/bench_kernels --tiers

@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# Serve smoke: the long-lived synthesis service end to end through the
+# CLI, fast enough for a 30-second CI cap. One server is started on a
+# private socket/cache, then:
+#
+#   synth (miss)  -> "solved ..." and a certified plan
+#   synth (hit)   -> "hit ..." answered from the cache
+#   run           -> an output line (checked against the serial fold by
+#                    the server itself; the smoke checks the round trip)
+#   stats         -> counters flow even while solves are possible
+#   SIGTERM       -> graceful drain: exit 0 and a compacted cache.snap
+#   warm restart  -> the committed entry is re-served as a hit
+#
+# The ctest registration and the CI step both wrap this in a 30s cap;
+# the script's own watchdog SIGKILLs a wedged server so a hang fails
+# fast instead of eating the whole cap.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+GRASSP="$BUILD/tools/grassp"
+[ -x "$GRASSP" ] || {
+    echo "error: $GRASSP not built (cmake --build $BUILD --target grassp)" >&2
+    exit 1
+}
+
+WORK="${TMPDIR:-/tmp}/grassp-serve-smoke.$$"
+SOCK="$WORK/serve.sock"
+CACHE="$WORK/cache"
+mkdir -p "$WORK"
+SERVER=""
+cleanup() {
+    [ -n "$SERVER" ] && kill -9 "$SERVER" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+start_server() {
+    "$GRASSP" serve --socket "$SOCK" --cache "$CACHE" --pool 1 \
+        2>>"$WORK/serve.log" &
+    SERVER=$!
+    # Watchdog: a wedged server dies well inside the CI cap.
+    ( sleep 25 && kill -9 "$SERVER" 2>/dev/null ) &
+    WATCHDOG=$!
+}
+
+stop_server_drain() {
+    kill -TERM "$SERVER"
+    RC=0
+    wait "$SERVER" || RC=$?
+    SERVER=""
+    kill "$WATCHDOG" 2>/dev/null || true
+    [ "$RC" -eq 0 ] || {
+        echo "FAIL: drain exit code $RC (want 0)" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+}
+
+req() { "$GRASSP" serve-req "$@" --socket "$SOCK"; }
+
+expect() {
+    # expect <pattern> <cmd...>: the request must succeed AND its reply
+    # line must match.
+    PAT=$1; shift
+    OUT=$(req "$@") || {
+        echo "FAIL: serve-req $* failed: $OUT" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+    echo "  serve-req $*: $OUT"
+    case $OUT in
+        $PAT) ;;
+        *) echo "FAIL: serve-req $* reply '$OUT' !~ '$PAT'" >&2; exit 1 ;;
+    esac
+}
+
+echo "== serve smoke: cold server =="
+start_server
+expect "solved *" synth count
+expect "hit *"    synth count
+expect "run output=*" run sum --n 100000 --seed 7
+expect "*cache.hits=*" stats
+
+echo "== SIGTERM drain =="
+stop_server_drain
+[ -f "$CACHE/cache.snap" ] || {
+    echo "FAIL: no $CACHE/cache.snap after drain" >&2
+    exit 1
+}
+
+echo "== warm restart serves the committed entry =="
+start_server
+expect "hit *" synth count
+stop_server_drain
+
+echo "== serve smoke passed =="

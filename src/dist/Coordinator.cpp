@@ -55,6 +55,11 @@ std::string DistRunReport::describe() const {
 DistCoordinator::DistCoordinator(const runtime::CompiledPlan &Plan,
                                  const DistConfig &Cfg)
     : Plan(Plan), Cfg(Cfg), PlanHash(Plan.compiled().bytecodeHash()) {
+  // Belt and braces with FrameWriter's MSG_NOSIGNAL: no socket write
+  // anywhere in the coordinator (or a worker forked from it) may turn
+  // a dead peer into a process-killing SIGPIPE — it must surface as an
+  // I/O error through the recovery matrix.
+  ignoreSigpipe();
   if (this->Cfg.Workers == 0)
     this->Cfg.Workers = 1;
   if (this->Cfg.BatchShards == 0)

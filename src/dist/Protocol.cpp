@@ -95,6 +95,11 @@ void WireWriter::vecU32(const std::vector<uint32_t> &V) {
     u32(X);
 }
 
+void WireWriter::str(const std::string &S) {
+  u64(S.size());
+  Buf.insert(Buf.end(), S.begin(), S.end());
+}
+
 bool WireReader::u8(uint8_t *V) {
   if (End - Data < 1)
     return false;
@@ -145,6 +150,15 @@ bool WireReader::vecU32(std::vector<uint32_t> *V) {
   for (uint32_t &X : *V)
     if (!u32(&X))
       return false;
+  return true;
+}
+
+bool WireReader::str(std::string *S) {
+  uint64_t N;
+  if (!u64(&N) || N > static_cast<uint64_t>(End - Data))
+    return false;
+  S->assign(reinterpret_cast<const char *>(Data), static_cast<size_t>(N));
+  Data += N;
   return true;
 }
 
@@ -293,9 +307,7 @@ RecvStatus FrameReader::next(Frame *Out) {
   uint32_t Type = getLe32(H + 4);
   uint64_t Len = getLe64(H + 8);
   uint64_t Sum = getLe64(H + 16);
-  if (Len > MaxFramePayloadBytes ||
-      (Type < static_cast<uint32_t>(MsgType::Hello) ||
-       Type > static_cast<uint32_t>(MsgType::Publish))) {
+  if (Len > MaxFramePayloadBytes || !validMsgType(Type)) {
     Broken = true;
     return RecvStatus::Corrupt;
   }

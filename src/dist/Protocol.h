@@ -72,7 +72,28 @@ enum class MsgType : uint32_t {
   Heartbeat = 4,
   Shutdown = 5,
   Publish = 6,
+
+  // The serve service rides the same GDP1 framing (src/serve/Protocol.h
+  // owns the payload codecs). Types 7..15 are reserved for the dist
+  // runtime; a gap value decodes as Corrupt.
+  SynthReq = 16,   ///< client -> server  program text to synthesize
+  RunReq = 17,     ///< client -> server  program text + workload to fold
+  CertifyReq = 18, ///< client -> server  program text to certify
+  StatsReq = 19,   ///< client -> server  service counters probe
+  ReplyOk = 20,    ///< server -> client  kind-tagged success payload
+  ReplyErr = 21,   ///< server -> client  typed error + retry-after
+  SolveJob = 22,   ///< server -> solver worker  one cache-miss solve
+  SolveDone = 23,  ///< solver worker -> server  solve outcome
 };
+
+/// The set of frame types any GDP1 receiver accepts; everything else is
+/// a corrupt type word.
+inline bool validMsgType(uint32_t T) {
+  return (T >= static_cast<uint32_t>(MsgType::Hello) &&
+          T <= static_cast<uint32_t>(MsgType::Publish)) ||
+         (T >= static_cast<uint32_t>(MsgType::SynthReq) &&
+          T <= static_cast<uint32_t>(MsgType::SolveDone));
+}
 
 struct Frame {
   MsgType Type = MsgType::Heartbeat;
@@ -91,6 +112,9 @@ public:
   void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
   void vecI64(const std::vector<int64_t> &V);
   void vecU32(const std::vector<uint32_t> &V);
+  /// Length-prefixed byte string (the serve payloads carry program and
+  /// plan text).
+  void str(const std::string &S);
   const std::vector<uint8_t> &bytes() const { return Buf; }
   std::vector<uint8_t> take() { return std::move(Buf); }
   /// Drops the contents but keeps the allocation — the FrameWriter
@@ -118,6 +142,7 @@ public:
   bool i64(int64_t *V);
   bool vecI64(std::vector<int64_t> *V);
   bool vecU32(std::vector<uint32_t> *V);
+  bool str(std::string *S);
   bool atEnd() const { return Data == End; }
 
 private:

@@ -1,0 +1,145 @@
+//===- serve/Cache.cpp ----------------------------------------------------==//
+
+#include "serve/Cache.h"
+
+#include "serve/CanonHash.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace grassp {
+namespace serve {
+
+namespace {
+std::string snapPath(const std::string &Dir) { return Dir + "/cache.snap"; }
+std::string journalPath(const std::string &Dir) {
+  return Dir + "/cache.journal";
+}
+} // namespace
+
+std::string SolutionCache::entryLine(const CacheEntry &E) {
+  std::ostringstream OS;
+  OS << "{\"key\":\"" << keyToHex(E.Key) << "\",\"group\":\""
+     << support::jsonEscape(E.Group) << "\",\"cert\":\""
+     << support::jsonEscape(E.Cert) << "\",\"seconds\":" << E.SolveSeconds
+     << ",\"candidates\":" << E.Candidates << ",\"smt\":" << E.SmtChecks
+     << ",\"program\":\"" << support::jsonEscape(E.ProgramText)
+     << "\",\"plan\":\"" << support::jsonEscape(E.PlanText) << "\"}";
+  return OS.str();
+}
+
+bool SolutionCache::parseEntryLine(const std::string &Line, CacheEntry *Out) {
+  if (!support::journalLineWellFormed(Line))
+    return false;
+  CacheEntry E;
+  std::string KeyHex;
+  if (!support::jsonStringField(Line, "key", &KeyHex) ||
+      !keyFromHex(KeyHex, &E.Key) ||
+      !support::jsonStringField(Line, "program", &E.ProgramText) ||
+      !support::jsonStringField(Line, "plan", &E.PlanText))
+    return false;
+  support::jsonStringField(Line, "group", &E.Group);
+  support::jsonStringField(Line, "cert", &E.Cert);
+  double V = 0;
+  if (support::jsonNumberField(Line, "seconds", &V))
+    E.SolveSeconds = V;
+  if (support::jsonNumberField(Line, "candidates", &V))
+    E.Candidates = static_cast<uint32_t>(V);
+  if (support::jsonNumberField(Line, "smt", &V))
+    E.SmtChecks = static_cast<uint32_t>(V);
+  *Out = E;
+  return true;
+}
+
+bool SolutionCache::open(const std::string &D, std::string *Err) {
+  Dir = D;
+  Entries.clear();
+  SinceSnapshot = FromSnapshot = FromJournal = 0;
+  if (::mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    *Err = "mkdir " + Dir + ": " + std::strerror(errno);
+    return false;
+  }
+  // Snapshot first, then journal replays on top: later wins, and an
+  // un-truncated journal after a torn snapshot restores every commit.
+  for (const std::string &Line : support::loadJournalLines(snapPath(Dir))) {
+    CacheEntry E;
+    if (parseEntryLine(Line, &E)) {
+      Entries[E.Key] = std::move(E);
+      ++FromSnapshot;
+    }
+  }
+  for (const std::string &Line : support::loadJournalLines(journalPath(Dir))) {
+    CacheEntry E;
+    if (parseEntryLine(Line, &E)) {
+      Entries[E.Key] = std::move(E);
+      ++FromJournal;
+      ++SinceSnapshot;
+    }
+  }
+  if (!Journal.open(journalPath(Dir))) {
+    *Err = "open " + journalPath(Dir) + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+const CacheEntry *SolutionCache::get(uint64_t Key) const {
+  auto It = Entries.find(Key);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+bool SolutionCache::put(const CacheEntry &E) {
+  // Journal append IS the commit point: only after the line is written
+  // may the server reply, so every answer a client ever saw is
+  // reconstructible after kill -9.
+  if (!Journal.append(entryLine(E)))
+    return false;
+  Entries[E.Key] = E;
+  ++SinceSnapshot;
+  return true;
+}
+
+bool SolutionCache::snapshot(FaultInjector *Faults, std::string *Err) {
+  std::string Content;
+  for (const auto &KV : Entries) {
+    Content += entryLine(KV.second);
+    Content += '\n';
+  }
+  bool Torn = Faults && Faults->shouldFailKeyed(FaultSiteSnapshotTorn,
+                                               Entries.size());
+  if (Torn && !Content.empty()) {
+    // The injected crash-mid-compaction: publish a snapshot cut at an
+    // arbitrary drawn byte and leave the journal alone. load() must
+    // still reconstruct every entry (the torn tail line is rejected,
+    // the journal replays the rest).
+    size_t Cut = static_cast<size_t>(
+        Faults->drawFor(FaultSiteSnapshotTorn, Entries.size()) %
+        Content.size());
+    Content.resize(Cut);
+  }
+  if (!support::atomicWriteFile(snapPath(Dir), Content, Err))
+    return false;
+  if (Torn)
+    return true; // journal deliberately kept: recovery path under test.
+  // Truncate the journal ONLY now that the snapshot is durably in
+  // place; reopen in append mode for subsequent puts.
+  Journal.close();
+  if (::truncate(journalPath(Dir).c_str(), 0) != 0 && errno != ENOENT) {
+    *Err = std::string("truncate journal: ") + std::strerror(errno);
+    // Keep appending to the un-truncated journal; nothing is lost.
+    Journal.open(journalPath(Dir));
+    return false;
+  }
+  if (!Journal.open(journalPath(Dir))) {
+    *Err = "reopen journal: " + std::string(std::strerror(errno));
+    return false;
+  }
+  SinceSnapshot = 0;
+  return true;
+}
+
+} // namespace serve
+} // namespace grassp

@@ -1,0 +1,105 @@
+//===- serve/Cache.h - Persistent, crash-safe solution cache -------------===//
+//
+// The reason `grassp serve` scales: most requests are answered from
+// this cache with zero solver work. An entry maps a canonical program
+// key (serve/CanonHash.h) to the synthesized plan, its Table-1 group,
+// its certification status, and the original solve cost.
+//
+// Persistence is journal-is-truth, snapshot-is-optimization:
+//
+//  * put() appends one JSON line to `cache.journal` through
+//    support::JournalWriter BEFORE the server replies — the write(2)'d
+//    line is the commit point, so an entry a client was ever told about
+//    survives kill -9 of the server (page cache holds it; fsync is not
+//    needed for process-death durability).
+//  * snapshot() compacts: the full table is written to `cache.snap` via
+//    atomicWriteFile (temp + fsync + rename) and ONLY after that
+//    succeeds is the journal truncated. A crash between the two leaves
+//    snapshot + journal both present — load() reads the snapshot first,
+//    then replays the journal on top (later wins), so the overlap is
+//    harmless and a torn snapshot write (fault site serve.snapshot.torn
+//    skips the truncation after tearing the snapshot) loses nothing.
+//  * Torn tails anywhere are rejected line-by-line by the shared
+//    journal discipline (support/Journal.h).
+//
+// The cache is single-threaded by construction (the serve loop owns
+// it); no locking.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SERVE_CACHE_H
+#define GRASSP_SERVE_CACHE_H
+
+#include "support/FaultInject.h"
+#include "support/Journal.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace grassp {
+namespace serve {
+
+/// Fault site: tears the snapshot file at a drawn byte offset and keeps
+/// the journal, so recovery must come from the journal.
+inline constexpr const char *FaultSiteSnapshotTorn = "serve.snapshot.torn";
+
+struct CacheEntry {
+  uint64_t Key = 0;
+  std::string ProgramText; ///< Canonical source of the cached solve.
+  std::string PlanText;
+  std::string Group;
+  std::string Cert; ///< certWireName() string ("certified", ...).
+  double SolveSeconds = 0;
+  uint32_t Candidates = 0;
+  uint32_t SmtChecks = 0;
+};
+
+class SolutionCache {
+public:
+  /// Opens (creating) \p Dir, loads snapshot + journal, re-opens the
+  /// journal for appending. False on I/O failure.
+  bool open(const std::string &Dir, std::string *Err);
+
+  bool contains(uint64_t Key) const { return Entries.count(Key) != 0; }
+  const CacheEntry *get(uint64_t Key) const;
+  size_t size() const { return Entries.size(); }
+
+  /// Inserts/overwrites and journals the entry. Returns false when the
+  /// journal append failed — the caller must NOT claim durability.
+  bool put(const CacheEntry &E);
+
+  /// Entries journaled since the last snapshot (the compaction gauge).
+  uint64_t journaledSinceSnapshot() const { return SinceSnapshot; }
+
+  /// Compacts journal into snapshot. \p Faults (optional) is consulted
+  /// at serve.snapshot.torn — when it fires, the written snapshot is
+  /// truncated at a drawn offset and the journal is NOT truncated,
+  /// simulating a crash mid-compaction.
+  bool snapshot(FaultInjector *Faults, std::string *Err);
+
+  /// For solver-pool fork children: drop the inherited journal fd so a
+  /// child cannot interleave writes with the server's commit stream.
+  /// Forked children never put(); they only need the fd gone.
+  void closeInForkedChild() { Journal.close(); }
+
+  /// Counters loaded at open() for the stats reply.
+  uint64_t loadedFromSnapshot() const { return FromSnapshot; }
+  uint64_t loadedFromJournal() const { return FromJournal; }
+
+  static std::string entryLine(const CacheEntry &E);
+  static bool parseEntryLine(const std::string &Line, CacheEntry *Out);
+
+private:
+  std::string Dir;
+  std::map<uint64_t, CacheEntry> Entries;
+  support::JournalWriter Journal;
+  uint64_t SinceSnapshot = 0;
+  uint64_t FromSnapshot = 0;
+  uint64_t FromJournal = 0;
+};
+
+} // namespace serve
+} // namespace grassp
+
+#endif // GRASSP_SERVE_CACHE_H

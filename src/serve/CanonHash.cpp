@@ -1,0 +1,256 @@
+//===- serve/CanonHash.cpp ------------------------------------------------==//
+
+#include "serve/CanonHash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace grassp {
+namespace serve {
+
+namespace {
+
+// Private mixing only: std::hash is implementation-defined and would
+// make on-disk keys build-dependent.
+
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+uint64_t mixByte(uint64_t H, uint8_t B) { return (H ^ B) * FnvPrime; }
+
+uint64_t mixU64(uint64_t H, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    H = mixByte(H, static_cast<uint8_t>(V >> (I * 8)));
+  return H;
+}
+
+/// splitmix64 finalizer: spreads the low-entropy FNV state before a
+/// value is reused as a field signature inside another hash.
+uint64_t avalanche(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Distinguished code for the input-element variable: it is the one
+/// variable whose IDENTITY (not name) is fixed by the language.
+constexpr uint64_t InputVarCode = 0x1337a11ce0ULL;
+
+/// Hash of an expression with every field reference replaced by the
+/// current per-field signature. Memoized per (round) via \p Memo: step
+/// expressions are DAGs and the refinement re-walks them once per
+/// round.
+uint64_t exprHash(const ir::ExprRef &E,
+                  const std::map<std::string, uint64_t> &FieldSig,
+                  std::map<const ir::Expr *, uint64_t> &Memo) {
+  auto It = Memo.find(E.get());
+  if (It != Memo.end())
+    return It->second;
+  uint64_t H = FnvOffset;
+  H = mixByte(H, static_cast<uint8_t>(E->getOp()));
+  H = mixByte(H, static_cast<uint8_t>(E->getType()));
+  if (E->isConstInt())
+    H = mixU64(H, static_cast<uint64_t>(E->intValue()));
+  else if (E->isConstBool())
+    H = mixByte(H, E->boolValue() ? 1 : 0);
+  else if (E->isVar()) {
+    auto F = FieldSig.find(E->varName());
+    // Unknown variables (merge operands etc.) hash by name — canonical
+    // program hashing only ever sees fields and "in", but keep total.
+    uint64_t Code;
+    if (F != FieldSig.end())
+      Code = F->second;
+    else if (E->varName() == lang::inputVarName())
+      Code = InputVarCode;
+    else {
+      Code = FnvOffset;
+      for (char C : E->varName())
+        Code = mixByte(Code, static_cast<uint8_t>(C));
+    }
+    H = mixU64(H, Code);
+  }
+  H = mixU64(H, E->numOperands());
+  for (const ir::ExprRef &Op : E->operands())
+    H = mixU64(H, exprHash(Op, FieldSig, Memo));
+  H = avalanche(H);
+  Memo.emplace(E.get(), H);
+  return H;
+}
+
+} // namespace
+
+std::vector<uint64_t> canonicalFieldSignatures(const lang::SerialProgram &P) {
+  const size_t N = P.State.size();
+
+  // Round 0: a field's signature is its local facts — type, and init
+  // for the types that have one (bag fields start empty by definition;
+  // their InitInt is noise and must not reach the hash).
+  std::vector<uint64_t> Sig(N);
+  for (size_t I = 0; I < N; ++I) {
+    const lang::Field &F = P.State.field(I);
+    uint64_t H = FnvOffset;
+    H = mixByte(H, static_cast<uint8_t>(F.Ty));
+    if (F.Ty != ir::TypeKind::Bag)
+      H = mixU64(H, static_cast<uint64_t>(F.InitInt));
+    Sig[I] = avalanche(H);
+  }
+
+  // Weisfeiler-Leman refinement: each round folds the field's step
+  // expression — with references resolved to current signatures — into
+  // its signature. N+1 rounds are enough for the signature partition to
+  // stabilize on an N-field state.
+  for (size_t Round = 0; Round <= N; ++Round) {
+    std::map<std::string, uint64_t> Ref;
+    for (size_t I = 0; I < N; ++I)
+      Ref[P.State.field(I).Name] = Sig[I];
+    std::map<const ir::Expr *, uint64_t> Memo;
+    std::vector<uint64_t> Next(N);
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t H = FnvOffset;
+      H = mixU64(H, Sig[I]);
+      H = mixU64(H, exprHash(P.Step[I], Ref, Memo));
+      Next[I] = avalanche(H);
+    }
+    Sig = std::move(Next);
+  }
+  return Sig;
+}
+
+uint64_t canonicalProgramHash(const lang::SerialProgram &P) {
+  const size_t N = P.State.size();
+  std::vector<uint64_t> Sig = canonicalFieldSignatures(P);
+
+  // The program hash: sorted final signatures (declaration order must
+  // not matter), the output over final signatures, and the semantic
+  // workload parameters.
+  uint64_t H = FnvOffset;
+  H = mixU64(H, CanonHashVersion);
+  H = mixU64(H, N);
+  std::vector<uint64_t> Sorted = Sig;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (uint64_t S : Sorted)
+    H = mixU64(H, S);
+
+  std::map<std::string, uint64_t> Ref;
+  for (size_t I = 0; I < N; ++I)
+    Ref[P.State.field(I).Name] = Sig[I];
+  std::map<const ir::Expr *, uint64_t> Memo;
+  H = mixU64(H, exprHash(P.Output, Ref, Memo));
+
+  std::vector<int64_t> Alpha = P.InputAlphabet;
+  std::sort(Alpha.begin(), Alpha.end());
+  Alpha.erase(std::unique(Alpha.begin(), Alpha.end()), Alpha.end());
+  H = mixU64(H, Alpha.size());
+  for (int64_t V : Alpha)
+    H = mixU64(H, static_cast<uint64_t>(V));
+  H = mixU64(H, static_cast<uint64_t>(P.GenLo));
+  H = mixU64(H, static_cast<uint64_t>(P.GenHi));
+  return avalanche(H);
+}
+
+bool rebindPlanToProgram(const synth::ParallelPlan &Plan,
+                         const lang::SerialProgram &From,
+                         const lang::SerialProgram &To,
+                         synth::ParallelPlan *Out) {
+  const size_t N = From.State.size();
+  if (To.State.size() != N)
+    return false;
+  std::vector<uint64_t> FromSig = canonicalFieldSignatures(From);
+  std::vector<uint64_t> ToSig = canonicalFieldSignatures(To);
+
+  // Pair fields by signature: sort both sides by (signature, index) and
+  // match positionally. Fields that tie on signature are structurally
+  // interchangeable, so any signature-preserving bijection is valid.
+  std::vector<size_t> FromOrder(N), ToOrder(N);
+  for (size_t I = 0; I < N; ++I)
+    FromOrder[I] = ToOrder[I] = I;
+  auto bySig = [](const std::vector<uint64_t> &Sig) {
+    return [&Sig](size_t A, size_t B) {
+      return Sig[A] != Sig[B] ? Sig[A] < Sig[B] : A < B;
+    };
+  };
+  std::sort(FromOrder.begin(), FromOrder.end(), bySig(FromSig));
+  std::sort(ToOrder.begin(), ToOrder.end(), bySig(ToSig));
+
+  std::vector<size_t> Map(N); // From index -> To index.
+  for (size_t I = 0; I < N; ++I) {
+    size_t F = FromOrder[I], T = ToOrder[I];
+    if (FromSig[F] != ToSig[T] ||
+        From.State.field(F).Ty != To.State.field(T).Ty)
+      return false; // not actually corresponding: treat as a miss.
+    Map[F] = T;
+  }
+
+  // Merge-operand variable renaming along the pairing.
+  std::map<std::string, ir::ExprRef> Subst;
+  for (size_t F = 0; F < N; ++F) {
+    const lang::Field &FF = From.State.field(F);
+    const lang::Field &TF = To.State.field(Map[F]);
+    if (FF.Name == TF.Name)
+      continue;
+    Subst["a_" + FF.Name] = ir::var("a_" + TF.Name, FF.Ty);
+    Subst["b_" + FF.Name] = ir::var("b_" + TF.Name, FF.Ty);
+  }
+  auto rebindExpr = [&](const ir::ExprRef &E) -> ir::ExprRef {
+    if (!E || Subst.empty())
+      return E;
+    return ir::substitute(E, Subst);
+  };
+
+  synth::ParallelPlan R = Plan;
+  if (!Plan.Merge.Combine.empty()) {
+    if (Plan.Merge.Combine.size() != N)
+      return false;
+    R.Merge.Combine.assign(N, nullptr);
+    for (size_t F = 0; F < N; ++F)
+      R.Merge.Combine[Map[F]] = rebindExpr(Plan.Merge.Combine[F]);
+  }
+  for (size_t &I : R.Cond.CtrlFields) {
+    if (I >= N)
+      return false;
+    I = Map[I];
+  }
+  for (size_t &I : R.Cond.AccFields) {
+    if (I >= N)
+      return false;
+    I = Map[I];
+  }
+  // PrefixCond / CtrlStep / AccMode / AccArg range over "in" only and
+  // CtrlValues rows are positional in CtrlFields — nothing to rename.
+  *Out = std::move(R);
+  return true;
+}
+
+std::string keyToHex(uint64_t Key) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Key));
+  return Buf;
+}
+
+bool keyFromHex(const std::string &Hex, uint64_t *Key) {
+  if (Hex.size() != 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : Hex) {
+    uint64_t D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  *Key = V;
+  return true;
+}
+
+std::string canonicalProgramKey(const lang::SerialProgram &P) {
+  return keyToHex(canonicalProgramHash(P));
+}
+
+} // namespace serve
+} // namespace grassp

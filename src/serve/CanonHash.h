@@ -1,0 +1,77 @@
+//===- serve/CanonHash.h - Canonical structural program hash -------------===//
+//
+// The solution-cache key: a 64-bit hash of a SerialProgram that is
+// invariant under everything that does not change the synthesis
+// problem —
+//
+//  * alpha-renaming: state fields are identified by ROLE, not by name.
+//    Each field gets a signature refined Weisfeiler-Leman-style: start
+//    from (type, init), then repeatedly mix in the hash of the field's
+//    step expression with every field REFERENCE resolved to the
+//    referencing-round signature of the referenced field. After
+//    |fields|+1 rounds two fields share a signature iff they are
+//    structurally interchangeable, so renaming (or any consistent
+//    permutation of names) cannot move the hash.
+//  * field reordering: the final per-field signatures are sorted before
+//    they enter the program hash, and the output/alphabet are hashed
+//    independently of declaration order.
+//  * formatting: hashing consumes the parsed IR, never source text, so
+//    whitespace/comment/layout variants are identical by construction.
+//
+// What DOES reach the hash: field types and initial values (except Bag
+// init, which does not exist), step and output structure, the input
+// alphabet (sorted, deduplicated) and generator range — exactly the
+// inputs synthesize() reads. Name, Description and ExpectedGroup are
+// display metadata and are excluded.
+//
+// Stability: the mix is private FNV-1a/avalanche arithmetic — never
+// std::hash — so a key written by one build is valid for every later
+// run on any platform. CanonHashVersion salts the hash; bump it when
+// the scheme changes so stale cache entries miss instead of colliding.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SERVE_CANONHASH_H
+#define GRASSP_SERVE_CANONHASH_H
+
+#include "lang/Program.h"
+#include "synth/ParallelPlan.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace serve {
+
+inline constexpr uint64_t CanonHashVersion = 1;
+
+/// The canonical structural hash described above.
+uint64_t canonicalProgramHash(const lang::SerialProgram &P);
+
+/// The final per-field WL signatures, in declaration order. Two
+/// programs with equal canonicalProgramHash have equal signature
+/// multisets; the pairing of equal signatures is the field
+/// correspondence rebindPlanToProgram() renames along.
+std::vector<uint64_t> canonicalFieldSignatures(const lang::SerialProgram &P);
+
+/// Rewrites \p Plan — synthesized for \p From — so it applies to \p To,
+/// an alpha-renamed / field-reordered variant with the same canonical
+/// hash: field indices are remapped and merge-operand variables
+/// ("a_<field>"/"b_<field>") renamed along the signature pairing.
+/// False when the programs' signatures do not actually correspond
+/// (hash collision or caller error); treat as a cache miss.
+bool rebindPlanToProgram(const synth::ParallelPlan &Plan,
+                         const lang::SerialProgram &From,
+                         const lang::SerialProgram &To,
+                         synth::ParallelPlan *Out);
+
+/// The hash as the fixed-width lowercase hex the cache journal stores.
+std::string canonicalProgramKey(const lang::SerialProgram &P);
+std::string keyToHex(uint64_t Key);
+bool keyFromHex(const std::string &Hex, uint64_t *Key);
+
+} // namespace serve
+} // namespace grassp
+
+#endif // GRASSP_SERVE_CANONHASH_H

@@ -1,0 +1,62 @@
+//===- serve/Chaos.h - Chaos harness for the serve service ---------------===//
+//
+// `grassp chaos --serve`: runs a REAL server process under seeded fault
+// injection and asserts the service contract holds:
+//
+//  * Bit-identical answers. Every synth answer for one canonical key —
+//    across solver-worker kills, hangs, retries, torn snapshots, and
+//    warm restarts — must be byte-for-byte the same (plan text, group,
+//    certification). A divergence is a correctness bug, full stop.
+//  * Run answers match ground truth. Every run reply is compared to
+//    lang::runSerial on the same workload computed in the harness.
+//  * Zero service deaths. Solver workers may die freely (that is the
+//    point); the SERVER process exiting before the harness asks it to
+//    fails the run.
+//  * kill -9 loses nothing committed. The server is SIGKILLed after
+//    answers were given, restarted warm on the same cache dir, and
+//    every previously-answered key must come back as a cache hit with
+//    the identical answer.
+//  * SIGTERM drains clean: exit code 0, cache snapshot on disk.
+//
+// All faults are decided from one seed (support/FaultInject.h), so a
+// failing run replays exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SERVE_CHAOS_H
+#define GRASSP_SERVE_CHAOS_H
+
+#include <cstdint>
+#include <string>
+
+namespace grassp {
+namespace serve {
+
+struct ServeChaosOptions {
+  /// Wall-clock budget for the fault-sweep phase.
+  unsigned Seconds = 8;
+  uint64_t Seed = 7;
+  /// Solver-worker fault rates (permille per job receipt).
+  unsigned KillPermille = 150;
+  unsigned HangPermille = 80;
+  /// Tear every Nth cache snapshot (0 = off).
+  uint64_t TornEveryNth = 2;
+  /// Drop a connection after a truncated frame every Nth request.
+  uint64_t DisconnectEveryNth = 7;
+  /// kill -9 + warm-restart cycles after the sweep.
+  unsigned KillCycles = 2;
+  size_t PoolSize = 2;
+  /// Scratch directory; empty = mkdtemp under TMPDIR.
+  std::string WorkDir;
+  bool Verbose = false;
+};
+
+/// Runs the whole campaign; prints a summary line per phase and a final
+/// verdict. Returns 0 on a clean run, 1 on any divergence or unexpected
+/// service death.
+int serveChaosMain(const ServeChaosOptions &Opts);
+
+} // namespace serve
+} // namespace grassp
+
+#endif // GRASSP_SERVE_CHAOS_H

@@ -1,0 +1,80 @@
+//===- serve/Client.h - Blocking client for grassp serve -----------------===//
+//
+// A small lockstep client: one request frame out, one reply frame back,
+// over a Unix-domain socket. Used by `grassp serve-req`, the chaos
+// harness, the load benchmark, and the smoke tests.
+//
+// sendTruncatedSynth() is the serve.client.disconnect fault made flesh:
+// it writes a frame header promising more payload than it sends, then
+// hangs up — the server must shrug (drop the connection) and keep
+// serving everyone else.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SERVE_CLIENT_H
+#define GRASSP_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace serve {
+
+/// Client-side fault site: drop the connection after a truncated frame.
+inline constexpr const char *FaultSiteClientDisconnect =
+    "serve.client.disconnect";
+
+/// One reply: exactly one of Ok / Err is meaningful (IsOk says which).
+struct ClientReply {
+  bool IsOk = false;
+  OkReply Ok;
+  ErrReply Err;
+};
+
+class ServeClient {
+public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient &) = delete;
+  ServeClient &operator=(const ServeClient &) = delete;
+
+  /// Connects to the server's socket; retries for up to \p TimeoutSec
+  /// (the server may still be binding). False with \p Err on failure.
+  bool connect(const std::string &SocketPath, double TimeoutSec,
+               std::string *Err);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// The four requests. Each returns false ONLY on transport failure
+  /// (send failed, EOF, corrupt reply); a server-side error is a
+  /// successful round trip with Out->IsOk == false.
+  bool synth(const std::string &ProgramText, ClientReply *Out);
+  bool run(const std::string &ProgramText, const std::vector<int64_t> &Data,
+           ClientReply *Out);
+  bool certify(const std::string &ProgramText, ClientReply *Out);
+  bool stats(ClientReply *Out);
+
+  /// Writes a deliberately truncated SynthReq frame (header claims more
+  /// payload than follows) and closes the connection — the dead-client
+  /// fault. Returns false if even the partial write failed.
+  bool sendTruncatedSynth(const std::string &ProgramText);
+
+private:
+  bool roundTrip(dist::MsgType Type, ClientReply *Out);
+
+  int Fd = -1;
+  dist::FrameWriter Writer;
+};
+
+/// Renders a reply for terminal output (the `grassp serve-req` printer
+/// and the smoke tests' expectations).
+std::string describeReply(const ClientReply &R);
+
+} // namespace serve
+} // namespace grassp
+
+#endif // GRASSP_SERVE_CLIENT_H

@@ -1,0 +1,859 @@
+//===- serve/ProgramText.cpp ----------------------------------------------==//
+
+#include "serve/ProgramText.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace grassp {
+namespace serve {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// S-expressions
+//===----------------------------------------------------------------------===//
+
+struct Sexp {
+  bool IsAtom = false;
+  std::string Atom;
+  std::vector<Sexp> Kids;
+};
+
+constexpr unsigned MaxDepth = 200;
+
+struct Parser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+
+  explicit Parser(const std::string &T) : Text(T) {}
+
+  bool fail(const std::string &What) {
+    Err = What + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (C == ' ' || C == '\t' || C == '\n' || C == '\r') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool parse(Sexp *Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == ')')
+      return fail("unexpected ')'");
+    if (C == '(') {
+      ++Pos;
+      Out->IsAtom = false;
+      Out->Kids.clear();
+      for (;;) {
+        skipSpace();
+        if (Pos >= Text.size())
+          return fail("unterminated list");
+        if (Text[Pos] == ')') {
+          ++Pos;
+          return true;
+        }
+        Out->Kids.emplace_back();
+        if (!parse(&Out->Kids.back(), Depth + 1))
+          return false;
+      }
+    }
+    // Atom: everything up to whitespace, paren, or comment.
+    size_t Start = Pos;
+    while (Pos < Text.size()) {
+      char A = Text[Pos];
+      if (A == '(' || A == ')' || A == ';' || A == ' ' || A == '\t' ||
+          A == '\n' || A == '\r')
+        break;
+      ++Pos;
+    }
+    Out->IsAtom = true;
+    Out->Atom = Text.substr(Start, Pos - Start);
+    return true;
+  }
+};
+
+bool parseSexpTop(const std::string &Text, Sexp *Out, std::string *Err) {
+  Parser P(Text);
+  if (!P.parse(Out, 0)) {
+    *Err = P.Err;
+    return false;
+  }
+  P.skipSpace();
+  if (P.Pos != Text.size()) {
+    *Err = "trailing garbage at offset " + std::to_string(P.Pos);
+    return false;
+  }
+  return true;
+}
+
+bool isHead(const Sexp &S, const char *Name) {
+  return !S.IsAtom && !S.Kids.empty() && S.Kids[0].IsAtom &&
+         S.Kids[0].Atom == Name;
+}
+
+bool atomInt(const Sexp &S, int64_t *Out) {
+  if (!S.IsAtom || S.Atom.empty())
+    return false;
+  const char *C = S.Atom.c_str();
+  char *End = nullptr;
+  long long V = std::strtoll(C, &End, 10);
+  if (End != C + S.Atom.size())
+    return false;
+  *Out = V;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+using Env = std::map<std::string, ir::TypeKind>;
+
+struct OpInfo {
+  const char *Name;
+  ir::Op O;
+};
+
+const OpInfo OpTable[] = {
+    {"add", ir::Op::Add},       {"sub", ir::Op::Sub},
+    {"mul", ir::Op::Mul},       {"div", ir::Op::Div},
+    {"mod", ir::Op::Mod},       {"neg", ir::Op::Neg},
+    {"min", ir::Op::Min},       {"max", ir::Op::Max},
+    {"eq", ir::Op::Eq},         {"ne", ir::Op::Ne},
+    {"lt", ir::Op::Lt},         {"le", ir::Op::Le},
+    {"gt", ir::Op::Gt},         {"ge", ir::Op::Ge},
+    {"and", ir::Op::And},       {"or", ir::Op::Or},
+    {"not", ir::Op::Not},       {"ite", ir::Op::Ite},
+    {"bag-insert", ir::Op::BagInsertDistinct},
+    {"bag-union", ir::Op::BagUnion},
+    {"bag-size", ir::Op::BagSize},
+};
+
+const char *opText(ir::Op O) {
+  for (const OpInfo &I : OpTable)
+    if (I.O == O)
+      return I.Name;
+  return nullptr;
+}
+
+/// Strictly typed expression build; every operand is checked before the
+/// IR builders see it (the builders assert, this is the boundary that
+/// must reject instead).
+ir::ExprRef buildExpr(const Sexp &S, const Env &E, std::string *Err) {
+  using ir::TypeKind;
+  auto fail = [&](const std::string &What) -> ir::ExprRef {
+    if (Err->empty())
+      *Err = What;
+    return nullptr;
+  };
+  if (S.IsAtom) {
+    int64_t V;
+    if (atomInt(S, &V))
+      return ir::constInt(V);
+    if (S.Atom == "true")
+      return ir::constBool(true);
+    if (S.Atom == "false")
+      return ir::constBool(false);
+    auto It = E.find(S.Atom);
+    if (It == E.end())
+      return fail("unbound variable '" + S.Atom + "'");
+    return ir::var(It->first, It->second);
+  }
+  if (S.Kids.empty() || !S.Kids[0].IsAtom)
+    return fail("expected operator list");
+  const std::string &Head = S.Kids[0].Atom;
+  const OpInfo *Info = nullptr;
+  for (const OpInfo &I : OpTable)
+    if (Head == I.Name) {
+      Info = &I;
+      break;
+    }
+  if (!Info)
+    return fail("unknown operator '" + Head + "'");
+
+  std::vector<ir::ExprRef> Args;
+  for (size_t I = 1; I < S.Kids.size(); ++I) {
+    ir::ExprRef A = buildExpr(S.Kids[I], E, Err);
+    if (!A)
+      return nullptr;
+    Args.push_back(std::move(A));
+  }
+  auto want = [&](size_t N) { return Args.size() == N; };
+  auto allOf = [&](TypeKind K) {
+    for (const ir::ExprRef &A : Args)
+      if (A->getType() != K)
+        return false;
+    return true;
+  };
+  switch (Info->O) {
+  case ir::Op::Add:
+  case ir::Op::Sub:
+  case ir::Op::Mul:
+  case ir::Op::Div:
+  case ir::Op::Mod:
+  case ir::Op::Min:
+  case ir::Op::Max:
+    if (!want(2) || !allOf(TypeKind::Int))
+      return fail("'" + Head + "' wants two Int operands");
+    return ir::binary(Info->O, Args[0], Args[1]);
+  case ir::Op::Neg:
+    if (!want(1) || !allOf(TypeKind::Int))
+      return fail("'neg' wants one Int operand");
+    return ir::neg(Args[0]);
+  case ir::Op::Eq:
+  case ir::Op::Ne:
+  case ir::Op::Lt:
+  case ir::Op::Le:
+  case ir::Op::Gt:
+  case ir::Op::Ge:
+    if (!want(2) || !allOf(TypeKind::Int))
+      return fail("'" + Head + "' wants two Int operands");
+    return ir::binary(Info->O, Args[0], Args[1]);
+  case ir::Op::And:
+  case ir::Op::Or:
+    if (!want(2) || !allOf(TypeKind::Bool))
+      return fail("'" + Head + "' wants two Bool operands");
+    return ir::binary(Info->O, Args[0], Args[1]);
+  case ir::Op::Not:
+    if (!want(1) || !allOf(TypeKind::Bool))
+      return fail("'not' wants one Bool operand");
+    return ir::lnot(Args[0]);
+  case ir::Op::Ite:
+    if (!want(3) || Args[0]->getType() != TypeKind::Bool ||
+        Args[1]->getType() != Args[2]->getType())
+      return fail("'ite' wants (Bool, T, T)");
+    return ir::ite(Args[0], Args[1], Args[2]);
+  case ir::Op::BagInsertDistinct:
+    if (!want(2) || Args[0]->getType() != TypeKind::Bag ||
+        Args[1]->getType() != TypeKind::Int)
+      return fail("'bag-insert' wants (Bag, Int)");
+    return ir::bagInsertDistinct(Args[0], Args[1]);
+  case ir::Op::BagUnion:
+    if (!want(2) || !allOf(TypeKind::Bag))
+      return fail("'bag-union' wants two Bag operands");
+    return ir::bagUnion(Args[0], Args[1]);
+  case ir::Op::BagSize:
+    if (!want(1) || !allOf(TypeKind::Bag))
+      return fail("'bag-size' wants one Bag operand");
+    return ir::bagSize(Args[0]);
+  default:
+    return fail("operator '" + Head + "' is not an expression head");
+  }
+}
+
+void printExpr(const ir::ExprRef &E, std::string &Out) {
+  if (E->isConstInt()) {
+    Out += std::to_string(E->intValue());
+    return;
+  }
+  if (E->isConstBool()) {
+    Out += E->boolValue() ? "true" : "false";
+    return;
+  }
+  if (E->isVar()) {
+    Out += E->varName();
+    return;
+  }
+  const char *Name = opText(E->getOp());
+  Out += '(';
+  Out += Name ? Name : "?";
+  for (const ir::ExprRef &A : E->operands()) {
+    Out += ' ';
+    printExpr(A, Out);
+  }
+  Out += ')';
+}
+
+std::string exprText(const ir::ExprRef &E) {
+  std::string S;
+  printExpr(E, S);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Scenario / flavor names
+//===----------------------------------------------------------------------===//
+
+struct ScenarioName {
+  const char *Name;
+  synth::Scenario S;
+};
+const ScenarioName Scenarios[] = {
+    {"no-prefix", synth::Scenario::NoPrefix},
+    {"const-prefix", synth::Scenario::ConstPrefix},
+    {"cond-refold", synth::Scenario::CondPrefixRefold},
+    {"cond-summary", synth::Scenario::CondPrefixSummary},
+};
+
+struct FlavorName {
+  const char *Name;
+  synth::AccFlavor F;
+};
+const FlavorName Flavors[] = {
+    {"plus", synth::AccFlavor::Plus}, {"max", synth::AccFlavor::Max},
+    {"min", synth::AccFlavor::Min},   {"and", synth::AccFlavor::And},
+    {"or", synth::AccFlavor::Or},     {"set", synth::AccFlavor::SetLike},
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Programs
+//===----------------------------------------------------------------------===//
+
+std::string printProgramText(const lang::SerialProgram &P) {
+  std::string Out = "(program (name ";
+  Out += P.Name.empty() ? "anon" : P.Name;
+  Out += ") (state";
+  for (const lang::Field &F : P.State.fields()) {
+    Out += " (";
+    Out += F.Name;
+    switch (F.Ty) {
+    case ir::TypeKind::Int:
+      Out += " int " + std::to_string(F.InitInt);
+      break;
+    case ir::TypeKind::Bool:
+      Out += " bool " + std::to_string(F.InitInt ? 1 : 0);
+      break;
+    case ir::TypeKind::Bag:
+      Out += " bag";
+      break;
+    }
+    Out += ')';
+  }
+  Out += ") (step";
+  for (size_t I = 0; I < P.State.size(); ++I) {
+    Out += " (";
+    Out += P.State.field(I).Name;
+    Out += ' ';
+    Out += exprText(P.Step[I]);
+    Out += ')';
+  }
+  Out += ") (output ";
+  Out += exprText(P.Output);
+  Out += ')';
+  if (!P.InputAlphabet.empty()) {
+    Out += " (alphabet";
+    for (int64_t V : P.InputAlphabet)
+      Out += ' ' + std::to_string(V);
+    Out += ')';
+  }
+  Out += " (range " + std::to_string(P.GenLo) + ' ' + std::to_string(P.GenHi) +
+         ')';
+  if (!P.ExpectedGroup.empty())
+    Out += " (group " + P.ExpectedGroup + ')';
+  Out += ')';
+  return Out;
+}
+
+bool parseProgramText(const std::string &Text, lang::SerialProgram *Out,
+                      std::string *Err) {
+  Err->clear();
+  if (Text.size() > (1u << 20)) {
+    *Err = "program text too large";
+    return false;
+  }
+  Sexp Top;
+  if (!parseSexpTop(Text, &Top, Err))
+    return false;
+  if (!isHead(Top, "program")) {
+    *Err = "expected (program ...)";
+    return false;
+  }
+  lang::SerialProgram P;
+  const Sexp *StepClause = nullptr, *OutputClause = nullptr;
+  bool SawState = false, SawRange = false;
+  for (size_t I = 1; I < Top.Kids.size(); ++I) {
+    const Sexp &C = Top.Kids[I];
+    if (C.IsAtom || C.Kids.empty() || !C.Kids[0].IsAtom) {
+      *Err = "expected a (head ...) clause";
+      return false;
+    }
+    const std::string &Head = C.Kids[0].Atom;
+    if (Head == "name") {
+      if (C.Kids.size() != 2 || !C.Kids[1].IsAtom) {
+        *Err = "(name N) wants one atom";
+        return false;
+      }
+      P.Name = C.Kids[1].Atom;
+    } else if (Head == "state") {
+      if (SawState) {
+        *Err = "duplicate (state ...)";
+        return false;
+      }
+      SawState = true;
+      std::vector<lang::Field> Fields;
+      for (size_t J = 1; J < C.Kids.size(); ++J) {
+        const Sexp &FS = C.Kids[J];
+        if (FS.IsAtom || FS.Kids.size() < 2 || !FS.Kids[0].IsAtom ||
+            !FS.Kids[1].IsAtom) {
+          *Err = "state field wants (name type [init])";
+          return false;
+        }
+        lang::Field F;
+        F.Name = FS.Kids[0].Atom;
+        const std::string &Ty = FS.Kids[1].Atom;
+        if (Ty == "int" || Ty == "bool") {
+          F.Ty = Ty == "int" ? ir::TypeKind::Int : ir::TypeKind::Bool;
+          if (FS.Kids.size() != 3 || !atomInt(FS.Kids[2], &F.InitInt)) {
+            *Err = "field '" + F.Name + "' wants an integer init";
+            return false;
+          }
+          if (F.Ty == ir::TypeKind::Bool && F.InitInt != 0 && F.InitInt != 1) {
+            *Err = "bool field '" + F.Name + "' init must be 0/1";
+            return false;
+          }
+        } else if (Ty == "bag") {
+          F.Ty = ir::TypeKind::Bag;
+          if (FS.Kids.size() != 2) {
+            *Err = "bag field '" + F.Name + "' takes no init";
+            return false;
+          }
+        } else {
+          *Err = "unknown field type '" + Ty + "'";
+          return false;
+        }
+        for (const lang::Field &Prev : Fields)
+          if (Prev.Name == F.Name) {
+            *Err = "duplicate field '" + F.Name + "'";
+            return false;
+          }
+        if (F.Name == lang::inputVarName()) {
+          *Err = "field may not shadow '" + std::string(lang::inputVarName()) +
+                 "'";
+          return false;
+        }
+        Fields.push_back(std::move(F));
+      }
+      if (Fields.empty()) {
+        *Err = "state needs at least one field";
+        return false;
+      }
+      P.State = lang::StateLayout(std::move(Fields));
+    } else if (Head == "step") {
+      StepClause = &C;
+    } else if (Head == "output") {
+      OutputClause = &C;
+    } else if (Head == "alphabet") {
+      for (size_t J = 1; J < C.Kids.size(); ++J) {
+        int64_t V;
+        if (!atomInt(C.Kids[J], &V)) {
+          *Err = "alphabet wants integers";
+          return false;
+        }
+        P.InputAlphabet.push_back(V);
+      }
+    } else if (Head == "range") {
+      if (C.Kids.size() != 3 || !atomInt(C.Kids[1], &P.GenLo) ||
+          !atomInt(C.Kids[2], &P.GenHi) || P.GenLo > P.GenHi) {
+        *Err = "(range lo hi) wants lo <= hi";
+        return false;
+      }
+      SawRange = true;
+    } else if (Head == "group") {
+      if (C.Kids.size() != 2 || !C.Kids[1].IsAtom) {
+        *Err = "(group G) wants one atom";
+        return false;
+      }
+      P.ExpectedGroup = C.Kids[1].Atom;
+    } else if (Head == "desc") {
+      // Tolerated and ignored: display metadata.
+    } else {
+      *Err = "unknown program clause '" + Head + "'";
+      return false;
+    }
+  }
+  (void)SawRange;
+  if (!SawState || !StepClause || !OutputClause) {
+    *Err = "program needs (state ...), (step ...) and (output ...)";
+    return false;
+  }
+
+  Env E;
+  E[lang::inputVarName()] = ir::TypeKind::Int;
+  for (const lang::Field &F : P.State.fields())
+    E[F.Name] = F.Ty;
+
+  P.Step.assign(P.State.size(), nullptr);
+  for (size_t J = 1; J < StepClause->Kids.size(); ++J) {
+    const Sexp &SS = StepClause->Kids[J];
+    if (SS.IsAtom || SS.Kids.size() != 2 || !SS.Kids[0].IsAtom) {
+      *Err = "step wants (field expr) pairs";
+      return false;
+    }
+    int Idx = P.State.indexOf(SS.Kids[0].Atom);
+    if (Idx < 0) {
+      *Err = "step for unknown field '" + SS.Kids[0].Atom + "'";
+      return false;
+    }
+    if (P.Step[Idx]) {
+      *Err = "duplicate step for field '" + SS.Kids[0].Atom + "'";
+      return false;
+    }
+    ir::ExprRef Ex = buildExpr(SS.Kids[1], E, Err);
+    if (!Ex)
+      return false;
+    if (Ex->getType() != P.State.field(Idx).Ty) {
+      *Err = "step for '" + SS.Kids[0].Atom + "' has the wrong type";
+      return false;
+    }
+    P.Step[Idx] = std::move(Ex);
+  }
+  for (size_t I = 0; I < P.State.size(); ++I)
+    if (!P.Step[I]) {
+      *Err = "missing step for field '" + P.State.field(I).Name + "'";
+      return false;
+    }
+
+  if (OutputClause->Kids.size() != 2) {
+    *Err = "(output E) wants one expression";
+    return false;
+  }
+  P.Output = buildExpr(OutputClause->Kids[1], E, Err);
+  if (!P.Output)
+    return false;
+  *Out = std::move(P);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Plans
+//===----------------------------------------------------------------------===//
+
+std::string printPlanText(const synth::ParallelPlan &Plan) {
+  std::string Out = "(plan (scenario ";
+  for (const ScenarioName &S : Scenarios)
+    if (S.S == Plan.Kind)
+      Out += S.Name;
+  Out += ") (prefix " + std::to_string(Plan.PrefixLen) + ") (merge ";
+  Out += Plan.Merge.Refold ? '1' : '0';
+  for (const ir::ExprRef &C : Plan.Merge.Combine) {
+    Out += ' ';
+    Out += C ? exprText(C) : "_";
+  }
+  Out += ')';
+  if (Plan.Kind == synth::Scenario::CondPrefixRefold ||
+      Plan.Kind == synth::Scenario::CondPrefixSummary) {
+    const synth::CondPrefixInfo &CP = Plan.Cond;
+    Out += " (cond (pc " + exprText(CP.PrefixCond) + ") (ctrl";
+    for (size_t I : CP.CtrlFields)
+      Out += ' ' + std::to_string(I);
+    Out += ") (acc";
+    for (size_t I : CP.AccFields)
+      Out += ' ' + std::to_string(I);
+    Out += ") (flavors";
+    for (synth::AccFlavor F : CP.AccFlavors)
+      for (const FlavorName &FN : Flavors)
+        if (FN.F == F) {
+          Out += ' ';
+          Out += FN.Name;
+        }
+    Out += ") (vals";
+    for (const std::vector<int64_t> &Row : CP.CtrlValues) {
+      Out += " (";
+      for (size_t K = 0; K < Row.size(); ++K)
+        Out += (K ? " " : "") + std::to_string(Row[K]);
+      Out += ')';
+    }
+    auto table = [&](const char *Name,
+                     const std::vector<std::vector<ir::ExprRef>> &T) {
+      Out += ") (";
+      Out += Name;
+      for (const std::vector<ir::ExprRef> &Row : T) {
+        Out += " (";
+        for (size_t K = 0; K < Row.size(); ++K) {
+          if (K)
+            Out += ' ';
+          Out += Row[K] ? exprText(Row[K]) : "_";
+        }
+        Out += ')';
+      }
+    };
+    table("cstep", CP.CtrlStep);
+    table("mode", CP.AccMode);
+    table("arg", CP.AccArg);
+    Out += "))";
+  }
+  Out += ')';
+  return Out;
+}
+
+bool parsePlanText(const std::string &Text, const lang::SerialProgram &Prog,
+                   synth::ParallelPlan *Out, std::string *Err) {
+  Err->clear();
+  if (Text.size() > (1u << 20)) {
+    *Err = "plan text too large";
+    return false;
+  }
+  Sexp Top;
+  if (!parseSexpTop(Text, &Top, Err))
+    return false;
+  if (!isHead(Top, "plan")) {
+    *Err = "expected (plan ...)";
+    return false;
+  }
+
+  Env MergeEnv, InEnv;
+  InEnv[lang::inputVarName()] = ir::TypeKind::Int;
+  for (const lang::Field &F : Prog.State.fields()) {
+    MergeEnv["a_" + F.Name] = F.Ty;
+    MergeEnv["b_" + F.Name] = F.Ty;
+  }
+
+  synth::ParallelPlan P;
+  bool SawScenario = false;
+  const size_t NFields = Prog.State.size();
+
+  auto parseMaybeExpr = [&](const Sexp &S, const Env &E) -> ir::ExprRef {
+    if (S.IsAtom && S.Atom == "_")
+      return nullptr;
+    return buildExpr(S, E, Err);
+  };
+
+  for (size_t I = 1; I < Top.Kids.size(); ++I) {
+    const Sexp &C = Top.Kids[I];
+    if (C.IsAtom || C.Kids.empty() || !C.Kids[0].IsAtom) {
+      *Err = "expected a (head ...) clause";
+      return false;
+    }
+    const std::string &Head = C.Kids[0].Atom;
+    if (Head == "scenario") {
+      if (C.Kids.size() != 2 || !C.Kids[1].IsAtom) {
+        *Err = "(scenario S) wants one atom";
+        return false;
+      }
+      for (const ScenarioName &S : Scenarios)
+        if (C.Kids[1].Atom == S.Name) {
+          P.Kind = S.S;
+          SawScenario = true;
+        }
+      if (!SawScenario) {
+        *Err = "unknown scenario '" + C.Kids[1].Atom + "'";
+        return false;
+      }
+    } else if (Head == "prefix") {
+      int64_t V;
+      if (C.Kids.size() != 2 || !atomInt(C.Kids[1], &V) || V < 0 ||
+          V > 1000000) {
+        *Err = "(prefix K) wants a small non-negative integer";
+        return false;
+      }
+      P.PrefixLen = static_cast<int>(V);
+    } else if (Head == "merge") {
+      int64_t R;
+      if (C.Kids.size() < 2 || !atomInt(C.Kids[1], &R) || (R != 0 && R != 1)) {
+        *Err = "(merge R E...) wants R in {0,1}";
+        return false;
+      }
+      P.Merge.Refold = R == 1;
+      for (size_t J = 2; J < C.Kids.size(); ++J) {
+        Err->clear();
+        ir::ExprRef Ex = parseMaybeExpr(C.Kids[J], MergeEnv);
+        if (!Ex && !Err->empty())
+          return false;
+        if (Ex && J - 2 < NFields &&
+            Ex->getType() != Prog.State.field(J - 2).Ty) {
+          *Err = "merge expr " + std::to_string(J - 2) + " has the wrong type";
+          return false;
+        }
+        P.Merge.Combine.push_back(std::move(Ex));
+      }
+      if (!P.Merge.Combine.empty() && P.Merge.Combine.size() != NFields) {
+        *Err = "merge wants one expr per state field";
+        return false;
+      }
+    } else if (Head == "cond") {
+      synth::CondPrefixInfo &CP = P.Cond;
+      for (size_t J = 1; J < C.Kids.size(); ++J) {
+        const Sexp &CC = C.Kids[J];
+        if (CC.IsAtom || CC.Kids.empty() || !CC.Kids[0].IsAtom) {
+          *Err = "cond wants (head ...) clauses";
+          return false;
+        }
+        const std::string &CH = CC.Kids[0].Atom;
+        if (CH == "pc") {
+          if (CC.Kids.size() != 2) {
+            *Err = "(pc E) wants one expression";
+            return false;
+          }
+          CP.PrefixCond = buildExpr(CC.Kids[1], InEnv, Err);
+          if (!CP.PrefixCond)
+            return false;
+          if (CP.PrefixCond->getType() != ir::TypeKind::Bool) {
+            *Err = "prefix condition must be Bool";
+            return false;
+          }
+        } else if (CH == "ctrl" || CH == "acc") {
+          std::vector<size_t> &Dst =
+              CH == "ctrl" ? CP.CtrlFields : CP.AccFields;
+          for (size_t K = 1; K < CC.Kids.size(); ++K) {
+            int64_t V;
+            if (!atomInt(CC.Kids[K], &V) || V < 0 ||
+                static_cast<size_t>(V) >= NFields) {
+              *Err = "'" + CH + "' wants field indices";
+              return false;
+            }
+            Dst.push_back(static_cast<size_t>(V));
+          }
+        } else if (CH == "flavors") {
+          for (size_t K = 1; K < CC.Kids.size(); ++K) {
+            bool Found = false;
+            for (const FlavorName &FN : Flavors)
+              if (CC.Kids[K].IsAtom && CC.Kids[K].Atom == FN.Name) {
+                CP.AccFlavors.push_back(FN.F);
+                Found = true;
+              }
+            if (!Found) {
+              *Err = "unknown accumulator flavor";
+              return false;
+            }
+          }
+        } else if (CH == "vals") {
+          for (size_t K = 1; K < CC.Kids.size(); ++K) {
+            if (CC.Kids[K].IsAtom) {
+              *Err = "vals wants rows of integers";
+              return false;
+            }
+            std::vector<int64_t> Row;
+            for (const Sexp &Cell : CC.Kids[K].Kids) {
+              int64_t V;
+              if (!atomInt(Cell, &V)) {
+                *Err = "vals wants integers";
+                return false;
+              }
+              Row.push_back(V);
+            }
+            CP.CtrlValues.push_back(std::move(Row));
+          }
+        } else if (CH == "cstep" || CH == "mode" || CH == "arg") {
+          std::vector<std::vector<ir::ExprRef>> &Dst =
+              CH == "cstep" ? CP.CtrlStep
+                            : (CH == "mode" ? CP.AccMode : CP.AccArg);
+          for (size_t K = 1; K < CC.Kids.size(); ++K) {
+            if (CC.Kids[K].IsAtom) {
+              *Err = "'" + CH + "' wants rows of expressions";
+              return false;
+            }
+            std::vector<ir::ExprRef> Row;
+            for (const Sexp &Cell : CC.Kids[K].Kids) {
+              Err->clear();
+              ir::ExprRef Ex = parseMaybeExpr(Cell, InEnv);
+              if (!Ex && !Err->empty())
+                return false;
+              Row.push_back(std::move(Ex));
+            }
+            Dst.push_back(std::move(Row));
+          }
+        } else {
+          *Err = "unknown cond clause '" + CH + "'";
+          return false;
+        }
+      }
+    } else {
+      *Err = "unknown plan clause '" + Head + "'";
+      return false;
+    }
+  }
+  if (!SawScenario) {
+    *Err = "plan needs (scenario ...)";
+    return false;
+  }
+
+  // Shape validation for conditional-prefix tables: the runtime indexes
+  // these without checks, so reject inconsistency here.
+  if (P.Kind == synth::Scenario::CondPrefixRefold ||
+      P.Kind == synth::Scenario::CondPrefixSummary) {
+    synth::CondPrefixInfo &CP = P.Cond;
+    if (!CP.PrefixCond) {
+      *Err = "cond plan needs (pc E)";
+      return false;
+    }
+    if (CP.AccFlavors.size() != CP.AccFields.size()) {
+      *Err = "flavors must parallel acc fields";
+      return false;
+    }
+    size_t NV = CP.CtrlValues.size();
+    auto rows = [&](const std::vector<std::vector<ir::ExprRef>> &T,
+                    size_t Width) {
+      if (T.size() != NV)
+        return false;
+      for (const std::vector<ir::ExprRef> &Row : T)
+        if (Row.size() != Width)
+          return false;
+      return true;
+    };
+    for (const std::vector<int64_t> &Row : CP.CtrlValues)
+      if (Row.size() != CP.CtrlFields.size()) {
+        *Err = "vals row width must match ctrl fields";
+        return false;
+      }
+    if (P.Kind == synth::Scenario::CondPrefixSummary) {
+      if (!rows(CP.CtrlStep, CP.CtrlFields.size()) ||
+          !rows(CP.AccMode, CP.AccFields.size()) ||
+          !rows(CP.AccArg, CP.AccFields.size())) {
+        *Err = "summary tables must be (valuations x fields)";
+        return false;
+      }
+    }
+  }
+  *Out = std::move(P);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Bytecode listing
+//===----------------------------------------------------------------------===//
+
+std::string disassembleBytecode(const ir::BytecodeFunction &F) {
+  static const char *Names[] = {"const", "copy", "add", "sub", "mul",
+                                "div",   "mod",  "neg", "min", "max",
+                                "eq",    "ne",   "lt",  "le",  "gt",
+                                "ge",    "and",  "or",  "not", "select"};
+  std::ostringstream OS;
+  OS << "fn inputs=" << F.numInputs() << " regs=" << F.numRegs() << " out=[";
+  for (size_t I = 0; I < F.outputRegs().size(); ++I)
+    OS << (I ? " " : "") << 'r' << F.outputRegs()[I];
+  OS << "]\n";
+  const std::vector<ir::BcInstr> &Is = F.instrs();
+  for (size_t I = 0; I < Is.size(); ++I) {
+    const ir::BcInstr &In = Is[I];
+    OS << "  " << I << ": " << Names[static_cast<unsigned>(In.Opcode)] << " r"
+       << In.Dst;
+    if (In.Opcode == ir::BcOp::Const) {
+      OS << ", " << In.Imm;
+    } else {
+      unsigned N = ir::bcNumOperands(In.Opcode);
+      if (N >= 1)
+        OS << ", r" << In.A;
+      if (N >= 2)
+        OS << ", r" << In.B;
+      if (N >= 3)
+        OS << ", r" << In.C;
+    }
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+} // namespace serve
+} // namespace grassp

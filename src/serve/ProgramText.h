@@ -1,0 +1,81 @@
+//===- serve/ProgramText.h - Textual program/plan exchange format --------===//
+//
+// The serve service is spoken to by clients that do not share our
+// address space, so programs and synthesized plans need a serialized
+// form. This is a small s-expression format, chosen over ad-hoc JSON
+// because IR terms are trees and because the cache journal embeds both
+// texts inside single-line JSON records (the printers emit exactly one
+// line, no newlines ever).
+//
+// A program:
+//
+//   (program (name count_gt)
+//            (state (cnt int 0))
+//            (step (cnt (ite (gt in 5) (add cnt 1) cnt)))
+//            (output cnt)
+//            (alphabet 1 2 3)      ; optional
+//            (range -100 100)      ; optional, defaults -100 100
+//            (group B1))           ; optional expected Table-1 group
+//
+// Expressions are prefix lists over the IR ops (add sub mul div mod neg
+// min max eq ne lt le gt ge and or not ite bag-insert bag-union
+// bag-size), integer literals, true/false, and variables resolved
+// against a typing environment — a program's step/output see its state
+// fields plus "in"; a plan's exprs see "in" and the "a_<field>" /
+// "b_<field>" merge operands. `;` starts a comment to end of line.
+//
+// A plan (parsed against its program for field count/typing):
+//
+//   (plan (scenario no-prefix|const-prefix|cond-refold|cond-summary)
+//         (prefix K)
+//         (merge R E...)          ; R=0/1 refold flag; one E per field,
+//                                 ; `_` for a field with no combine expr
+//         (cond (pc E) (ctrl I...) (acc I...) (flavors F...)
+//               (vals (I...)...) (cstep (E...)...)
+//               (mode (E...)...) (arg (E...)...)))
+//
+// Parsers are strict: unknown heads, unbound variables, type-incorrect
+// operands, wrong table shapes, or torn input all fail with a message —
+// this is the validation boundary for bytes that cross the socket or
+// come back out of the on-disk cache.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SERVE_PROGRAMTEXT_H
+#define GRASSP_SERVE_PROGRAMTEXT_H
+
+#include "ir/Bytecode.h"
+#include "lang/Program.h"
+#include "synth/ParallelPlan.h"
+
+#include <string>
+
+namespace grassp {
+namespace serve {
+
+/// Renders \p P as one line of program text (no newlines; the journal
+/// embeds it in a JSON string). Description is intentionally dropped —
+/// it is display metadata, not semantics.
+std::string printProgramText(const lang::SerialProgram &P);
+
+/// Strict parse; false (with \p Err set) on any malformed input.
+bool parseProgramText(const std::string &Text, lang::SerialProgram *Out,
+                      std::string *Err);
+
+/// Renders \p Plan as one line of plan text.
+std::string printPlanText(const synth::ParallelPlan &Plan);
+
+/// Strict parse against \p Prog (field indices and merge arity are
+/// validated against its state layout).
+bool parsePlanText(const std::string &Text, const lang::SerialProgram &Prog,
+                   synth::ParallelPlan *Out, std::string *Err);
+
+/// Human-readable listing of a compiled fold function — the "bytecode"
+/// field of a synth reply, so a cache hit hands back the executable
+/// artifact with zero solver work.
+std::string disassembleBytecode(const ir::BytecodeFunction &F);
+
+} // namespace serve
+} // namespace grassp
+
+#endif // GRASSP_SERVE_PROGRAMTEXT_H

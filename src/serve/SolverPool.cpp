@@ -1,0 +1,466 @@
+//===- serve/SolverPool.cpp ----------------------------------------------==//
+
+#include "serve/SolverPool.h"
+
+#include "chc/Certify.h"
+#include "runtime/Runner.h"
+#include "serve/ProgramText.h"
+#include "synth/Grassp.h"
+
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace grassp {
+namespace serve {
+
+namespace {
+
+CertWire certWireOf(chc::CertStatus S) {
+  switch (S) {
+  case chc::CertStatus::Certified:
+    return CertWire::Certified;
+  case chc::CertStatus::NotCertified:
+    return CertWire::NotCertified;
+  case chc::CertStatus::Unknown:
+    return CertWire::Unknown;
+  case chc::CertStatus::Unsupported:
+    return CertWire::Unsupported;
+  }
+  return CertWire::Unknown;
+}
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// Human-readable decode of a worker's wait status.
+std::string describeWait(int St) {
+  std::ostringstream OS;
+  if (WIFSIGNALED(St))
+    OS << "killed by signal " << WTERMSIG(St);
+  else if (WIFEXITED(St))
+    OS << "exited with status " << WEXITSTATUS(St);
+  else
+    OS << "ended with wait status " << St;
+  return OS.str();
+}
+
+/// The fault key for one (key, attempt) pair: pure, so a chaos run
+/// replays the exact same kill/hang pattern from its seed.
+uint64_t attemptFaultKey(uint64_t Key, unsigned Attempt) {
+  uint64_t X = Key + 0x9e3779b97f4a7c15ULL * (Attempt + 1);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  return X;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The worker child
+//===----------------------------------------------------------------------===//
+
+[[noreturn]] void solverWorkerMain(int Fd, FaultInjector *Faults) {
+  ignoreSigpipe();
+  dist::FrameWriter Writer;
+  for (;;) {
+    dist::Frame F;
+    dist::RecvStatus S = dist::readFrameBlocking(Fd, &F);
+    if (S != dist::RecvStatus::Ok)
+      ::_exit(0); // server gone or channel untrusted: clean end.
+    if (F.Type == dist::MsgType::Shutdown)
+      ::_exit(0);
+    if (F.Type != dist::MsgType::SolveJob)
+      continue; // stray frame; stay in lockstep.
+
+    SolveJobMsg Job;
+    if (!decodeSolveJob(F.Payload, &Job))
+      ::_exit(0); // checksummed but undecodable: give up loudly.
+
+    // The REAL faults, decided before any solver work so the server's
+    // death handling sees a job-holding casualty.
+    if (Faults) {
+      if (Faults->shouldFailKeyed(FaultSiteWorkerKill, Job.FaultKey)) {
+        ::raise(SIGKILL);
+        ::_exit(137); // unreachable; belt and braces.
+      }
+      if (Faults->shouldFailKeyed(FaultSiteWorkerHang, Job.FaultKey)) {
+        // Go silent holding the job: the pool's per-job deadline must
+        // notice and SIGKILL us.
+        for (;;)
+          ::pause();
+      }
+    }
+
+    SolveDoneMsg Done;
+    Done.JobId = Job.JobId;
+    Done.Key = Job.Key;
+    try {
+      lang::SerialProgram Prog;
+      std::string Err;
+      if (!parseProgramText(Job.Program, &Prog, &Err)) {
+        Done.Solved = 0;
+        Done.FailureReason = "unparsable program: " + Err;
+      } else {
+        synth::SynthOptions SO;
+        SO.Bounds.SmtTimeoutMs = Job.SmtTimeoutMs;
+        synth::SynthesisResult R = synth::synthesize(Prog, SO);
+        Done.Seconds = R.SynthSeconds;
+        Done.Candidates = R.CandidatesTried;
+        Done.SmtChecks = R.SmtChecks;
+        if (R.Success) {
+          Done.Solved = 1;
+          Done.Group = R.Group;
+          Done.PlanText = printPlanText(R.Plan);
+          chc::CertifyOptions CO;
+          CO.TimeoutMs = Job.CertTimeoutMs;
+          chc::CertifyOutcome C = chc::certify(Prog, R.Plan, CO);
+          Done.Cert = certWireOf(C.Status);
+        } else {
+          Done.Solved = 0;
+          Done.FailureReason =
+              R.FailureReason.empty() ? "no plan found" : R.FailureReason;
+        }
+      }
+    } catch (const std::exception &E) {
+      Done.Solved = 0;
+      Done.FailureReason = std::string("solver exception: ") + E.what();
+    }
+
+    encodeSolveDone(Done, Writer.payload());
+    if (!Writer.send(Fd, dist::MsgType::SolveDone))
+      ::_exit(0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The parent-side pool
+//===----------------------------------------------------------------------===//
+
+SolverPool::~SolverPool() { shutdown(0.5); }
+
+bool SolverPool::spawnWorker(std::string *Err) {
+  int Fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0) {
+    if (Err)
+      *Err = std::string("socketpair: ") + std::strerror(errno);
+    return false;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    if (Err)
+      *Err = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child: drop the parent end and every server resource the owner
+    // registered (listen socket, client fds, cache journal fd), then
+    // serve solves until told otherwise.
+    ::close(Fds[0]);
+    if (Opts.AtForkChild)
+      Opts.AtForkChild();
+    solverWorkerMain(Fds[1], Opts.Faults);
+  }
+  ::close(Fds[1]);
+  setNonBlocking(Fds[0]);
+  Worker W;
+  W.Pid = Pid;
+  W.Fd = Fds[0];
+  Workers.push_back(std::move(W));
+  return true;
+}
+
+bool SolverPool::start(const SolverPoolOptions &O, std::string *Err) {
+  Opts = O;
+  for (size_t I = 0; I != Opts.PoolSize; ++I)
+    if (!spawnWorker(Err))
+      return false;
+  Started = true;
+  return true;
+}
+
+uint64_t SolverPool::submit(uint64_t Key, const std::string &ProgramText) {
+  Job J;
+  J.JobId = NextJobId++;
+  J.Key = Key;
+  J.Program = ProgramText;
+  J.PrevBackoff = Opts.BackoffBaseSec;
+  Pending.push_back(std::move(J));
+  ++Counters.Submitted;
+  return Pending.back().JobId;
+}
+
+bool SolverPool::quarantined(uint64_t Key, uint32_t *RetryAfterMs) {
+  auto It = Quarantine.find(Key);
+  if (It == Quarantine.end())
+    return false;
+  if (It->second.expired()) {
+    // Quarantine served: the key gets a fresh chance (and a fresh
+    // breaker count — the next death starts the count over).
+    Quarantine.erase(It);
+    BreakerCount.erase(Key);
+    return false;
+  }
+  if (RetryAfterMs) {
+    double Sec = It->second.remainingSeconds();
+    *RetryAfterMs = static_cast<uint32_t>(Sec * 1000.0) + 1;
+  }
+  return true;
+}
+
+void SolverPool::pollFds(std::vector<struct pollfd> *Out) const {
+  for (const Worker &W : Workers)
+    if (W.Fd >= 0)
+      Out->push_back({W.Fd, POLLIN, 0});
+}
+
+size_t SolverPool::idleWorkers() const {
+  size_t N = 0;
+  for (const Worker &W : Workers)
+    if (W.Fd >= 0 && !W.Busy)
+      ++N;
+  return N;
+}
+
+size_t SolverPool::liveWorkers() const {
+  size_t N = 0;
+  for (const Worker &W : Workers)
+    if (W.Fd >= 0)
+      ++N;
+  return N;
+}
+
+size_t SolverPool::inFlightJobs() const {
+  size_t N = 0;
+  for (const Worker &W : Workers)
+    if (W.Fd >= 0 && W.Busy)
+      ++N;
+  return N;
+}
+
+void SolverPool::failAttempt(Job J, const std::string &Reason,
+                             std::vector<SolveOutcome> *Out) {
+  ++Counters.WorkerDeaths;
+  unsigned &Fails = BreakerCount[J.Key];
+  ++Fails;
+  if (Fails >= Opts.BreakerFailures) {
+    // Circuit broken: quarantine the key and tell the waiters. The
+    // count stays until the quarantine expires (see quarantined()).
+    Quarantine[J.Key] = Deadline::after(Opts.QuarantineSec);
+    ++Counters.BreakerTrips;
+    SolveOutcome O;
+    O.JobId = J.JobId;
+    O.Key = J.Key;
+    O.Outcome = SolveOutcome::Kind::Quarantined;
+    O.FailureReason = Reason + " (" + std::to_string(Fails) +
+                      " consecutive solver deaths; key quarantined)";
+    O.RetryAfterMs = static_cast<uint32_t>(Opts.QuarantineSec * 1000.0) + 1;
+    Out->push_back(std::move(O));
+    return;
+  }
+  if (J.Attempt + 1 < Opts.MaxAttempts) {
+    // Requeue with decorrelated jitter so correlated deaths spread out.
+    ++Counters.Retries;
+    J.PrevBackoff = runtime::decorrelatedBackoff(
+        Opts.BackoffBaseSec, Opts.BackoffCapSec, J.PrevBackoff, Opts.Seed,
+        attemptFaultKey(J.Key, J.Attempt));
+    ++J.Attempt;
+    J.ReadyAt = Deadline::after(J.PrevBackoff);
+    Pending.push_back(std::move(J));
+    return;
+  }
+  ++Counters.Exhausted;
+  SolveOutcome O;
+  O.JobId = J.JobId;
+  O.Key = J.Key;
+  O.Outcome = SolveOutcome::Kind::Exhausted;
+  O.FailureReason = Reason + " after " + std::to_string(J.Attempt + 1) +
+                    " attempts";
+  Out->push_back(std::move(O));
+}
+
+void SolverPool::handleWorkerDown(size_t Idx, std::vector<SolveOutcome> *Out) {
+  Worker &W = Workers[Idx];
+  ::close(W.Fd);
+  W.Fd = -1;
+  int St = 0;
+  std::string Reason = "solver worker died";
+  // The fd is closed, so the child (if merely wedged rather than dead)
+  // got EOF; give waitpid one blocking chance after a SIGKILL nudge.
+  ::kill(W.Pid, SIGKILL);
+  if (::waitpid(W.Pid, &St, 0) == W.Pid)
+    Reason = "solver worker " + describeWait(St);
+  W.Pid = -1;
+  if (W.Busy) {
+    W.Busy = false;
+    failAttempt(std::move(W.Current), Reason, Out);
+    W.Current = Job();
+  }
+  // Keep the pool at strength unless we are shutting down or the
+  // fork-bomb backstop tripped.
+  if (!ShutDown && Counters.Respawns < Opts.MaxRespawns) {
+    std::string Err;
+    if (spawnWorker(&Err))
+      ++Counters.Respawns;
+  }
+}
+
+void SolverPool::dispatchReady() {
+  for (size_t I = 0; I != Workers.size() && !Pending.empty(); ++I) {
+    Worker &W = Workers[I];
+    if (W.Fd < 0 || W.Busy)
+      continue;
+    // Find the first pending job whose backoff has elapsed.
+    size_t Pick = Pending.size();
+    for (size_t J = 0; J != Pending.size(); ++J) {
+      if (Pending[J].ReadyAt.isNever() || Pending[J].ReadyAt.expired()) {
+        Pick = J;
+        break;
+      }
+    }
+    if (Pick == Pending.size())
+      return; // everything queued is still backing off.
+    Job J = std::move(Pending[Pick]);
+    Pending.erase(Pending.begin() + static_cast<long>(Pick));
+
+    SolveJobMsg Msg;
+    Msg.JobId = J.JobId;
+    Msg.Key = J.Key;
+    // Fold the JobId in so a RE-SUBMISSION of a previously exhausted or
+    // quarantined key redraws its fault fate: without it, a key whose
+    // (seed, key, 0..2) draws all land on "kill" can never solve, no
+    // matter how often clients retry. JobIds are assigned in submit
+    // order, so a chaos campaign still replays exactly from its seed.
+    Msg.FaultKey = attemptFaultKey(J.Key ^ (J.JobId * 0x9e3779b97f4a7c15ULL),
+                                   J.Attempt);
+    Msg.SmtTimeoutMs = Opts.SmtTimeoutMs;
+    Msg.CertTimeoutMs = Opts.CertTimeoutMs;
+    Msg.Program = J.Program;
+    encodeSolveJob(Msg, W.Writer.payload());
+    if (!W.Writer.send(W.Fd, dist::MsgType::SolveJob)) {
+      // Send failed: the worker is gone. Requeue the job unscathed (the
+      // death path will also run when pump notices the fd) and mark the
+      // worker down right here so we do not loop on it.
+      Pending.push_front(std::move(J));
+      std::vector<SolveOutcome> Ignore;
+      handleWorkerDown(I, &Ignore);
+      continue;
+    }
+    W.Busy = true;
+    W.Current = std::move(J);
+    W.JobDeadline = Deadline::after(Opts.JobDeadlineSec);
+  }
+}
+
+void SolverPool::pump(std::vector<SolveOutcome> *Out) {
+  if (!Started || ShutDown)
+    return;
+
+  for (size_t I = 0; I != Workers.size(); ++I) {
+    Worker &W = Workers[I];
+    if (W.Fd < 0)
+      continue;
+
+    // Deadline-blown hang: SIGKILL; the read below then sees EOF.
+    if (W.Busy && W.JobDeadline.expired()) {
+      ++Counters.DeadlineKills;
+      ::kill(W.Pid, SIGKILL);
+    }
+
+    // Drain whatever the worker sent; nonblocking, so an idle worker
+    // costs one EAGAIN.
+    bool Down = false;
+    for (;;) {
+      dist::RecvStatus S = W.Reader.fill(W.Fd);
+      if (S == dist::RecvStatus::NeedMore)
+        break;
+      if (S != dist::RecvStatus::Ok) {
+        Down = true;
+        break;
+      }
+    }
+    for (;;) {
+      dist::Frame F;
+      dist::RecvStatus S = W.Reader.next(&F);
+      if (S == dist::RecvStatus::NeedMore)
+        break;
+      if (S != dist::RecvStatus::Ok) {
+        Down = true; // corrupt framing: the worker cannot be trusted.
+        break;
+      }
+      if (F.Type != dist::MsgType::SolveDone)
+        continue;
+      SolveDoneMsg Done;
+      if (!decodeSolveDone(F.Payload, &Done)) {
+        Down = true;
+        break;
+      }
+      // A reply for a stale job (e.g. after a deadline kill raced the
+      // answer) is dropped; the retry already owns the job id.
+      if (!W.Busy || Done.JobId != W.Current.JobId)
+        continue;
+      ++Counters.Completed;
+      BreakerCount.erase(Done.Key); // infrastructure healthy for this key.
+      SolveOutcome O;
+      O.JobId = Done.JobId;
+      O.Key = Done.Key;
+      O.Done = std::move(Done);
+      O.Outcome = SolveOutcome::Kind::Done;
+      Out->push_back(std::move(O));
+      W.Busy = false;
+      W.Current = Job();
+    }
+    if (Down)
+      handleWorkerDown(I, Out);
+  }
+
+  dispatchReady();
+}
+
+void SolverPool::shutdown(double GraceSec) {
+  if (!Started || ShutDown)
+    return;
+  ShutDown = true;
+  for (Worker &W : Workers) {
+    if (W.Fd < 0)
+      continue;
+    W.Writer.payload();
+    W.Writer.send(W.Fd, dist::MsgType::Shutdown);
+  }
+  Deadline Grace = Deadline::after(GraceSec);
+  for (Worker &W : Workers) {
+    if (W.Pid <= 0)
+      continue;
+    for (;;) {
+      int St = 0;
+      pid_t R = ::waitpid(W.Pid, &St, WNOHANG);
+      if (R == W.Pid || (R < 0 && errno == ECHILD))
+        break;
+      if (Grace.expired()) {
+        ::kill(W.Pid, SIGKILL);
+        ::waitpid(W.Pid, &St, 0);
+        break;
+      }
+      ::usleep(2000);
+    }
+    if (W.Fd >= 0)
+      ::close(W.Fd);
+    W.Fd = -1;
+    W.Pid = -1;
+    W.Busy = false;
+  }
+  Pending.clear();
+}
+
+} // namespace serve
+} // namespace grassp

@@ -210,16 +210,29 @@ void CancelToken::removeOnCancel(uint64_t Id) const {
 
 namespace {
 
-/// The only thing a signal handler may do: set a lock-free flag.
-volatile std::sig_atomic_t GSignalFlag = 0;
+/// The only thing a signal handler may do: set a lock-free flag. A
+/// real atomic, not volatile sig_atomic_t: the handler runs on
+/// whichever thread the kernel picked while the watcher reads from its
+/// own thread, so this is cross-THREAD communication, not just
+/// handler-vs-interrupted-code (volatile would be a data race there).
+/// Lock-free atomic int stores are async-signal-safe.
+std::atomic<int> GSignalFlag{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler needs a lock-free flag");
 
-void signalHandler(int Sig) { GSignalFlag = Sig; }
+void signalHandler(int Sig) {
+  GSignalFlag.store(Sig, std::memory_order_relaxed);
+}
 
 /// Polls the flag at ~20ms and fires the root token once. The thread is
 /// joined from the static destructor — never detached — so TSan sees a
 /// clean teardown and exit() cannot race a live watcher.
 struct SignalSource {
   CancelToken Root = CancelToken::root();
+  CancelToken Drain = CancelToken::root();
+  /// Set by installDrainSignalSource(): the first SIGTERM fires Drain
+  /// only; anything after it (or any SIGINT) hard-fires Root.
+  std::atomic<bool> DrainArmed{false};
   std::atomic<int> FiredSignal{0};
   std::atomic<bool> Stop{false};
   std::thread Watcher;
@@ -228,14 +241,30 @@ struct SignalSource {
     std::signal(SIGINT, signalHandler);
     std::signal(SIGTERM, signalHandler);
     Watcher = std::thread([this] {
+      bool DrainFired = false;
       while (!Stop.load(std::memory_order_acquire)) {
-        int Sig = GSignalFlag;
+        int Sig = GSignalFlag.load(std::memory_order_relaxed);
         if (Sig != 0) {
+          if (Sig == SIGTERM && !DrainFired &&
+              DrainArmed.load(std::memory_order_acquire)) {
+            // Graceful path: consume the flag, re-arm the handlers
+            // (std::signal may be one-shot), fire only the drain
+            // token, and keep watching for the hard follow-up.
+            DrainFired = true;
+            GSignalFlag.store(0, std::memory_order_relaxed);
+            std::signal(SIGTERM, signalHandler);
+            std::signal(SIGINT, signalHandler);
+            Drain.cancel();
+            continue;
+          }
           FiredSignal.store(Sig, std::memory_order_release);
           // Restore defaults first: a second Ctrl-C during shutdown
           // kills the process the classic way instead of queueing.
           std::signal(SIGINT, SIG_DFL);
           std::signal(SIGTERM, SIG_DFL);
+          // A hard fire implies drain: nothing may keep waiting on the
+          // graceful token once the run is being torn down.
+          Drain.cancel();
           Root.cancel();
           return;
         }
@@ -259,9 +288,17 @@ SignalSource &signalSource() {
 
 CancelToken installSignalSource() { return signalSource().Root; }
 
+CancelToken installDrainSignalSource() {
+  SignalSource &S = signalSource();
+  S.DrainArmed.store(true, std::memory_order_release);
+  return S.Drain;
+}
+
 int signalExitCode() {
   int Sig = signalSource().FiredSignal.load(std::memory_order_acquire);
   return Sig == 0 ? 0 : 128 + Sig;
 }
+
+void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
 
 } // namespace grassp

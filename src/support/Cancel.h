@@ -35,6 +35,13 @@
 // ~20ms, fires the token, and restores the default handler so a second
 // Ctrl-C hard-kills a stuck process the classic way.
 //
+// installDrainSignalSource() layers graceful shutdown on top for
+// long-lived services: once armed, the FIRST SIGTERM fires only the
+// returned drain token (finish in-flight work, snapshot, exit 0) and
+// re-arms the handlers; SIGINT — unchanged — or a SECOND SIGTERM still
+// fires the hard root token and restores SIG_DFL. Batch tools that
+// never arm drain keep the historical exit-fast semantics.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef GRASSP_SUPPORT_CANCEL_H
@@ -145,9 +152,26 @@ private:
 /// long-running subcommand derives its run token from this.
 CancelToken installSignalSource();
 
-/// 128 + signal number once the source fired (130 for SIGINT, 143 for
-/// SIGTERM — the exit codes a shell expects), 0 while it has not.
+/// Arms SIGTERM-initiated graceful drain on the same source (idempotent)
+/// and returns the drain token: the first SIGTERM fires it — and ONLY
+/// it — then re-arms the handlers; SIGINT or a second SIGTERM fires the
+/// hard root token from installSignalSource() exactly as before (a hard
+/// fire cancels the drain token too, so drain waiters never outlive the
+/// root). Services poll drain for "stop accepting, finish, exit clean"
+/// and the root for "abandon everything now".
+CancelToken installDrainSignalSource();
+
+/// 128 + signal number once the source HARD-fired (130 for SIGINT, 143
+/// for SIGTERM — the exit codes a shell expects), 0 while it has not.
+/// A drain-only SIGTERM does not count: a clean drain exits 0.
 int signalExitCode();
+
+/// Sets SIGPIPE to SIG_IGN process-wide (idempotent). Every component
+/// that writes to sockets or pipes calls this so a dead peer surfaces
+/// as EPIPE through the normal I/O error path instead of killing the
+/// process. FrameWriter also passes MSG_NOSIGNAL; this covers every
+/// other write.
+void ignoreSigpipe();
 
 } // namespace grassp
 

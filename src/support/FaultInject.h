@@ -28,6 +28,16 @@
 //   dist.worker.hang   worker goes silent (no result, no heartbeat)
 //   dist.frame.corrupt worker flips a byte in its reply frame
 //
+// The serve.* sites are the service-layer faults (src/serve/), also
+// real: a solver worker process dies or wedges mid-solve, the cache
+// snapshot is torn mid-write, a client vanishes mid-request:
+//   serve.worker.kill    solver worker raise(SIGKILL)s on job receipt
+//   serve.worker.hang    solver worker goes silent holding the job
+//   serve.snapshot.torn  cache snapshot truncated at a drawn byte (and
+//                        the journal kept), proving journal-is-truth
+//   serve.client.disconnect  (client-side) connection dropped after a
+//                        truncated request frame
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef GRASSP_SUPPORT_FAULTINJECT_H

@@ -1,0 +1,167 @@
+//===- support/Journal.cpp ------------------------------------------------==//
+
+#include "support/Journal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace grassp {
+namespace support {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20)
+      continue;
+    Out += C;
+  }
+  return Out;
+}
+
+bool jsonStringField(const std::string &Line, const std::string &Key,
+                     std::string *Out) {
+  std::string Needle = "\"" + Key + "\":\"";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  size_t Start = At + Needle.size();
+  // Honor the writer's escaping: an unescaped '"' ends the value.
+  std::string Val;
+  size_t I = Start;
+  for (; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (C == '\\' && I + 1 < Line.size()) {
+      Val += Line[++I];
+      continue;
+    }
+    if (C == '"')
+      break;
+    Val += C;
+  }
+  if (I >= Line.size())
+    return false; // unterminated string — torn mid-value.
+  *Out = Val;
+  return true;
+}
+
+bool jsonNumberField(const std::string &Line, const std::string &Key,
+                     double *Out) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  const char *Start = Line.c_str() + At + Needle.size();
+  char *End = nullptr;
+  double V = std::strtod(Start, &End);
+  if (End == Start)
+    return false;
+  *Out = V;
+  return true;
+}
+
+bool journalLineWellFormed(const std::string &Line) {
+  return Line.size() >= 2 && Line.front() == '{' && Line.back() == '}';
+}
+
+std::vector<std::string> loadJournalLines(const std::string &Path) {
+  std::vector<std::string> Lines;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (!journalLineWellFormed(Line))
+      continue; // a torn tail from a crash is expected; skip it.
+    Lines.push_back(Line);
+  }
+  return Lines;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool JournalWriter::open(const std::string &Path) {
+  close();
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  return Fd >= 0;
+}
+
+void JournalWriter::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool JournalWriter::append(const std::string &Line) {
+  if (Fd < 0)
+    return false;
+  std::string Rec = Line;
+  Rec += '\n';
+  // One write(2) per record: the line lands in the page cache whole, so
+  // process death (even SIGKILL) after this call cannot tear it.
+  size_t Off = 0;
+  while (Off < Rec.size()) {
+    ssize_t N = ::write(Fd, Rec.data() + Off, Rec.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool JournalWriter::sync() { return Fd >= 0 && ::fsync(Fd) == 0; }
+
+bool atomicWriteFile(const std::string &Path, const std::string &Content,
+                     std::string *Err) {
+  auto fail = [&](const std::string &What) {
+    if (Err)
+      *Err = What + ": " + std::strerror(errno);
+    return false;
+  };
+  std::string Tmp = Path + ".tmp.XXXXXX";
+  std::vector<char> Buf(Tmp.begin(), Tmp.end());
+  Buf.push_back('\0');
+  int Fd = ::mkstemp(Buf.data());
+  if (Fd < 0)
+    return fail("mkstemp " + Tmp);
+  Tmp.assign(Buf.data());
+  size_t Off = 0;
+  while (Off < Content.size()) {
+    ssize_t N = ::write(Fd, Content.data() + Off, Content.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return fail("write " + Tmp);
+    }
+    Off += static_cast<size_t>(N);
+  }
+  // fsync before rename: otherwise a power cut can publish the name of
+  // a file whose bytes never reached disk.
+  if (::fsync(Fd) != 0) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return fail("fsync " + Tmp);
+  }
+  ::close(Fd);
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return fail("rename " + Tmp + " -> " + Path);
+  }
+  return true;
+}
+
+} // namespace support
+} // namespace grassp

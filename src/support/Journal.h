@@ -1,0 +1,100 @@
+//===- support/Journal.h - Crash-safe JSON-lines journals ----------------===//
+//
+// The one audited implementation of the append-only journal discipline
+// that both synth-all (`synth::ParallelDriver`) and the serve solution
+// cache persist through:
+//
+//  * One record per line, serialized as a single JSON object `{...}`.
+//  * Appends are durable-on-crash at line granularity: JournalWriter
+//    issues each line (with its trailing newline) as ONE write(2) to an
+//    O_APPEND descriptor, so a line either reaches the kernel page
+//    cache whole or not at all. A SIGKILL'd process keeps every line it
+//    appended; only a torn *tail* (the write a crash interrupted at the
+//    filesystem level) can be partial.
+//  * Torn-line rejection on load: a line that does not both start with
+//    '{' and end with '}' is skipped, never half-parsed.
+//  * Later-duplicate-wins is the reader's contract: re-recording a key
+//    appends a new line rather than rewriting the old one, and loaders
+//    keep the last record per key.
+//
+// The companion primitive is atomicWriteFile(): full-file snapshots are
+// written to a temp file in the same directory, fsync'd, and rename(2)'d
+// into place, so a reader sees either the old snapshot or the new one,
+// never a torn hybrid. (A fault-injected torn snapshot is exactly what
+// the serve cache's journal-is-truth recovery is tested against.)
+//
+// The json* helpers are the same minimal field extractors synth-all
+// always used — not a JSON parser, just enough for flat single-line
+// records whose writers are also in this repo.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GRASSP_SUPPORT_JOURNAL_H
+#define GRASSP_SUPPORT_JOURNAL_H
+
+#include <string>
+#include <vector>
+
+namespace grassp {
+namespace support {
+
+/// Escapes `"` and `\` for a JSON string literal and drops control
+/// characters (< 0x20) outright — journal records are single-line by
+/// construction, so embedded newlines must never survive into a line.
+std::string jsonEscape(const std::string &S);
+
+/// Extracts "Key":"value" (string field) from a flat JSON-lines record.
+bool jsonStringField(const std::string &Line, const std::string &Key,
+                     std::string *Out);
+
+/// Extracts "Key":number from a flat JSON-lines record.
+bool jsonNumberField(const std::string &Line, const std::string &Key,
+                     double *Out);
+
+/// The torn-line filter: true when \p Line is `{...}`-delimited. A line
+/// a crash cut short is missing its closing brace and must be rejected
+/// outright rather than half-parsed.
+bool journalLineWellFormed(const std::string &Line);
+
+/// Loads every well-formed line of \p Path in file order (empty when
+/// the file is absent). Callers apply their own per-key
+/// later-duplicate-wins reduction on top.
+std::vector<std::string> loadJournalLines(const std::string &Path);
+
+/// Appends one record per call, each as a single write(2) of
+/// "line\n" to an O_APPEND fd — the crash-durability contract above.
+class JournalWriter {
+public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter &) = delete;
+  JournalWriter &operator=(const JournalWriter &) = delete;
+
+  /// Opens (creating if needed) \p Path for appending. Returns false
+  /// and stays closed on failure.
+  bool open(const std::string &Path);
+  bool isOpen() const { return Fd >= 0; }
+  void close();
+
+  /// Appends \p Line + '\n' as one write(2). False on I/O error (the
+  /// writer stays open; the caller decides whether to keep going).
+  bool append(const std::string &Line);
+
+  /// fsync(2) the descriptor — callers that need the line to survive
+  /// power loss (not just process death) call this after append().
+  bool sync();
+
+private:
+  int Fd = -1;
+};
+
+/// Writes \p Content to \p Path atomically: temp file in the same
+/// directory, fsync, rename(2) over the target. On success a concurrent
+/// or crashed reader sees the old file or the new one, never a mix.
+bool atomicWriteFile(const std::string &Path, const std::string &Content,
+                     std::string *Err = nullptr);
+
+} // namespace support
+} // namespace grassp
+
+#endif // GRASSP_SUPPORT_JOURNAL_H

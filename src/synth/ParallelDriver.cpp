@@ -3,6 +3,7 @@
 #include "synth/ParallelDriver.h"
 
 #include "lang/Benchmarks.h"
+#include "support/Journal.h"
 #include "support/ThreadPool.h"
 #include "support/Timing.h"
 
@@ -10,7 +11,6 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -48,60 +48,11 @@ bool taskStatusFromName(const std::string &Name, TaskStatus *Out) {
   return false;
 }
 
-namespace {
-
-/// Escapes the characters that can appear in benchmark/group names for
-/// a JSON string literal (names are ASCII identifiers, but stay safe).
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    if (static_cast<unsigned char>(C) < 0x20)
-      continue;
-    Out += C;
-  }
-  return Out;
-}
-
-/// Extracts "Key":"value" (string) from a JSON-lines record.
-bool jsonString(const std::string &Line, const std::string &Key,
-                std::string *Out) {
-  std::string Needle = "\"" + Key + "\":\"";
-  size_t At = Line.find(Needle);
-  if (At == std::string::npos)
-    return false;
-  size_t Start = At + Needle.size();
-  size_t End = Line.find('"', Start);
-  if (End == std::string::npos)
-    return false;
-  *Out = Line.substr(Start, End - Start);
-  return true;
-}
-
-/// Extracts "Key":number from a JSON-lines record.
-bool jsonNumber(const std::string &Line, const std::string &Key,
-                double *Out) {
-  std::string Needle = "\"" + Key + "\":";
-  size_t At = Line.find(Needle);
-  if (At == std::string::npos)
-    return false;
-  const char *Start = Line.c_str() + At + Needle.size();
-  char *End = nullptr;
-  double V = std::strtod(Start, &End);
-  if (End == Start)
-    return false;
-  *Out = V;
-  return true;
-}
-
-} // namespace
-
 std::string journalLine(const TaskResult &T) {
   std::ostringstream OS;
-  OS << "{\"task\":\"" << jsonEscape(T.Name) << "\",\"status\":\""
+  OS << "{\"task\":\"" << support::jsonEscape(T.Name) << "\",\"status\":\""
      << taskStatusName(T.Status) << "\",\"group\":\""
-     << jsonEscape(T.Result.Group) << "\",\"attempts\":" << T.Attempts
+     << support::jsonEscape(T.Result.Group) << "\",\"attempts\":" << T.Attempts
      << ",\"budget_ms\":" << T.BudgetMs << ",\"seconds\":"
      << T.Result.SynthSeconds << "}";
   return OS.str();
@@ -110,21 +61,21 @@ std::string journalLine(const TaskResult &T) {
 bool parseJournalLine(const std::string &Line, JournalEntry *Out) {
   // A torn line (the write a crash interrupted) is cut before its
   // closing brace; reject it outright rather than half-parsing it.
-  if (Line.size() < 2 || Line.front() != '{' || Line.back() != '}')
+  if (!support::journalLineWellFormed(Line))
     return false;
   JournalEntry E;
   std::string Status;
-  if (!jsonString(Line, "task", &E.Name) ||
-      !jsonString(Line, "status", &Status) ||
+  if (!support::jsonStringField(Line, "task", &E.Name) ||
+      !support::jsonStringField(Line, "status", &Status) ||
       !taskStatusFromName(Status, &E.Status))
     return false;
-  jsonString(Line, "group", &E.Group);
+  support::jsonStringField(Line, "group", &E.Group);
   double V = 0;
-  if (jsonNumber(Line, "attempts", &V))
+  if (support::jsonNumberField(Line, "attempts", &V))
     E.Attempts = static_cast<unsigned>(V);
-  if (jsonNumber(Line, "budget_ms", &V))
+  if (support::jsonNumberField(Line, "budget_ms", &V))
     E.BudgetMs = static_cast<unsigned>(V);
-  if (jsonNumber(Line, "seconds", &V))
+  if (support::jsonNumberField(Line, "seconds", &V))
     E.Seconds = V;
   *Out = E;
   return true;
@@ -132,12 +83,10 @@ bool parseJournalLine(const std::string &Line, JournalEntry *Out) {
 
 std::vector<JournalEntry> loadJournal(const std::string &Path) {
   std::vector<JournalEntry> Entries;
-  std::ifstream In(Path);
-  std::string Line;
-  while (std::getline(In, Line)) {
+  for (const std::string &Line : support::loadJournalLines(Path)) {
     JournalEntry E;
     if (!parseJournalLine(Line, &E))
-      continue; // a torn final line from a crash is expected; skip it.
+      continue;
     // Later lines win: a re-run of the same task supersedes the old row.
     auto It = std::find_if(Entries.begin(), Entries.end(),
                            [&](const JournalEntry &X) {
@@ -296,25 +245,21 @@ ParallelDriver::run(const std::vector<const lang::SerialProgram *> &Progs)
       if (E.Status == TaskStatus::Solved)
         Done[E.Name] = E;
 
-  std::ofstream Journal;
+  support::JournalWriter Journal;
   std::mutex JournalMutex;
-  if (!Opts.JournalPath.empty()) {
-    Journal.open(Opts.JournalPath, std::ios::app);
-    if (!Journal)
-      std::fprintf(stderr,
-                   "warning: cannot open journal '%s'; running without\n",
-                   Opts.JournalPath.c_str());
-  }
+  if (!Opts.JournalPath.empty() && !Journal.open(Opts.JournalPath))
+    std::fprintf(stderr,
+                 "warning: cannot open journal '%s'; running without\n",
+                 Opts.JournalPath.c_str());
   auto record = [&](const TaskResult &T) {
-    if (!Journal.is_open() || !Journal)
+    if (!Journal.isOpen())
       return;
     // A cancelled task got no verdict; keeping it out of the journal is
     // what makes --resume re-run exactly the unfinished remainder.
     if (T.Status == TaskStatus::Cancelled)
       return;
     std::lock_guard<std::mutex> Lock(JournalMutex);
-    Journal << journalLine(T) << '\n';
-    Journal.flush(); // one task, one durable line: crash-safe resume.
+    Journal.append(journalLine(T)); // one task, one durable line.
   };
 
   std::vector<size_t> Pending;

@@ -595,6 +595,11 @@ TEST(DistCoordinator, SimultaneousHangsSurviveMidSweepRespawns) {
   Cfg.MaxRetries = 1;
   Cfg.Faults = &FI;
   Cfg.TaskDeadlineSeconds = 0.02; // hang-kill at 40ms: the test stays fast.
+  // One shard per task frame: with the default batching, a single
+  // hang-kill can exhaust up to BatchShards attempts at once and the
+  // per-shard hang accounting below would undercount depending on which
+  // workers were idle at dispatch time (flaky under machine load).
+  Cfg.BatchShards = 1;
   dist::DistCoordinator Coord(R.Plan, Cfg);
   dist::DistRunReport Rep = Coord.run(R.Segs);
   // No attempt ever commits, so every shard lands on the last resort —

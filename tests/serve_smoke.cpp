@@ -1,0 +1,288 @@
+//===- tests/serve_smoke.cpp - End-to-end grassp serve smoke --------------==//
+//
+// Each test forks a real ServeServer (socket + cache in a fresh temp
+// dir) and talks to it with ServeClient. The harness process installs
+// NO signal sources — each forked server child arms its own, so SIGTERM
+// sent to the child exercises the genuine drain path. Covered:
+//
+//   * miss -> solved, hit -> bit-identical answer with zero solver work
+//   * RunReq output == the serial interpreter on the same workload
+//   * a client that sends a truncated frame and hangs up kills nothing
+//   * overload sheds synth misses with error[overloaded] + retry-after
+//     while cache hits and stats keep flowing
+//   * unparsable program -> error[bad-request], connection stays usable
+//   * SIGTERM -> drain: exit 0 and a compacted cache.snap on disk
+//   * kill -9 then warm restart: a committed entry is re-served as a
+//     hit, identical to the answer the first incarnation gave
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Benchmarks.h"
+#include "lang/Interp.h"
+#include "runtime/Workload.h"
+#include "serve/Client.h"
+#include "serve/ProgramText.h"
+#include "serve/Server.h"
+#include "support/Cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace grassp;
+
+namespace {
+
+std::string benchText(const char *Name) {
+  const lang::SerialProgram *P = lang::findBenchmark(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  return serve::printProgramText(*P);
+}
+
+/// One forked server over a private temp dir. The child installs its
+/// own signal sources, so signals sent at its pid drive the real drain
+/// and hard-stop paths without touching the gtest process.
+struct SmokeServer {
+  std::string Dir;
+  std::string Socket;
+  std::string CacheDir;
+  pid_t Pid = -1;
+
+  SmokeServer() {
+    char Tmpl[] = "/tmp/grassp-smoke-XXXXXX";
+    const char *D = ::mkdtemp(Tmpl);
+    EXPECT_NE(D, nullptr);
+    Dir = D ? D : "/tmp";
+    Socket = Dir + "/serve.sock";
+    CacheDir = Dir + "/cache";
+  }
+
+  ~SmokeServer() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+    }
+  }
+
+  void start(size_t HighWaterJobs = 8, uint64_t SnapshotEvery = 2) {
+    ::unlink(Socket.c_str());
+    Pid = ::fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid != 0)
+      return;
+    serve::ServerOptions SO;
+    SO.SocketPath = Socket;
+    SO.CacheDir = CacheDir;
+    SO.PoolSize = 1;
+    SO.SmtTimeoutMs = 15000;
+    SO.CertTimeoutMs = 15000;
+    SO.JobDeadlineSec = 30.0;
+    SO.HighWaterJobs = HighWaterJobs;
+    SO.SnapshotEvery = SnapshotEvery;
+    SO.Root = installSignalSource();
+    SO.Drain = installDrainSignalSource();
+    serve::ServeServer Server;
+    std::string Err;
+    if (!Server.init(SO, &Err))
+      ::_exit(9);
+    ::_exit(Server.run());
+  }
+
+  bool alive() const { return Pid > 0 && ::kill(Pid, 0) == 0; }
+
+  /// Signals and reaps; returns the wait status (or -1 on timeout).
+  int stop(int Sig, double TimeoutSec = 20.0) {
+    if (Pid <= 0)
+      return -1;
+    ::kill(Pid, Sig);
+    Deadline Until = Deadline::after(TimeoutSec);
+    int St = 0;
+    while (!Until.expired()) {
+      pid_t R = ::waitpid(Pid, &St, WNOHANG);
+      if (R == Pid) {
+        Pid = -1;
+        return St;
+      }
+      ::usleep(5000);
+    }
+    return -1;
+  }
+
+  bool connect(serve::ServeClient &C) {
+    std::string Err;
+    bool Ok = C.connect(Socket, 10.0, &Err);
+    EXPECT_TRUE(Ok) << Err;
+    return Ok;
+  }
+};
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+} // namespace
+
+TEST(ServeSmoke, MissSolvesThenHitIsBitIdentical) {
+  SmokeServer S;
+  S.start();
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+
+  std::string Text = benchText("count");
+  serve::ClientReply Miss;
+  ASSERT_TRUE(C.synth(Text, &Miss));
+  ASSERT_TRUE(Miss.IsOk) << describeReply(Miss);
+  EXPECT_EQ(Miss.Ok.Synth.CacheHit, 0);
+  EXPECT_FALSE(Miss.Ok.Synth.PlanText.empty());
+  EXPECT_FALSE(Miss.Ok.Synth.Group.empty());
+
+  serve::ClientReply Hit;
+  ASSERT_TRUE(C.synth(Text, &Hit));
+  ASSERT_TRUE(Hit.IsOk) << describeReply(Hit);
+  EXPECT_EQ(Hit.Ok.Synth.CacheHit, 1);
+  EXPECT_EQ(Hit.Ok.Synth.Key, Miss.Ok.Synth.Key);
+  EXPECT_EQ(Hit.Ok.Synth.PlanText, Miss.Ok.Synth.PlanText);
+  EXPECT_EQ(Hit.Ok.Synth.Group, Miss.Ok.Synth.Group);
+  EXPECT_EQ(Hit.Ok.Synth.Cert, Miss.Ok.Synth.Cert);
+}
+
+TEST(ServeSmoke, RunMatchesSerialInterpreter) {
+  SmokeServer S;
+  S.start();
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+
+  const lang::SerialProgram *P = lang::findBenchmark("sum");
+  ASSERT_NE(P, nullptr);
+  std::vector<int64_t> Data = runtime::generateWorkload(*P, 2048, 7);
+  serve::ClientReply R;
+  ASSERT_TRUE(C.run(serve::printProgramText(*P), Data, &R));
+  ASSERT_TRUE(R.IsOk) << describeReply(R);
+  EXPECT_EQ(R.Ok.Run.Output, lang::runSerial(*P, Data));
+  EXPECT_FALSE(R.Ok.Run.Tier.empty());
+}
+
+TEST(ServeSmoke, DeadClientMidFrameKillsNothing) {
+  SmokeServer S;
+  S.start();
+  std::string Text = benchText("count");
+
+  serve::ServeClient Dead;
+  ASSERT_TRUE(S.connect(Dead));
+  EXPECT_TRUE(Dead.sendTruncatedSynth(Text));
+
+  // The service must shrug: the next client gets a full answer.
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+  serve::ClientReply R;
+  ASSERT_TRUE(C.synth(Text, &R));
+  EXPECT_TRUE(R.IsOk) << describeReply(R);
+  EXPECT_TRUE(S.alive());
+}
+
+TEST(ServeSmoke, OverloadShedsMissesButServesHitsAndStats) {
+  SmokeServer S;
+  // Incarnation 1 commits `count` to the cache, then drains.
+  S.start(/*HighWaterJobs=*/8);
+  {
+    serve::ServeClient C;
+    ASSERT_TRUE(S.connect(C));
+    serve::ClientReply R;
+    ASSERT_TRUE(C.synth(benchText("count"), &R));
+    ASSERT_TRUE(R.IsOk) << describeReply(R);
+  }
+  int St = S.stop(SIGTERM);
+  ASSERT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0) << St;
+
+  // Incarnation 2 admits NO synth work (high water zero): misses shed
+  // with a typed error + retry-after, but hits and stats still flow.
+  S.start(/*HighWaterJobs=*/0);
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+
+  serve::ClientReply Shed;
+  ASSERT_TRUE(C.synth(benchText("sum"), &Shed));
+  ASSERT_FALSE(Shed.IsOk);
+  EXPECT_EQ(Shed.Err.Code, serve::ErrCode::Overloaded);
+  EXPECT_GT(Shed.Err.RetryAfterMs, 0u);
+
+  serve::ClientReply Hit;
+  ASSERT_TRUE(C.synth(benchText("count"), &Hit));
+  ASSERT_TRUE(Hit.IsOk) << describeReply(Hit);
+  EXPECT_EQ(Hit.Ok.Synth.CacheHit, 1);
+
+  serve::ClientReply Stats;
+  ASSERT_TRUE(C.stats(&Stats));
+  ASSERT_TRUE(Stats.IsOk);
+  EXPECT_EQ(Stats.Ok.Kind, serve::ReplyKind::Stats);
+  EXPECT_FALSE(Stats.Ok.Stats.Counters.empty());
+}
+
+TEST(ServeSmoke, BadRequestIsTypedAndNonFatal) {
+  SmokeServer S;
+  S.start();
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+
+  serve::ClientReply Bad;
+  ASSERT_TRUE(C.synth("(this is not a program", &Bad));
+  ASSERT_FALSE(Bad.IsOk);
+  EXPECT_EQ(Bad.Err.Code, serve::ErrCode::BadRequest);
+
+  // Same connection keeps working.
+  serve::ClientReply R;
+  ASSERT_TRUE(C.synth(benchText("count"), &R));
+  EXPECT_TRUE(R.IsOk) << describeReply(R);
+}
+
+TEST(ServeSmoke, SigtermDrainsExitsZeroAndSnapshots) {
+  SmokeServer S;
+  S.start(/*HighWaterJobs=*/8, /*SnapshotEvery=*/1000); // journal only...
+  {
+    serve::ServeClient C;
+    ASSERT_TRUE(S.connect(C));
+    serve::ClientReply R;
+    ASSERT_TRUE(C.synth(benchText("count"), &R));
+    ASSERT_TRUE(R.IsOk) << describeReply(R);
+  }
+  int St = S.stop(SIGTERM);
+  ASSERT_TRUE(WIFEXITED(St)) << St;
+  EXPECT_EQ(WEXITSTATUS(St), 0);
+  // ...so the snapshot on disk proves drain compacted before exiting.
+  EXPECT_TRUE(fileExists(S.CacheDir + "/cache.snap"));
+}
+
+TEST(ServeSmoke, Kill9ThenWarmRestartReservesCommittedEntry) {
+  SmokeServer S;
+  S.start(/*HighWaterJobs=*/8, /*SnapshotEvery=*/1000); // recovery must
+  std::string Text = benchText("max_elem");             // come from the
+  serve::ClientReply First;                             // journal alone.
+  {
+    serve::ServeClient C;
+    ASSERT_TRUE(S.connect(C));
+    ASSERT_TRUE(C.synth(Text, &First));
+    ASSERT_TRUE(First.IsOk) << describeReply(First);
+  }
+  // The reply was journaled before it was sent; kill -9 loses nothing.
+  int St = S.stop(SIGKILL);
+  ASSERT_TRUE(WIFSIGNALED(St)) << St;
+
+  S.start();
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+  serve::ClientReply Again;
+  ASSERT_TRUE(C.synth(Text, &Again));
+  ASSERT_TRUE(Again.IsOk) << describeReply(Again);
+  EXPECT_EQ(Again.Ok.Synth.CacheHit, 1);
+  EXPECT_EQ(Again.Ok.Synth.Key, First.Ok.Synth.Key);
+  EXPECT_EQ(Again.Ok.Synth.PlanText, First.Ok.Synth.PlanText);
+  EXPECT_EQ(Again.Ok.Synth.Group, First.Ok.Synth.Group);
+  EXPECT_EQ(Again.Ok.Synth.Cert, First.Ok.Synth.Cert);
+}

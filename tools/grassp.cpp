@@ -40,6 +40,16 @@
 //                                   sockets) with optional real fault
 //                                   injection; prints the recovery
 //                                   report next to the serial answer
+//   grassp serve [opts]             long-lived synthesis service on a
+//                                   Unix socket: persistent solution
+//                                   cache, isolated solver workers,
+//                                   SIGTERM drains gracefully
+//   grassp serve-req <req> [opts]   one client request against a
+//                                   running server (synth / run /
+//                                   certify / stats)
+//   grassp chaos --serve [opts]     fault-inject a REAL server process
+//                                   and assert bit-identical answers,
+//                                   zero service deaths
 //
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +63,10 @@
 #include "runtime/Runner.h"
 #include "runtime/SegmentSource.h"
 #include "runtime/Workload.h"
+#include "serve/Chaos.h"
+#include "serve/Client.h"
+#include "serve/ProgramText.h"
+#include "serve/Server.h"
 #include "support/Args.h"
 #include "support/Cancel.h"
 #include "support/FaultInject.h"
@@ -106,7 +120,17 @@ int usage(const char *Prog) {
                "                [--fault-seed S] [--kill-permille K] "
                "[--exit-permille K] [--hang-permille K]\n"
                "                [--corrupt-permille K] [--no-specialize] "
-               "[--no-native]\n",
+               "[--no-native] |\n"
+               "       serve [--socket PATH] [--cache DIR] [--pool N] "
+               "[--high-water N] [--snapshot-every N]\n"
+               "             [--smt-timeout-ms T] [--deadline-sec D] "
+               "[--seed S] |\n"
+               "       serve-req synth|run|certify|stats [--socket PATH] "
+               "[name] [--n N] [--seed S] |\n"
+               "       chaos --serve [--seconds N] [--seed S] "
+               "[--kill-permille K] [--hang-permille K]\n"
+               "             [--torn-every N] [--disconnect-every N] "
+               "[--kill-cycles N] [--pool N] [--dir D] [--verbose]\n",
                Prog);
   return 2;
 }
@@ -213,6 +237,60 @@ int main(int argc, char **argv) {
     return Solved == Results.size() ? 0 : 1;
   }
   if (std::strcmp(Cmd, "fuzz") == 0 || std::strcmp(Cmd, "chaos") == 0) {
+    // `chaos --serve` is its own harness: it forks REAL server
+    // processes, so the parent must NOT install the signal source (a
+    // forked child would inherit the handler state without the watcher
+    // thread). Intercept before any of the fuzz setup runs.
+    for (int I = 2; I != argc; ++I) {
+      if (std::strcmp(argv[I], "--serve") != 0)
+        continue;
+      if (std::strcmp(Cmd, "chaos") != 0)
+        return usage(argv[0]);
+      serve::ServeChaosOptions SC;
+      for (int J = 2; J != argc; ++J) {
+        auto numOpt = [&](const char *Flag, unsigned *Out) {
+          if (std::strcmp(argv[J], Flag) != 0 || J + 1 >= argc)
+            return false;
+          if (!parseUnsigned(argv[++J], Out)) {
+            std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                         Flag, argv[J]);
+            std::exit(2);
+          }
+          return true;
+        };
+        auto seed64Opt = [&](const char *Flag, uint64_t *Out) {
+          if (std::strcmp(argv[J], Flag) != 0 || J + 1 >= argc)
+            return false;
+          if (!parseSeed(argv[++J], Out)) {
+            std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                         Flag, argv[J]);
+            std::exit(2);
+          }
+          return true;
+        };
+        unsigned Pool = 0;
+        if (numOpt("--seconds", &SC.Seconds) ||
+            numOpt("--kill-permille", &SC.KillPermille) ||
+            numOpt("--hang-permille", &SC.HangPermille) ||
+            numOpt("--kill-cycles", &SC.KillCycles) ||
+            seed64Opt("--seed", &SC.Seed) ||
+            seed64Opt("--torn-every", &SC.TornEveryNth) ||
+            seed64Opt("--disconnect-every", &SC.DisconnectEveryNth))
+          continue;
+        if (numOpt("--pool", &Pool)) {
+          SC.PoolSize = Pool;
+        } else if (std::strcmp(argv[J], "--dir") == 0 && J + 1 < argc) {
+          SC.WorkDir = argv[++J];
+        } else if (std::strcmp(argv[J], "--verbose") == 0) {
+          SC.Verbose = true;
+        } else if (std::strcmp(argv[J], "--serve") == 0) {
+          continue;
+        } else {
+          return usage(argv[0]);
+        }
+      }
+      return serve::serveChaosMain(SC);
+    }
     testing::FuzzOptions FOpts;
     synth::DriverOptions DOpts;
     DOpts.Jobs = 0; // all hardware threads for the synthesis stage.
@@ -333,6 +411,124 @@ int main(int argc, char **argv) {
       return 1;
     }
     return 0;
+  }
+  if (std::strcmp(Cmd, "serve") == 0) {
+    serve::ServerOptions SO;
+    SO.SocketPath = "/tmp/grassp-serve.sock";
+    SO.CacheDir = "grassp-serve-cache";
+    unsigned Pool = 0, HighWater = 0, DeadlineSec = 0;
+    for (int I = 2; I != argc; ++I) {
+      auto numOpt = [&](const char *Flag, unsigned *Out) {
+        if (std::strcmp(argv[I], Flag) != 0 || I + 1 >= argc)
+          return false;
+        if (!parseUnsigned(argv[++I], Out)) {
+          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                       Flag, argv[I]);
+          std::exit(2);
+        }
+        return true;
+      };
+      unsigned SnapEvery = 0;
+      if (numOpt("--pool", &Pool) || numOpt("--high-water", &HighWater) ||
+          numOpt("--smt-timeout-ms", &SO.SmtTimeoutMs) ||
+          numOpt("--deadline-sec", &DeadlineSec))
+        continue;
+      if (numOpt("--snapshot-every", &SnapEvery)) {
+        SO.SnapshotEvery = SnapEvery;
+      } else if (std::strcmp(argv[I], "--socket") == 0 && I + 1 < argc) {
+        SO.SocketPath = argv[++I];
+      } else if (std::strcmp(argv[I], "--cache") == 0 && I + 1 < argc) {
+        SO.CacheDir = argv[++I];
+      } else if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc &&
+                 parseSeed(argv[I + 1], &SO.Seed)) {
+        ++I;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (Pool)
+      SO.PoolSize = Pool;
+    if (HighWater)
+      SO.HighWaterJobs = HighWater;
+    if (DeadlineSec)
+      SO.JobDeadlineSec = DeadlineSec;
+    // SIGINT = hard stop; first SIGTERM = graceful drain (finish
+    // in-flight solves, snapshot the cache, exit 0).
+    SO.Root = installSignalSource();
+    SO.Drain = installDrainSignalSource();
+    serve::ServeServer Server;
+    std::string Err;
+    if (!Server.init(SO, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "grassp serve: listening on %s (cache %s, %zu "
+                         "cached entr%s)\n",
+                 SO.SocketPath.c_str(), SO.CacheDir.c_str(),
+                 Server.cache().size(),
+                 Server.cache().size() == 1 ? "y" : "ies");
+    return Server.run();
+  }
+  if (std::strcmp(Cmd, "serve-req") == 0) {
+    if (argc < 3)
+      return usage(argv[0]);
+    const char *Req = argv[2];
+    std::string Socket = "/tmp/grassp-serve.sock";
+    const char *Name = nullptr;
+    size_t N = 1 << 16;
+    uint64_t Seed = 1;
+    for (int I = 3; I != argc; ++I) {
+      if (std::strcmp(argv[I], "--socket") == 0 && I + 1 < argc) {
+        Socket = argv[++I];
+      } else if (std::strcmp(argv[I], "--n") == 0 && I + 1 < argc &&
+                 parseSize(argv[I + 1], &N)) {
+        ++I;
+      } else if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc &&
+                 parseSeed(argv[I + 1], &Seed)) {
+        ++I;
+      } else if (argv[I][0] != '-' && !Name) {
+        Name = argv[I];
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    serve::ServeClient Client;
+    std::string Err;
+    if (!Client.connect(Socket, 5.0, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    serve::ClientReply Reply;
+    bool Sent = false;
+    if (std::strcmp(Req, "stats") == 0) {
+      Sent = Client.stats(&Reply);
+    } else {
+      if (!Name) {
+        std::fprintf(stderr, "error: serve-req %s needs a benchmark name\n",
+                     Req);
+        return 2;
+      }
+      const lang::SerialProgram *RP = lookup(Name);
+      if (!RP)
+        return 2;
+      std::string Text = serve::printProgramText(*RP);
+      if (std::strcmp(Req, "synth") == 0)
+        Sent = Client.synth(Text, &Reply);
+      else if (std::strcmp(Req, "certify") == 0)
+        Sent = Client.certify(Text, &Reply);
+      else if (std::strcmp(Req, "run") == 0)
+        Sent = Client.run(Text, runtime::generateWorkload(*RP, N, Seed),
+                          &Reply);
+      else
+        return usage(argv[0]);
+    }
+    if (!Sent) {
+      std::fprintf(stderr, "error: transport failure talking to %s\n",
+                   Socket.c_str());
+      return 1;
+    }
+    std::printf("%s\n", serve::describeReply(Reply).c_str());
+    return Reply.IsOk ? 0 : 1;
   }
   if (argc < 3)
     return usage(argv[0]);
