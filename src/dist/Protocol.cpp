@@ -234,6 +234,18 @@ bool FrameWriter::send(int Fd, MsgType Type, int64_t CorruptByteAt) {
   return sendPrepared(Fd, Type, CorruptByteAt, -1);
 }
 
+void FrameWriter::frameInto(MsgType Type, std::vector<uint8_t> *Out) {
+  std::vector<uint8_t> &P = Payload.buffer();
+  Head.clear();
+  putLe32(Head, FrameMagic);
+  putLe32(Head, static_cast<uint32_t>(Type));
+  putLe64(Head, P.size());
+  putLe64(Head, frameChecksum(Type, P));
+  LastBytes = Head.size() + P.size();
+  Out->insert(Out->end(), Head.begin(), Head.end());
+  Out->insert(Out->end(), P.begin(), P.end());
+}
+
 bool FrameWriter::sendWithFd(int Fd, MsgType Type, int AttachFd) {
   return sendPrepared(Fd, Type, -1, AttachFd);
 }

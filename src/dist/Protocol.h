@@ -175,6 +175,12 @@ public:
   /// SCM_RIGHTS (the Publish frame's mapping fd).
   bool sendWithFd(int Fd, MsgType Type, int AttachFd);
 
+  /// Frames the buffered payload and appends the wire bytes (header +
+  /// payload) to \p Out instead of writing a socket. The path for
+  /// nonblocking senders: the owner drains \p Out as POLLOUT allows, so
+  /// a peer that stops reading can never block the writer in send(2).
+  void frameInto(MsgType Type, std::vector<uint8_t> *Out);
+
   /// Header + payload bytes of the last frame sent (for byte
   /// accounting).
   uint64_t lastFrameBytes() const { return LastBytes; }

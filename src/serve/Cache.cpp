@@ -92,6 +92,11 @@ const CacheEntry *SolutionCache::get(uint64_t Key) const {
 }
 
 bool SolutionCache::put(const CacheEntry &E) {
+  // A snapshot whose post-truncate reopen failed leaves the writer
+  // closed; heal here so one transient open failure cannot turn every
+  // later solve into "cache journal write failed" until restart.
+  if (!Journal.isOpen() && !Journal.open(journalPath(Dir)))
+    return false;
   // Journal append IS the commit point: only after the line is written
   // may the server reply, so every answer a client ever saw is
   // reconstructible after kill -9.
@@ -133,8 +138,16 @@ bool SolutionCache::snapshot(FaultInjector *Faults, std::string *Err) {
     Journal.open(journalPath(Dir));
     return false;
   }
+  if (Faults && Faults->shouldFail(FaultSiteJournalReopen)) {
+    // Injected reopen failure: leave the writer closed. The snapshot is
+    // durable and the journal empty, so nothing is lost — put() heals
+    // the writer on its next append.
+    *Err = "reopen journal: injected fault";
+    return false;
+  }
   if (!Journal.open(journalPath(Dir))) {
     *Err = "reopen journal: " + std::string(std::strerror(errno));
+    // Not fatal for later puts: put() retries the open before appending.
     return false;
   }
   SinceSnapshot = 0;

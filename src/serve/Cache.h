@@ -44,6 +44,11 @@ namespace serve {
 /// the journal, so recovery must come from the journal.
 inline constexpr const char *FaultSiteSnapshotTorn = "serve.snapshot.torn";
 
+/// Fault site: the journal reopen after snapshot+truncate fails, leaving
+/// the cache with no journal writer — put() must heal it on the next
+/// append rather than failing every later solve until restart.
+inline constexpr const char *FaultSiteJournalReopen = "serve.journal.reopen";
+
 struct CacheEntry {
   uint64_t Key = 0;
   std::string ProgramText; ///< Canonical source of the cached solve.

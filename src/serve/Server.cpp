@@ -43,9 +43,10 @@ bool setNonBlocking(int Fd) {
 
 struct ServeServer::RunEntry {
   lang::SerialProgram Prog;
+  std::string Text; ///< printProgramText(Prog): the hit-verification key.
   runtime::CompiledProgram Compiled;
-  explicit RunEntry(lang::SerialProgram P)
-      : Prog(std::move(P)), Compiled(Prog) {}
+  RunEntry(lang::SerialProgram P, std::string T)
+      : Prog(std::move(P)), Text(std::move(T)), Compiled(Prog) {}
 };
 
 ServeServer::ServeServer() = default;
@@ -143,6 +144,7 @@ void ServeServer::acceptPending() {
     if (Fd < 0)
       return; // EAGAIN (or transient) — next tick.
     ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+    setNonBlocking(Fd); // replies buffer + drain on POLLOUT, never block.
     if (Conns.size() >= Opts.MaxConns) {
       ::close(Fd); // over the connection cap: refuse by closing.
       continue;
@@ -153,6 +155,42 @@ void ServeServer::acceptPending() {
     Conns.push_back(std::move(Cn));
     ++C.Accepted;
   }
+}
+
+bool ServeServer::flushConn(Conn &Cn) {
+  // Reclaim the sent prefix before it dominates the buffer.
+  if (Cn.OutOff > (1u << 20) || Cn.OutOff > Cn.Out.size() / 2) {
+    Cn.Out.erase(Cn.Out.begin(), Cn.Out.begin() + static_cast<long>(Cn.OutOff));
+    Cn.OutOff = 0;
+  }
+  while (Cn.OutOff < Cn.Out.size()) {
+    ssize_t W = ::send(Cn.Fd, Cn.Out.data() + Cn.OutOff,
+                       Cn.Out.size() - Cn.OutOff, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        // The client is not reading right now: keep the tail buffered
+        // and let POLLOUT resume it — unless the backlog is past the
+        // cap, in which case the connection is condemned, not the loop.
+        return Cn.Out.size() - Cn.OutOff <= Opts.MaxConnOutBytes;
+      return false; // dead peer.
+    }
+    Cn.OutOff += static_cast<size_t>(W);
+  }
+  Cn.Out.clear();
+  Cn.OutOff = 0;
+  return true;
+}
+
+bool ServeServer::sendFrame(Conn &Cn, dist::MsgType Type) {
+  if (Cn.Fd < 0)
+    return false; // already condemned earlier in this burst.
+  Cn.Writer.frameInto(Type, &Cn.Out);
+  if (flushConn(Cn))
+    return true;
+  Cn.Fd = -Cn.Fd - 1; // dead or not-reading; reaped on the next sweep.
+  return false;
 }
 
 bool ServeServer::sendOk(Conn &Cn, const OkReply &R) {
@@ -172,17 +210,19 @@ bool ServeServer::sendOk(Conn &Cn, const OkReply &R) {
     encodeStatsReply(R.Stats, P);
     break;
   }
-  return Cn.Writer.send(Cn.Fd, dist::MsgType::ReplyOk);
+  return sendFrame(Cn, dist::MsgType::ReplyOk);
 }
 
 bool ServeServer::sendErr(Conn &Cn, ErrCode Code, const std::string &Msg,
                           uint32_t RetryAfterMs) {
+  if (Cn.Fd < 0)
+    return false;
   ErrReply E;
   E.Code = Code;
   E.RetryAfterMs = RetryAfterMs;
   E.Message = Msg;
   encodeErrReply(E, Cn.Writer.payload());
-  return Cn.Writer.send(Cn.Fd, dist::MsgType::ReplyErr);
+  return sendFrame(Cn, dist::MsgType::ReplyErr);
 }
 
 bool ServeServer::buildSynthReply(const CacheEntry &E,
@@ -258,9 +298,15 @@ void ServeServer::handleSynthLike(Conn &Cn, const std::string &Text,
 
   auto NegIt = Negative.find(Key);
   if (NegIt != Negative.end()) {
-    ++C.NegativeHits;
-    sendErr(Cn, ErrCode::SynthFailed, NegIt->second);
-    return;
+    if (NegIt->second.Expiry.expired()) {
+      // The failure verdict aged out: solve afresh, in case the cause
+      // was environmental rather than "no plan exists".
+      Negative.erase(NegIt);
+    } else {
+      ++C.NegativeHits;
+      sendErr(Cn, ErrCode::SynthFailed, NegIt->second.Reason);
+      return;
+    }
   }
 
   uint32_t RetryMs = 0;
@@ -321,14 +367,32 @@ void ServeServer::handleRun(Conn &Cn, const dist::Frame &F) {
   }
   ++C.RunRequests;
   uint64_t Key = canonicalProgramHash(Prog);
-  auto It = RunMemo.find(Key);
-  if (It == RunMemo.end()) {
+  // The memo is keyed by an EXACT-text hash of the canonical printing
+  // and every hit is verified against the stored text: a colliding key
+  // must recompile, never silently execute the first comer's program.
+  // (Alpha-variants thus memoize separately — correctness over sharing.)
+  std::string CanonText = printProgramText(Prog);
+  uint64_t MemoKey = dist::fnv1aBytes(
+      reinterpret_cast<const uint8_t *>(CanonText.data()), CanonText.size());
+  auto It = RunMemo.find(MemoKey);
+  std::unique_ptr<RunEntry> Scratch;
+  const RunEntry *E;
+  if (It != RunMemo.end() && It->second->Text == CanonText) {
+    E = It->second.get();
+  } else if (It != RunMemo.end()) {
+    // Text-hash collision: compile the requester's own program for this
+    // request only; the occupied slot keeps its entry.
+    Scratch = std::make_unique<RunEntry>(std::move(Prog), std::move(CanonText));
+    E = Scratch.get();
+  } else {
     if (RunMemo.size() >= Opts.RunMemoCap)
       RunMemo.clear(); // bounded memory beats clever eviction here.
-    It = RunMemo.emplace(Key, std::make_unique<RunEntry>(std::move(Prog)))
-             .first;
+    E = RunMemo
+            .emplace(MemoKey, std::make_unique<RunEntry>(std::move(Prog),
+                                                         std::move(CanonText)))
+            .first->second.get();
   }
-  const runtime::CompiledProgram &CP = It->second->Compiled;
+  const runtime::CompiledProgram &CP = E->Compiled;
   runtime::SegmentView Seg{Req.Data.data(), Req.Data.size()};
   OkReply R;
   R.Kind = ReplyKind::Run;
@@ -416,7 +480,7 @@ void ServeServer::handleFrame(Conn &Cn, const dist::Frame &F) {
 }
 
 void ServeServer::serviceConn(Conn &Cn) {
-  // One fill per POLLIN wakeup (blocking fd: only read what arrived),
+  // One fill per POLLIN wakeup (nonblocking fd: EAGAIN is NeedMore),
   // then drain every complete frame it produced.
   dist::RecvStatus S = Cn.Reader.fill(Cn.Fd);
   if (S == dist::RecvStatus::Eof || S == dist::RecvStatus::Error ||
@@ -450,20 +514,21 @@ void ServeServer::replyToWaiters(uint64_t Key, const SolveOutcome &O) {
   InFlight.erase(Key);
   InFlightText.erase(Key);
 
+  // A failed send condemns the connection inside sendFrame(); the reap
+  // sweep collects it.
   for (const Waiter &W : Ws) {
     Conn *Cn = connById(W.ConnId);
     if (!Cn)
       continue; // waiter hung up mid-solve; the answer is cached anyway.
-    bool Sent = true;
     switch (O.Outcome) {
     case SolveOutcome::Kind::Done: {
       if (!O.Done.Solved) {
-        Sent = sendErr(*Cn, ErrCode::SynthFailed, O.Done.FailureReason);
+        sendErr(*Cn, ErrCode::SynthFailed, O.Done.FailureReason);
         break;
       }
       const CacheEntry *E = Cache.get(Key);
       if (!E) { // journal append failed earlier; never claim durability.
-        Sent = sendErr(*Cn, ErrCode::Internal, "cache journal write failed");
+        sendErr(*Cn, ErrCode::Internal, "cache journal write failed");
         break;
       }
       lang::SerialProgram Req;
@@ -475,28 +540,26 @@ void ServeServer::replyToWaiters(uint64_t Key, const SolveOutcome &O) {
         R.Certify.Key = keyToHex(Key);
         R.Certify.Group = E->Group;
         R.Certify.Cert = O.Done.Cert;
-        Sent = sendOk(*Cn, R);
+        sendOk(*Cn, R);
         break;
       }
       R.Kind = ReplyKind::Synth;
       if (parseProgramText(W.ProgramText, &Req, &Err) &&
           buildSynthReply(*E, Req, /*CacheHit=*/false, &R.Synth))
-        Sent = sendOk(*Cn, R);
+        sendOk(*Cn, R);
       else
-        Sent = sendErr(*Cn, ErrCode::Internal, "reply construction failed");
+        sendErr(*Cn, ErrCode::Internal, "reply construction failed");
       break;
     }
     case SolveOutcome::Kind::Exhausted:
-      Sent = sendErr(*Cn, ErrCode::SolverUnavailable, O.FailureReason,
-                     Opts.RetryAfterMs);
+      sendErr(*Cn, ErrCode::SolverUnavailable, O.FailureReason,
+              Opts.RetryAfterMs);
       break;
     case SolveOutcome::Kind::Quarantined:
-      Sent = sendErr(*Cn, ErrCode::SolverUnavailable, O.FailureReason,
-                     O.RetryAfterMs);
+      sendErr(*Cn, ErrCode::SolverUnavailable, O.FailureReason,
+              O.RetryAfterMs);
       break;
     }
-    if (!Sent)
-      Cn->Fd = -Cn->Fd - 1; // dead client; reaped on the next sweep.
   }
 }
 
@@ -540,8 +603,10 @@ int ServeServer::run() {
         ++C.Snapshots;
       Pool.shutdown(2.0);
       for (Conn &Cn : Conns)
-        if (Cn.Fd >= 0)
+        if (Cn.Fd >= 0) {
+          flushConn(Cn); // best-effort tail flush; drain must not block.
           ::close(Cn.Fd);
+        }
       Conns.clear();
       return 0;
     }
@@ -550,8 +615,17 @@ int ServeServer::run() {
     if (ListenFd >= 0)
       Pfds.push_back({ListenFd, POLLIN, 0});
     size_t ConnBase = Pfds.size();
-    for (Conn &Cn : Conns)
-      Pfds.push_back({Cn.Fd, POLLIN, 0});
+    // Snapshot the count NOW: acceptPending() below appends to Conns,
+    // and those new connections have no pollfd this tick — sweeping to
+    // Conns.size() would read the solver-pool entries Pool.pollFds
+    // appends after ours (or walk off the end of Pfds).
+    const size_t NConns = Conns.size();
+    for (Conn &Cn : Conns) {
+      short Ev = POLLIN;
+      if (Cn.OutOff < Cn.Out.size())
+        Ev |= POLLOUT; // a slow reader's backlog wants draining.
+      Pfds.push_back({Cn.Fd, Ev, 0});
+    }
     Pool.pollFds(&Pfds);
 
     int Rc = ::poll(Pfds.data(), Pfds.size(), TickMs);
@@ -563,9 +637,11 @@ int ServeServer::run() {
     if (ListenFd >= 0 && (Pfds[0].revents & POLLIN))
       acceptPending();
 
-    for (size_t I = 0; I != Conns.size(); ++I) {
+    for (size_t I = 0; I != NConns; ++I) {
       short Re = Pfds[ConnBase + I].revents;
-      if (Re & (POLLIN | POLLHUP | POLLERR))
+      if ((Re & POLLOUT) && Conns[I].Fd >= 0 && !flushConn(Conns[I]))
+        Conns[I].Fd = -Conns[I].Fd - 1; // dead mid-drain; reap below.
+      if ((Re & (POLLIN | POLLHUP | POLLERR)) && Conns[I].Fd >= 0)
         serviceConn(Conns[I]);
     }
     // Reap condemned connections (marked with a negative fd) AFTER the
@@ -596,7 +672,10 @@ int ServeServer::run() {
         if (Cache.put(E))
           ++C.Solved;
       } else if (O.Outcome == SolveOutcome::Kind::Done && !O.Done.Solved) {
-        Negative[O.Key] = O.Done.FailureReason;
+        if (Negative.size() >= Opts.NegativeCap)
+          Negative.clear(); // the RunMemoCap discipline: drop wholesale.
+        Negative[O.Key] = {O.Done.FailureReason,
+                           Deadline::after(Opts.NegativeTtlSec)};
         ++C.SynthFailed;
       }
       replyToWaiters(O.Key, O);

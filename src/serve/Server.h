@@ -78,6 +78,17 @@ struct ServerOptions {
   /// The retry-after hint attached to shed replies, ms.
   uint32_t RetryAfterMs = 250;
   size_t MaxConns = 64;
+  /// Unsent reply bytes buffered per connection (fds are nonblocking;
+  /// the buffer drains on POLLOUT). A client that keeps submitting but
+  /// stops reading is dropped once its backlog passes this — it may
+  /// never wedge the loop's single thread in write(2).
+  size_t MaxConnOutBytes = 8u << 20;
+  /// Negative (synth-failed) cache bounds: the table is dropped
+  /// wholesale at the cap (the RunMemoCap discipline) and each entry
+  /// expires after the TTL, so one environmental failure cannot answer
+  /// synth-failed for a key until restart.
+  size_t NegativeCap = 1024;
+  double NegativeTtlSec = 600.0;
   /// Journal entries between snapshot compactions.
   uint64_t SnapshotEvery = 64;
   /// Memoized compiled programs kept for RunReq (LRU-free: the table is
@@ -117,9 +128,14 @@ public:
 private:
   struct Conn {
     uint64_t Id = 0; ///< Identity for waiters; fds get reused, ids do not.
-    int Fd = -1;
+    int Fd = -1;     ///< Nonblocking; negative = condemned, reap pending.
     dist::FrameReader Reader;
     dist::FrameWriter Writer;
+    /// Reply bytes a slow reader has not taken yet: [OutOff, Out.size())
+    /// is unsent, flushed opportunistically after each reply and on
+    /// POLLOUT. Capped by ServerOptions::MaxConnOutBytes.
+    std::vector<uint8_t> Out;
+    size_t OutOff = 0;
   };
 
   struct Waiter {
@@ -143,6 +159,12 @@ private:
   bool sendOk(Conn &C, const OkReply &R);
   bool sendErr(Conn &C, ErrCode Code, const std::string &Msg,
                uint32_t RetryAfterMs = 0);
+  /// Frames the encoded payload into C.Out and flushes what the socket
+  /// will take now. On a dead peer — or a backlog past MaxConnOutBytes —
+  /// condemns the connection and returns false.
+  bool sendFrame(Conn &C, dist::MsgType Type);
+  /// Drains C.Out; false means the connection must be condemned.
+  bool flushConn(Conn &C);
 
   void handleFrame(Conn &C, const dist::Frame &F);
   void handleSynthLike(Conn &C, const std::string &Text, ReplyKind Kind);
@@ -168,9 +190,19 @@ private:
   /// Canonical program text per in-flight key (what the worker solves
   /// and what the cache entry will record).
   std::map<uint64_t, std::string> InFlightText;
-  /// Deterministic synthesis failures: key -> reason. Never retried.
-  std::map<uint64_t, std::string> Negative;
+  struct NegEntry {
+    std::string Reason;
+    Deadline Expiry;
+  };
+  /// Synthesis failures: key -> reason. Bounded (NegativeCap) and
+  /// TTL-expired (NegativeTtlSec) — a failure verdict that aged out is
+  /// re-solved, in case its cause was environmental.
+  std::map<uint64_t, NegEntry> Negative;
 
+  /// Keyed by an exact-text hash of the canonically printed program —
+  /// NOT the alpha-invariant canonical key — and verified against the
+  /// stored text on every hit, so which program runs never rests on the
+  /// collision resistance of a 64-bit hash.
   std::map<uint64_t, std::unique_ptr<RunEntry>> RunMemo;
 
   struct {

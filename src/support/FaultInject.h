@@ -35,6 +35,8 @@
 //   serve.worker.hang    solver worker goes silent holding the job
 //   serve.snapshot.torn  cache snapshot truncated at a drawn byte (and
 //                        the journal kept), proving journal-is-truth
+//   serve.journal.reopen the journal reopen after a snapshot fails,
+//                        proving put() heals the closed writer
 //   serve.client.disconnect  (client-side) connection dropped after a
 //                        truncated request frame
 //

@@ -1,0 +1,102 @@
+//===- tests/serve_cache_test.cpp - SolutionCache persistence edges ------===//
+//
+// Direct SolutionCache tests for the failure edges the end-to-end smoke
+// cannot reach deterministically: a snapshot whose post-truncate journal
+// reopen fails (fault site serve.journal.reopen) must leave the cache
+// able to heal on the next put(), and a cold reload must still see every
+// committed entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Cache.h"
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace grassp;
+
+namespace {
+
+serve::CacheEntry entry(uint64_t Key, const std::string &Prog) {
+  serve::CacheEntry E;
+  E.Key = Key;
+  E.ProgramText = Prog;
+  E.PlanText = "(plan (scenario no-prefix) (prefix 0) (merge 0 _))";
+  E.Group = "B1";
+  E.Cert = "certified";
+  return E;
+}
+
+std::string freshDir() {
+  char Tmpl[] = "/tmp/grassp-cache-XXXXXX";
+  const char *D = ::mkdtemp(Tmpl);
+  EXPECT_NE(D, nullptr);
+  return std::string(D ? D : "/tmp") + "/cache";
+}
+
+} // namespace
+
+TEST(ServeCache, PutHealsJournalAfterFailedReopen) {
+  std::string Dir = freshDir();
+
+  FaultInjector Inj(7);
+  FaultSpec Reopen;
+  Reopen.Probability = 1.0;
+  Reopen.MaxFires = 1;
+  Inj.arm(serve::FaultSiteJournalReopen, Reopen);
+
+  serve::SolutionCache C;
+  std::string Err;
+  ASSERT_TRUE(C.open(Dir, &Err)) << Err;
+  ASSERT_TRUE(C.put(entry(1, "p1")));
+
+  // The snapshot lands on disk and truncates the journal, but the
+  // reopen is made to fail: the cache is left with no journal writer.
+  EXPECT_FALSE(C.snapshot(&Inj, &Err));
+
+  // The next put must reopen the journal and commit durably — not fail
+  // every later solve until restart.
+  ASSERT_TRUE(C.put(entry(2, "p2")));
+  ASSERT_TRUE(C.put(entry(3, "p3")));
+
+  // A cold reload proves both the snapshotted and the post-heal entries
+  // survived.
+  serve::SolutionCache R;
+  ASSERT_TRUE(R.open(Dir, &Err)) << Err;
+  EXPECT_EQ(R.size(), 3u);
+  EXPECT_TRUE(R.contains(1));
+  ASSERT_NE(R.get(2), nullptr);
+  EXPECT_EQ(R.get(2)->ProgramText, "p2");
+  ASSERT_NE(R.get(3), nullptr);
+  EXPECT_EQ(R.get(3)->ProgramText, "p3");
+}
+
+TEST(ServeCache, SnapshotAfterHealCompactsNormally) {
+  std::string Dir = freshDir();
+
+  FaultInjector Inj(11);
+  FaultSpec Reopen;
+  Reopen.Probability = 1.0;
+  Reopen.MaxFires = 1;
+  Inj.arm(serve::FaultSiteJournalReopen, Reopen);
+
+  serve::SolutionCache C;
+  std::string Err;
+  ASSERT_TRUE(C.open(Dir, &Err)) << Err;
+  ASSERT_TRUE(C.put(entry(1, "p1")));
+  EXPECT_FALSE(C.snapshot(&Inj, &Err)); // injected reopen failure.
+  ASSERT_TRUE(C.put(entry(2, "p2")));   // heals the writer.
+
+  // The fault was one-shot: the next snapshot compacts cleanly and the
+  // gauge resets.
+  EXPECT_TRUE(C.snapshot(&Inj, &Err)) << Err;
+  EXPECT_EQ(C.journaledSinceSnapshot(), 0u);
+  ASSERT_TRUE(C.put(entry(3, "p3")));
+
+  serve::SolutionCache R;
+  ASSERT_TRUE(R.open(Dir, &Err)) << Err;
+  EXPECT_EQ(R.size(), 3u);
+}

@@ -29,9 +29,12 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -127,6 +130,24 @@ bool fileExists(const std::string &Path) {
   return ::stat(Path.c_str(), &St) == 0;
 }
 
+/// A bare blocking socket to the server — for clients that misbehave in
+/// ways ServeClient never would (sending forever without reading).
+int rawConnect(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
 } // namespace
 
 TEST(ServeSmoke, MissSolvesThenHitIsBitIdentical) {
@@ -185,6 +206,72 @@ TEST(ServeSmoke, DeadClientMidFrameKillsNothing) {
   ASSERT_TRUE(C.synth(Text, &R));
   EXPECT_TRUE(R.IsOk) << describeReply(R);
   EXPECT_TRUE(S.alive());
+}
+
+TEST(ServeSmoke, NonReadingClientCannotWedgeServer) {
+  SmokeServer S;
+  S.start();
+
+  // Prime the cache so the liveness probe below is solver-free.
+  {
+    serve::ServeClient C;
+    ASSERT_TRUE(S.connect(C));
+    serve::ClientReply R;
+    ASSERT_TRUE(C.synth(benchText("count"), &R));
+    ASSERT_TRUE(R.IsOk) << describeReply(R);
+  }
+
+  // A client that pipelines thousands of stats requests and never reads
+  // a byte of reply: once the socket buffer fills, the replies must pile
+  // into the server's per-connection backlog — not wedge the loop's
+  // single thread inside write(2).
+  int Raw = rawConnect(S.Socket);
+  ASSERT_GE(Raw, 0);
+  for (int I = 0; I != 2000; ++I)
+    ASSERT_TRUE(dist::writeFrame(Raw, dist::MsgType::StatsReq, {}));
+
+  // A well-behaved client still gets prompt answers on every path.
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+  serve::ClientReply Hit;
+  ASSERT_TRUE(C.synth(benchText("count"), &Hit));
+  ASSERT_TRUE(Hit.IsOk) << describeReply(Hit);
+  EXPECT_EQ(Hit.Ok.Synth.CacheHit, 1);
+  serve::ClientReply Stats;
+  ASSERT_TRUE(C.stats(&Stats));
+  EXPECT_TRUE(Stats.IsOk);
+  EXPECT_TRUE(S.alive());
+  ::close(Raw);
+}
+
+TEST(ServeSmoke, RunAlphaVariantsShareKeyButRunTheirOwnText) {
+  SmokeServer S;
+  S.start();
+  serve::ServeClient C;
+  ASSERT_TRUE(S.connect(C));
+
+  // Alpha-renamed twins: same canonical key, distinct texts. The run
+  // memo must compile and execute each requester's own program rather
+  // than trusting the structural hash to pick one.
+  const std::string T1 = "(program (name sum_a) (state (a int 0)) "
+                         "(step (a (add a in))) (output a))";
+  const std::string T2 = "(program (name sum_z) (state (z int 0)) "
+                         "(step (z (add z in))) (output z))";
+  lang::SerialProgram P1;
+  std::string Err;
+  ASSERT_TRUE(serve::parseProgramText(T1, &P1, &Err)) << Err;
+
+  std::vector<int64_t> Data = runtime::generateWorkload(P1, 1024, 11);
+  int64_t Want = lang::runSerial(P1, Data);
+
+  serve::ClientReply R1, R2;
+  ASSERT_TRUE(C.run(T1, Data, &R1));
+  ASSERT_TRUE(R1.IsOk) << describeReply(R1);
+  EXPECT_EQ(R1.Ok.Run.Output, Want);
+  ASSERT_TRUE(C.run(T2, Data, &R2));
+  ASSERT_TRUE(R2.IsOk) << describeReply(R2);
+  EXPECT_EQ(R2.Ok.Run.Output, Want);
+  EXPECT_EQ(R1.Ok.Run.Key, R2.Ok.Run.Key);
 }
 
 TEST(ServeSmoke, OverloadShedsMissesButServesHitsAndStats) {
